@@ -1,0 +1,55 @@
+"""Contention bench: what the contention-free assumption is worth.
+
+Section III assumes a fully connected, contention-free network.  This
+bench replays every scheduler's decisions under single-NIC contention
+and reports the makespan inflation across CCR -- how much each
+algorithm's schedules *depend* on the assumption.  Schedulers that pack
+communication onto few links (co-locating chains) should inflate less.
+"""
+
+import numpy as np
+
+from conftest import bench_reps, emit
+from repro.baselines.registry import make_scheduler
+from repro.experiments.report import format_table
+from repro.generator.parameters import GeneratorConfig
+from repro.generator.random_dag import generate_random_graph
+from repro.metrics.stats import RunningStats
+from repro.schedule.contention import ContentionSimulator
+from repro.schedule.simulator import ScheduleSimulator
+
+_SCHEDULERS = ("HDLTS", "HEFT", "SDBATS", "PEFT", "LC")
+
+
+def test_contention(benchmark):
+    reps = bench_reps()
+    rows = []
+    for ccr in (1.0, 3.0, 5.0):
+        stats = {name: RunningStats() for name in _SCHEDULERS}
+        for rep in range(reps):
+            rng = np.random.default_rng([41, rep, int(ccr)])
+            graph = generate_random_graph(
+                GeneratorConfig(v=80, ccr=ccr, n_procs=4, single_entry=True),
+                rng,
+            ).normalized()
+            for name in _SCHEDULERS:
+                schedule = make_scheduler(name).run(graph).schedule
+                free = ScheduleSimulator(graph).run(schedule).makespan
+                contended = ContentionSimulator(graph).run(schedule)
+                stats[name].add(contended.inflation(free))
+        rows.append(
+            [f"{ccr:.1f}"]
+            + [f"{stats[name].mean:+.1%}" for name in _SCHEDULERS]
+        )
+    emit(
+        "contention",
+        "Makespan inflation under single-NIC contention "
+        f"(v=80, 4 CPUs, reps={reps}):\n"
+        + format_table(["CCR"] + list(_SCHEDULERS), rows),
+    )
+
+    graph = generate_random_graph(
+        GeneratorConfig(v=80, ccr=3.0, n_procs=4), np.random.default_rng(0)
+    ).normalized()
+    schedule = make_scheduler("HDLTS").run(graph).schedule
+    benchmark(lambda: ContentionSimulator(graph).run(schedule))

@@ -1,0 +1,69 @@
+"""Energy bench: the Section II-B duplication trade-off, quantified.
+
+For each scheduler (with/without duplication) on single-entry random
+DAGs: makespan, total energy, duplication share, and the energy saved by
+DVFS slack reclamation at the same makespan.
+"""
+
+import numpy as np
+
+from conftest import bench_reps, emit
+from repro.baselines.registry import make_scheduler
+from repro.energy.model import EnergyModel
+from repro.energy.slack import reclaim_slack
+from repro.experiments.report import format_table
+from repro.generator.parameters import GeneratorConfig
+from repro.generator.random_dag import generate_random_graph
+from repro.metrics.stats import RunningStats
+
+_SCHEDULERS = ("HDLTS", "HDLTS-nodup", "SDBATS", "SDBATS-nodup", "DHEFT", "HEFT")
+_CONFIG = GeneratorConfig(v=80, ccr=3.0, single_entry=True)
+
+
+def test_energy(benchmark):
+    reps = bench_reps()
+    makespan = {n: RunningStats() for n in _SCHEDULERS}
+    energy = {n: RunningStats() for n in _SCHEDULERS}
+    dup_share = {n: RunningStats() for n in _SCHEDULERS}
+    reclaimed = {n: RunningStats() for n in _SCHEDULERS}
+    for rep in range(reps):
+        rng = np.random.default_rng([23, rep])
+        graph = generate_random_graph(_CONFIG, rng).normalized()
+        model = EnergyModel(graph.n_procs)
+        for name in _SCHEDULERS:
+            schedule = make_scheduler(name).run(graph).schedule
+            report = model.energy(schedule)
+            makespan[name].add(report.makespan)
+            energy[name].add(report.total)
+            dup_share[name].add(report.duplication_overhead)
+            stretched, scales = reclaim_slack(graph, schedule)
+            saved = model.energy_with_frequencies(stretched, scales)
+            reclaimed[name].add(1.0 - saved.total / report.total)
+    rows = [
+        [
+            name,
+            f"{makespan[name].mean:.1f}",
+            f"{energy[name].mean:.0f}",
+            f"{dup_share[name].mean:.1%}",
+            f"{reclaimed[name].mean:.1%}",
+        ]
+        for name in _SCHEDULERS
+    ]
+    emit(
+        "energy",
+        f"Energy vs makespan (v=80, CCR=3, single entry, reps={reps}):\n"
+        + format_table(
+            ["scheduler", "makespan", "energy", "dup share", "DVFS saving"],
+            rows,
+        ),
+    )
+
+    graph = generate_random_graph(_CONFIG, np.random.default_rng(0)).normalized()
+    model = EnergyModel(graph.n_procs)
+
+    def run():
+        schedule = make_scheduler("HDLTS").run(graph).schedule
+        stretched, scales = reclaim_slack(graph, schedule)
+        return model.energy_with_frequencies(stretched, scales)
+
+    benchmark(run)

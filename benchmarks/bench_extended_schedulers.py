@@ -1,0 +1,85 @@
+"""Extension bench: every scheduler family across the workload spectrum.
+
+Puts the paper's Section II taxonomy to the test: list scheduling
+(HEFT/HDLTS and friends), duplication-based (DHEFT), clustering (LC) and
+genetic (GA), on four structurally distinct workloads -- random layered
+DAGs, FFT (butterfly), Epigenomics (chains), CyberShake (fan-out/join).
+The paper argues list schedulers give the best quality/cost ratio; the
+`scaling` bench provides the cost side, this one the quality side.
+"""
+
+import numpy as np
+
+from conftest import bench_reps, emit
+from repro.baselines.registry import make_scheduler
+from repro.experiments.report import format_table
+from repro.generator.parameters import GeneratorConfig
+from repro.generator.random_dag import generate_random_graph
+from repro.metrics.metrics import slr
+from repro.metrics.stats import RunningStats
+from repro.workflows.cybershake import cybershake_topology
+from repro.workflows.epigenomics import epigenomics_topology
+from repro.workflows.fft import fft_topology
+from repro.workflows.topology import realize_topology
+
+_SCHEDULERS = (
+    "HDLTS",
+    "HEFT",
+    "SDBATS",
+    "DLS",
+    "LA-HEFT",
+    "DHEFT",
+    "GA",
+    "LC",
+)
+
+
+def _workloads():
+    def random_graph(rng):
+        return generate_random_graph(
+            GeneratorConfig(v=60, ccr=2.0, single_entry=True), rng
+        )
+
+    def fft(rng):
+        return realize_topology(fft_topology(8), 4, rng=rng, ccr=2.0)
+
+    def epigenomics(rng):
+        return realize_topology(epigenomics_topology(6), 4, rng=rng, ccr=2.0)
+
+    def cybershake(rng):
+        return realize_topology(cybershake_topology(4, 3), 4, rng=rng, ccr=2.0)
+
+    return [
+        ("random", random_graph),
+        ("fft", fft),
+        ("epigenomics", epigenomics),
+        ("cybershake", cybershake),
+    ]
+
+
+def test_extended_schedulers(benchmark):
+    reps = bench_reps()
+    rows = []
+    for label, factory in _workloads():
+        stats = {name: RunningStats() for name in _SCHEDULERS}
+        for rep in range(reps):
+            rng = np.random.default_rng([17, rep])
+            graph = factory(rng)
+            if len(graph.entry_tasks()) != 1 or len(graph.exit_tasks()) != 1:
+                graph = graph.normalized()
+            for name in _SCHEDULERS:
+                result = make_scheduler(name).run(graph)
+                stats[name].add(slr(graph, result.makespan))
+        rows.append(
+            [label] + [f"{stats[name].mean:.3f}" for name in _SCHEDULERS]
+        )
+    emit(
+        "extended_schedulers",
+        f"Mean SLR by scheduler family and workload shape (reps={reps}, CCR=2):\n"
+        + format_table(["workload"] + list(_SCHEDULERS), rows),
+    )
+
+    graph = _workloads()[0][1](np.random.default_rng(0)).normalized()
+    from repro.core import HDLTS
+
+    benchmark(lambda: HDLTS().run(graph))

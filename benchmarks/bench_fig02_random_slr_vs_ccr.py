@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig2 (random slr vs ccr) and time HDLTS on it."""
+
+from _figure_bench import figure_bench
+
+test_fig2 = figure_bench("fig2")

@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig3 (random slr vs tasks) and time HDLTS on it."""
+
+from _figure_bench import figure_bench
+
+test_fig3 = figure_bench("fig3")

@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig4 (random efficiency) and time HDLTS on it."""
+
+from _figure_bench import figure_bench
+
+test_fig4 = figure_bench("fig4")

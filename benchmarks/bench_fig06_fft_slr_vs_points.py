@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig6 (fft slr vs points) and time HDLTS on it."""
+
+from _figure_bench import figure_bench
+
+test_fig6 = figure_bench("fig6")

@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig7 (fft slr vs ccr) and time HDLTS on it."""
+
+from _figure_bench import figure_bench
+
+test_fig7 = figure_bench("fig7")

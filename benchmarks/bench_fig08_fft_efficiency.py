@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig8 (fft efficiency) and time HDLTS on it."""
+
+from _figure_bench import figure_bench
+
+test_fig8 = figure_bench("fig8")

@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig10 (montage slr vs ccr) and time HDLTS on it."""
+
+from _figure_bench import figure_bench
+
+test_fig10 = figure_bench("fig10")

@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig11 (montage efficiency) and time HDLTS on it."""
+
+from _figure_bench import figure_bench
+
+test_fig11 = figure_bench("fig11")

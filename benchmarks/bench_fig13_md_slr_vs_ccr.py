@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig13 (md slr vs ccr) and time HDLTS on it."""
+
+from _figure_bench import figure_bench
+
+test_fig13 = figure_bench("fig13")

@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig14 (md efficiency) and time HDLTS on it."""
+
+from _figure_bench import figure_bench
+
+test_fig14 = figure_bench("fig14")

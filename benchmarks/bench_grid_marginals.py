@@ -1,0 +1,37 @@
+"""Table II factorial sample with per-axis marginals.
+
+The paper's own protocol: average each figure's metric over (a sample
+of) the entire Table II grid rather than pinning defaults.  A uniform
+random sample of configurations (capped at 500 tasks) is run and the
+marginal mean SLR per axis value is reported -- the density/alpha/beta
+marginals have no dedicated figure in the paper, so this bench is also
+the sensitivity analysis the paper omits.
+
+``REPRO_BENCH_REPS`` scales the number of sampled configurations.
+"""
+
+import numpy as np
+
+from conftest import bench_reps, emit
+from repro.experiments.grid import format_marginals, run_grid
+
+
+def test_grid_marginals(benchmark):
+    n_configs = 15 * bench_reps()  # 150 configs at the default 10 reps
+    result = run_grid(
+        metric="slr",
+        sample=n_configs,
+        reps=2,
+        seed=0,
+        max_tasks=500,
+    )
+    emit("grid_marginals", format_marginals(result))
+
+    from repro.core import HDLTS
+    from repro.generator.parameters import GeneratorConfig
+    from repro.generator.random_dag import generate_random_graph
+
+    graph = generate_random_graph(
+        GeneratorConfig(v=300, single_entry=True), np.random.default_rng(0)
+    ).normalized()
+    benchmark(lambda: HDLTS().run(graph))

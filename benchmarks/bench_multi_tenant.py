@@ -1,0 +1,70 @@
+"""Multi-tenant bench: sharing one HCE between concurrent workflows.
+
+Composes a Montage, an FFT and a Molecular-Dynamics workflow onto one
+platform (the intro's shared-HCE motivation) and compares schedulers on
+shared makespan, mean tenant slowdown vs running alone, and unfairness
+(max/min slowdown).
+"""
+
+import numpy as np
+
+from conftest import bench_reps, emit
+from repro.baselines.registry import make_scheduler
+from repro.experiments.report import format_table
+from repro.metrics.stats import RunningStats
+from repro.multi.compose import compose, tenant_report
+from repro.workflows.fft import fft_topology
+from repro.workflows.molecular import molecular_dynamics_topology
+from repro.workflows.montage import montage_topology
+from repro.workflows.topology import realize_topology
+
+_SCHEDULERS = ("HDLTS", "HEFT", "SDBATS", "PEFT")
+
+
+def _tenants(rng):
+    return [
+        realize_topology(montage_topology(20), 4, rng=rng, ccr=2.0),
+        realize_topology(fft_topology(8), 4, rng=rng, ccr=2.0),
+        realize_topology(molecular_dynamics_topology(), 4, rng=rng, ccr=2.0),
+    ]
+
+
+def test_multi_tenant(benchmark):
+    reps = bench_reps()
+    shared = {n: RunningStats() for n in _SCHEDULERS}
+    slowdown = {n: RunningStats() for n in _SCHEDULERS}
+    unfair = {n: RunningStats() for n in _SCHEDULERS}
+    for rep in range(reps):
+        rng = np.random.default_rng([31, rep])
+        composite = compose(_tenants(rng))
+        for name in _SCHEDULERS:
+            scheduler = make_scheduler(name)
+            schedule = scheduler.run(composite.graph).schedule
+            reports, unfairness = tenant_report(composite, schedule, scheduler)
+            shared[name].add(schedule.makespan)
+            slowdown[name].add(
+                float(np.mean([r.slowdown for r in reports]))
+            )
+            unfair[name].add(unfairness)
+    rows = [
+        [
+            name,
+            f"{shared[name].mean:.1f}",
+            f"{slowdown[name].mean:.2f}x",
+            f"{unfair[name].mean:.2f}",
+        ]
+        for name in _SCHEDULERS
+    ]
+    emit(
+        "multi_tenant",
+        f"Three workflows sharing 4 CPUs (reps={reps}, CCR=2):\n"
+        + format_table(
+            ["scheduler", "shared makespan", "mean slowdown", "unfairness"],
+            rows,
+        ),
+    )
+
+    composite = compose(_tenants(np.random.default_rng(0)))
+    from repro.core import HDLTS
+
+    benchmark(lambda: HDLTS().run(composite.graph))

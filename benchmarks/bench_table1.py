@@ -1,0 +1,41 @@
+"""Regenerate Table I and the in-text Fig. 1 makespan comparison.
+
+The schedule trace is deterministic, so the regenerated table is checked
+(not just printed): any drift from the published schedule fails the
+bench.  The timed region is the full HDLTS run on the Fig. 1 graph.
+"""
+
+from conftest import emit
+from repro.core import HDLTS
+from repro.core.trace import format_trace
+from repro.experiments.report import format_makespans
+from repro.experiments.table1 import (
+    PAPER_FIG1_MAKESPANS,
+    fig1_makespans,
+    table1_trace,
+)
+from repro.workflows.paper_example import paper_example_graph
+
+
+def test_table1(benchmark):
+    trace = table1_trace()
+    assert trace[-1].finish == 73.0
+
+    measured = fig1_makespans()
+    assert measured["HDLTS"] == 73.0
+    assert measured["HEFT"] == 80.0
+    assert measured["SDBATS"] == 74.0
+
+    text = "\n".join(
+        [
+            "Table I -- HDLTS schedule produced at each step (Fig. 1 graph):",
+            format_trace(trace),
+            "",
+            "Fig. 1 makespans, measured vs published:",
+            format_makespans(measured, PAPER_FIG1_MAKESPANS),
+        ]
+    )
+    emit("table1", text)
+
+    graph = paper_example_graph()
+    benchmark(lambda: HDLTS().run(graph))

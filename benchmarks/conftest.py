@@ -1,0 +1,39 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper: it runs the
+figure's sweep (replications configurable through ``REPRO_BENCH_REPS``,
+default 10), prints the series the paper plots, saves it under
+``benchmarks/results/``, and times the representative scheduling call
+with pytest-benchmark.
+
+Run:  pytest benchmarks/ --benchmark-only
+      REPRO_BENCH_REPS=100 pytest benchmarks/ --benchmark-only  (slower,
+      tighter averages; the paper used 1000 replications)
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def bench_reps(default: int = 10) -> int:
+    return int(os.environ.get("REPRO_BENCH_REPS", default))
+
+
+def emit(key: str, text: str) -> None:
+    """Print a regenerated table and persist it for EXPERIMENTS.md."""
+    banner = f"\n===== {key} " + "=" * max(0, 66 - len(key))
+    print(banner)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{key}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def reps() -> int:
+    return bench_reps()

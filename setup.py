@@ -1,0 +1,6 @@
+"""Shim so `python setup.py develop` works on minimal offline environments
+(the sandbox lacks the `wheel` package that PEP 660 editable installs need).
+Regular `pip install -e .` uses pyproject.toml when wheel is available."""
+from setuptools import setup
+
+setup()

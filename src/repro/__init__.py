@@ -1,0 +1,52 @@
+"""repro -- reproduction of "Dynamic Mapping of Application Workflows in
+Heterogeneous Computing Environments" (HDLTS, IPPS 2017).
+
+Public API quick tour::
+
+    from repro import HDLTS, paper_example_graph
+    result = HDLTS(record_trace=True).run(paper_example_graph())
+    print(result.makespan)            # 73.0
+
+See README.md for the architecture overview and examples/ for runnable
+scenarios.
+"""
+
+from repro.model import TaskGraph, Platform, Workflow, compile_workflow
+from repro.schedule import (
+    Schedule,
+    ScheduleSimulator,
+    render_gantt,
+    validate_schedule,
+)
+from repro.core import HDLTS, PriorityRule, Scheduler, SchedulingResult, format_trace
+from repro.workflows import (
+    paper_example_graph,
+    fft_workflow,
+    montage_workflow,
+    molecular_dynamics_workflow,
+    gaussian_elimination_workflow,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TaskGraph",
+    "Platform",
+    "Workflow",
+    "compile_workflow",
+    "Schedule",
+    "ScheduleSimulator",
+    "render_gantt",
+    "validate_schedule",
+    "HDLTS",
+    "PriorityRule",
+    "Scheduler",
+    "SchedulingResult",
+    "format_trace",
+    "paper_example_graph",
+    "fft_workflow",
+    "montage_workflow",
+    "molecular_dynamics_workflow",
+    "gaussian_elimination_workflow",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Schedule diagnostics beyond the paper's three metrics.
+
+Complements :mod:`repro.metrics` with the quantities a practitioner asks
+after a scheduling run: where did the time go (busy / idle / imbalance),
+how much data crossed CPUs, and which chain of tasks actually determined
+the makespan.
+"""
+
+from repro.analysis.diagnostics import (
+    ScheduleDiagnostics,
+    diagnose,
+    communication_volume,
+    load_imbalance,
+    bottleneck_chain,
+)
+
+__all__ = [
+    "ScheduleDiagnostics",
+    "diagnose",
+    "communication_volume",
+    "load_imbalance",
+    "bottleneck_chain",
+]

@@ -1,0 +1,160 @@
+"""Post-hoc schedule diagnostics.
+
+``bottleneck_chain`` reconstructs the *realized* critical chain: starting
+from the task that finishes last, each step asks what pinned the task's
+start time -- the arrival of a parent's data (``"data"``), the CPU being
+busy with the previous slot (``"cpu"``), or nothing (``"start"``, the
+chain's origin).  The chain is what an engineer would inspect to decide
+whether to buy faster links (data-bound) or more/faster CPUs (cpu-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.model.task_graph import TaskGraph
+from repro.schedule.schedule import Schedule
+
+__all__ = [
+    "ScheduleDiagnostics",
+    "diagnose",
+    "communication_volume",
+    "load_imbalance",
+    "bottleneck_chain",
+]
+
+_EPS = 1e-6
+
+
+def communication_volume(graph: TaskGraph, schedule: Schedule) -> Tuple[float, float]:
+    """(paid, total) communication cost over all edges.
+
+    An edge is *paid* when the child's CPU holds no copy of the parent
+    (so the data really crossed the network); ``total`` is the cost if
+    every edge had crossed.  ``1 - paid/total`` is the locality the
+    scheduler achieved.
+    """
+    paid = 0.0
+    total = 0.0
+    for edge in graph.edges():
+        total += edge.cost
+        child_proc = schedule.proc_of(edge.dst)
+        local = any(c.proc == child_proc for c in schedule.copies(edge.src))
+        if not local:
+            paid += edge.cost
+    return paid, total
+
+
+def load_imbalance(schedule: Schedule) -> float:
+    """Max busy time over mean busy time (1.0 = perfectly balanced)."""
+    busy = [t.busy_time() for t in schedule.timelines]
+    mean = sum(busy) / len(busy)
+    if mean <= 0:
+        return 1.0
+    return max(busy) / mean
+
+
+def bottleneck_chain(
+    graph: TaskGraph, schedule: Schedule
+) -> List[Tuple[int, str]]:
+    """The realized critical chain, latest task first.
+
+    Returns ``[(task, reason), ...]`` where ``reason`` explains what
+    pinned the task's start: ``"data"`` (a parent's arrival), ``"cpu"``
+    (the CPU was busy until exactly the start) or ``"start"`` (nothing
+    -- the chain begins here, usually at time 0).
+    """
+    if not schedule.is_complete():
+        raise ValueError("schedule is incomplete")
+    current = max(graph.tasks(), key=lambda t: schedule.finish_of(t))
+    chain: List[Tuple[int, str]] = []
+    visited = set()
+    while True:
+        if current in visited:  # pragma: no cover - cycle guard
+            break
+        visited.add(current)
+        assignment = schedule.assignment(current)
+        # data-bound? a parent whose arrival equals the start
+        binding_parent = None
+        for parent in graph.predecessors(current):
+            arrival = schedule.arrival_time(parent, current, assignment.proc)
+            if abs(arrival - assignment.start) <= _EPS:
+                binding_parent = parent
+                break
+        if binding_parent is not None:
+            chain.append((current, "data"))
+            current = binding_parent
+            continue
+        # cpu-bound? the slot right before on this CPU ends at our start
+        predecessor_slot = None
+        for slot in schedule.timelines[assignment.proc].slots():
+            if abs(slot.end - assignment.start) <= _EPS and slot.task != current:
+                predecessor_slot = slot
+                break
+        if predecessor_slot is not None and not predecessor_slot.duplicate:
+            chain.append((current, "cpu"))
+            current = predecessor_slot.task
+            continue
+        chain.append((current, "start"))
+        break
+    return chain
+
+
+@dataclass(frozen=True)
+class ScheduleDiagnostics:
+    """Everything :func:`diagnose` computes, ready for printing."""
+
+    makespan: float
+    busy_time: Tuple[float, ...]
+    idle_fraction: float
+    load_imbalance: float
+    comm_paid: float
+    comm_total: float
+    n_duplicates: int
+    chain: Tuple[Tuple[int, str], ...]
+
+    @property
+    def comm_locality(self) -> float:
+        """Fraction of communication cost avoided by co-placement."""
+        if self.comm_total <= 0:
+            return 1.0
+        return 1.0 - self.comm_paid / self.comm_total
+
+    def format(self, graph: TaskGraph) -> str:
+        """Render the report as an aligned text block."""
+        busy = ", ".join(f"P{i + 1}={b:.1f}" for i, b in enumerate(self.busy_time))
+        chain = " <- ".join(
+            f"{graph.name(t)}({why})" for t, why in self.chain
+        )
+        return "\n".join(
+            [
+                f"makespan          {self.makespan:.2f}",
+                f"busy time         {busy}",
+                f"idle fraction     {self.idle_fraction:.1%}",
+                f"load imbalance    {self.load_imbalance:.3f} (1.0 = perfect)",
+                f"comm paid/total   {self.comm_paid:.1f} / {self.comm_total:.1f} "
+                f"(locality {self.comm_locality:.1%})",
+                f"entry duplicates  {self.n_duplicates}",
+                f"bottleneck chain  {chain}",
+            ]
+        )
+
+
+def diagnose(graph: TaskGraph, schedule: Schedule) -> ScheduleDiagnostics:
+    """Compute the full diagnostic report for a finished schedule."""
+    makespan = schedule.makespan
+    busy = tuple(t.busy_time() for t in schedule.timelines)
+    capacity = makespan * len(schedule.timelines)
+    idle = 1.0 - (sum(busy) / capacity) if capacity > 0 else 0.0
+    paid, total = communication_volume(graph, schedule)
+    return ScheduleDiagnostics(
+        makespan=makespan,
+        busy_time=busy,
+        idle_fraction=idle,
+        load_imbalance=load_imbalance(schedule),
+        comm_paid=paid,
+        comm_total=total,
+        n_duplicates=len(schedule.duplicates()),
+        chain=tuple(bottleneck_chain(graph, schedule)),
+    )

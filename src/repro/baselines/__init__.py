@@ -1,0 +1,49 @@
+"""Baseline list schedulers the paper compares against.
+
+All five comparison algorithms, implemented from their original papers on
+top of the same model/schedule substrate as HDLTS:
+
+* :class:`HEFT`   -- Heterogeneous Earliest Finish Time (Topcuoglu 2002)
+* :class:`CPOP`   -- Critical Path on a Processor (Topcuoglu 2002)
+* :class:`PETS`   -- Performance Effective Task Scheduling (Ilavarasan 2005)
+* :class:`PEFT`   -- Predict(ed) Earliest Finish Time (Arabnejad 2014)
+* :class:`SDBATS` -- Standard-Deviation-Based Task Scheduling (Munir 2013)
+
+Interpretation choices for under-specified details are documented in
+DESIGN.md ("Baseline interpretation notes").
+"""
+
+from repro.baselines.heft import HEFT
+from repro.baselines.cpop import CPOP
+from repro.baselines.pets import PETS
+from repro.baselines.peft import PEFT
+from repro.baselines.sdbats import SDBATS
+from repro.baselines.dls import DLS
+from repro.baselines.lookahead import LookaheadHEFT
+from repro.baselines.dheft import DHEFT
+from repro.baselines.batch import LevelMinMin, LevelMaxMin
+from repro.baselines.randomized import RandomScheduler
+from repro.baselines.registry import (
+    SCHEDULER_FACTORIES,
+    make_scheduler,
+    paper_schedulers,
+    scheduler_names,
+)
+
+__all__ = [
+    "HEFT",
+    "CPOP",
+    "PETS",
+    "PEFT",
+    "SDBATS",
+    "DLS",
+    "LookaheadHEFT",
+    "DHEFT",
+    "LevelMinMin",
+    "LevelMaxMin",
+    "RandomScheduler",
+    "SCHEDULER_FACTORIES",
+    "make_scheduler",
+    "paper_schedulers",
+    "scheduler_names",
+]

@@ -1,0 +1,85 @@
+"""Level-wise batch heuristics: Min-Min and Max-Min (extensions).
+
+Min-Min / Max-Min (Braun et al.'s classic comparison set) schedule
+*independent* tasks; the standard DAG adaptation applies them level by
+level -- every precedence level is an independent batch, exactly the
+level-sort view PETS uses.  Within a batch:
+
+* **Min-Min**: repeatedly commit the (task, CPU) pair with the smallest
+  completion time -- short tasks first, tends to balance load;
+* **Max-Min**: commit the task whose *best* completion time is largest
+  first -- long tasks first, avoids the "everything waits for the last
+  big task" tail.
+
+Both use insertion-based EFT against the live schedule, so results are
+directly comparable with the list schedulers.  They ignore cross-level
+lookahead entirely, which is exactly why they are interesting controls
+for HDLTS's ready-list design (HDLTS's ITQ is *also* a batch -- but a
+precedence-driven, rolling one).
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.baselines.common import est_eft
+from repro.core.base import Scheduler
+from repro.model.levels import level_decomposition
+from repro.model.task_graph import TaskGraph
+from repro.schedule.schedule import Schedule
+
+__all__ = ["LevelMinMin", "LevelMaxMin"]
+
+
+class _LevelBatchScheduler(Scheduler):
+    """Shared machinery: iterate levels, commit batch tasks one by one."""
+
+    #: True -> Min-Min (smallest best-EFT first); False -> Max-Min
+    pick_smallest: bool = True
+
+    def __init__(self, insertion: bool = True) -> None:
+        self.insertion = insertion
+
+    def _best_plan(
+        self, schedule: Schedule, graph: TaskGraph, task: int
+    ) -> Tuple[float, int, float]:
+        """(EFT, CPU, start) of the task's best CPU right now."""
+        best = (float("inf"), -1, 0.0)
+        for proc in graph.procs():
+            start, finish = est_eft(schedule, task, proc, self.insertion)
+            if finish < best[0] - 1e-12:
+                best = (finish, proc, start)
+        return best
+
+    def build_schedule(self, graph: TaskGraph) -> Schedule:
+        schedule = Schedule(graph)
+        for level in level_decomposition(graph):
+            pending: Set[int] = set(level)
+            while pending:
+                plans = {
+                    task: self._best_plan(schedule, graph, task)
+                    for task in pending
+                }
+                chooser = min if self.pick_smallest else max
+                # ties break toward the lower task id for determinism
+                task = chooser(
+                    sorted(pending), key=lambda t: plans[t][0]
+                )
+                _, proc, start = plans[task]
+                schedule.place(task, proc, start)
+                pending.remove(task)
+        return schedule
+
+
+class LevelMinMin(_LevelBatchScheduler):
+    """Level-by-level Min-Min."""
+
+    name = "MinMin"
+    pick_smallest = True
+
+
+class LevelMaxMin(_LevelBatchScheduler):
+    """Level-by-level Max-Min."""
+
+    name = "MaxMin"
+    pick_smallest = False

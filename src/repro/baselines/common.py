@@ -1,0 +1,92 @@
+"""EFT machinery shared by the static-list baselines.
+
+Every baseline maps the next task in its priority order to the CPU
+minimizing an EFT-derived objective.  These helpers compute EST/EFT
+against the live schedule (Definitions 5-7) with optional HEFT-style
+insertion, and commit the placement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.task_graph import TaskGraph
+from repro.schedule.schedule import Assignment, Schedule
+
+__all__ = [
+    "est_eft",
+    "eft_vector",
+    "place_min_eft",
+    "precedence_safe_order",
+]
+
+
+def est_eft(
+    schedule: Schedule, task: int, proc: int, insertion: bool = True
+) -> Tuple[float, float]:
+    """(EST, EFT) of ``task`` on ``proc`` against the current schedule."""
+    ready = schedule.ready_time(task, proc)
+    duration = schedule.graph.cost(task, proc)
+    start = schedule.timelines[proc].earliest_start(ready, duration, insertion)
+    return start, start + duration
+
+
+def eft_vector(
+    schedule: Schedule, task: int, insertion: bool = True
+) -> np.ndarray:
+    """EFT of ``task`` on every CPU."""
+    graph = schedule.graph
+    out = np.empty(graph.n_procs)
+    for proc in graph.procs():
+        out[proc] = est_eft(schedule, task, proc, insertion)[1]
+    return out
+
+
+def place_min_eft(
+    schedule: Schedule,
+    task: int,
+    insertion: bool = True,
+    procs: Optional[Iterable[int]] = None,
+    objective: Optional[Callable[[int, float], float]] = None,
+) -> Assignment:
+    """Commit ``task`` to the CPU minimizing EFT (or a custom objective).
+
+    ``objective(proc, eft) -> score`` lets PEFT minimize ``EFT + OCT``
+    while still *starting* the task at its true EST.  Ties break toward
+    the lowest CPU index.
+    """
+    graph = schedule.graph
+    candidates = list(procs) if procs is not None else list(graph.procs())
+    if not candidates:
+        raise ValueError("no candidate CPUs")
+    best_proc = -1
+    best_score = float("inf")
+    best_start = 0.0
+    for proc in candidates:
+        start, finish = est_eft(schedule, task, proc, insertion)
+        score = objective(proc, finish) if objective else finish
+        if score < best_score - 1e-12:
+            best_score = score
+            best_proc = proc
+            best_start = start
+    return schedule.place(task, best_proc, best_start)
+
+
+def precedence_safe_order(
+    graph: TaskGraph, priority: Sequence[float], descending: bool = True
+) -> List[int]:
+    """Tasks sorted by priority with topological position as tie-break.
+
+    A static list scheduler must never attempt a child before a parent.
+    For well-formed rank functions priority alone guarantees that, but
+    zero-cost pseudo tasks can produce exact ties; breaking ties by
+    topological position makes the order always precedence-safe without
+    altering genuinely ranked decisions.
+    """
+    position = {task: i for i, task in enumerate(graph.topological_order())}
+    sign = -1.0 if descending else 1.0
+    return sorted(
+        graph.tasks(), key=lambda t: (sign * priority[t], position[t])
+    )

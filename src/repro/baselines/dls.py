@@ -1,0 +1,75 @@
+"""DLS -- Dynamic Level Scheduling (Sih & Lee, TPDS 1993).
+
+An extension baseline (not in the paper's comparison set, but the
+closest prior *dynamic* list scheduler to HDLTS): at every step DLS
+examines all (ready task, CPU) pairs and commits the pair with the
+highest **dynamic level**
+
+    DL(t, p) = SL(t) - max(data_ready(t, p), avail(p)) + Delta(t, p)
+
+where ``SL`` is the static level (mean-cost upward rank *without*
+communication) and ``Delta(t, p) = mean_w(t) - w(t, p)`` rewards CPUs
+that are fast for this particular task.  Like HDLTS it reacts to live
+platform state; unlike HDLTS it folds task urgency (SL) and CPU
+affinity (Delta) into one score instead of separating prioritization
+from CPU selection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Scheduler
+from repro.core.itq import IndependentTaskQueue
+from repro.model.attributes import mean_execution_times
+from repro.model.task_graph import TaskGraph
+from repro.schedule.schedule import Schedule
+
+__all__ = ["DLS"]
+
+
+class DLS(Scheduler):
+    """Dynamic Level Scheduling."""
+
+    name = "DLS"
+
+    def __init__(self, insertion: bool = True) -> None:
+        self.insertion = insertion
+
+    def static_levels(self, graph: TaskGraph) -> np.ndarray:
+        """Mean-cost longest path to the exit, communication excluded."""
+        mean_w = mean_execution_times(graph)
+        levels = np.zeros(graph.n_tasks)
+        for task in reversed(graph.topological_order()):
+            best = 0.0
+            for succ in graph.successors(task):
+                if levels[succ] > best:
+                    best = levels[succ]
+            levels[task] = mean_w[task] + best
+        return levels
+
+    def build_schedule(self, graph: TaskGraph) -> Schedule:
+        """Schedule ``graph`` by maximizing the dynamic level each step."""
+        sl = self.static_levels(graph)
+        mean_w = mean_execution_times(graph)
+        w = graph.cost_matrix()
+        schedule = Schedule(graph)
+        itq = IndependentTaskQueue(graph)
+
+        while itq:
+            best = None  # (dl, -task, -proc) maximized; ties -> low ids
+            for task in itq.ready_tasks():
+                for proc in graph.procs():
+                    ready = schedule.ready_time(task, proc)
+                    start = schedule.timelines[proc].earliest_start(
+                        ready, w[task, proc], self.insertion
+                    )
+                    dl = sl[task] - start + (mean_w[task] - w[task, proc])
+                    key = (dl, -task, -proc)
+                    if best is None or key > best[0]:
+                        best = (key, task, proc, start)
+            assert best is not None
+            _, task, proc, start = best
+            schedule.place(task, proc, start)
+            itq.complete(task)
+        return schedule

@@ -1,0 +1,83 @@
+"""Lookahead HEFT (Bittencourt, Sakellariou & Madeira, PDP 2010).
+
+Extension baseline: HEFT's priority phase is unchanged, but CPU
+selection looks one step ahead -- for each candidate CPU ``p``, the
+task is *tentatively* placed on ``p`` and every child's best-case EFT
+is computed against that tentative state; the CPU minimizing the worst
+child EFT (falling back to the task's own EFT for exit tasks) wins.
+This trades a factor O(P * deg) of extra work for the global awareness
+HDLTS's purely local penalty value lacks.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import est_eft, precedence_safe_order
+from repro.core.base import Scheduler
+from repro.model.ranking import upward_rank
+from repro.model.task_graph import TaskGraph
+from repro.schedule.schedule import Schedule
+
+__all__ = ["LookaheadHEFT"]
+
+
+class LookaheadHEFT(Scheduler):
+    """HEFT with one-level child-EFT lookahead in the CPU selector."""
+
+    name = "LA-HEFT"
+
+    def __init__(self, insertion: bool = True) -> None:
+        self.insertion = insertion
+
+    def _child_horizon(
+        self, schedule: Schedule, graph: TaskGraph, task: int
+    ) -> float:
+        """Worst best-case child EFT against the tentative schedule.
+
+        Children whose other parents are not yet scheduled are scored
+        with the data already available (their missing inputs are the
+        same for every candidate CPU, so the comparison stays fair).
+        """
+        worst = 0.0
+        for child in graph.successors(task):
+            best_eft = float("inf")
+            for proc in graph.procs():
+                ready = 0.0
+                for parent in graph.predecessors(child):
+                    if not schedule.is_scheduled(parent):
+                        continue
+                    arrival = schedule.arrival_time(parent, child, proc)
+                    if arrival > ready:
+                        ready = arrival
+                start = schedule.timelines[proc].earliest_start(
+                    ready, graph.cost(child, proc), self.insertion
+                )
+                best_eft = min(best_eft, start + graph.cost(child, proc))
+            worst = max(worst, best_eft)
+        return worst
+
+    def build_schedule(self, graph: TaskGraph) -> Schedule:
+        """Schedule ``graph`` with child-EFT lookahead CPU selection."""
+        ranks = upward_rank(graph)
+        order = precedence_safe_order(graph, ranks, descending=True)
+        schedule = Schedule(graph)
+        for task in order:
+            best_proc = -1
+            best_score = (float("inf"), float("inf"))
+            best_start = 0.0
+            for proc in graph.procs():
+                start, finish = est_eft(schedule, task, proc, self.insertion)
+                tentative = schedule.place(task, proc, start)
+                horizon = (
+                    self._child_horizon(schedule, graph, task)
+                    if graph.out_degree(task)
+                    else finish
+                )
+                schedule.unplace(task)
+                score = (horizon, finish)  # tie-break on own EFT
+                if score < best_score:
+                    best_score = score
+                    best_proc = proc
+                    best_start = start
+                del tentative
+            schedule.place(task, best_proc, best_start)
+        return schedule

@@ -1,0 +1,44 @@
+"""A uniformly random list scheduler (sanity floor).
+
+Every comparison needs a floor: :class:`RandomScheduler` picks a random
+ready task and a random CPU at each step (eager start).  Any heuristic
+worth publishing must beat it comfortably; the extended-schedulers
+bench and the test suite use it to verify that every real algorithm's
+margin over "no policy at all" is large and significant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Scheduler
+from repro.core.itq import IndependentTaskQueue
+from repro.model.task_graph import TaskGraph
+from repro.schedule.schedule import Schedule
+
+__all__ = ["RandomScheduler"]
+
+
+class RandomScheduler(Scheduler):
+    """Random ready-task, random CPU, eager start times."""
+
+    name = "RAND"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def build_schedule(self, graph: TaskGraph) -> Schedule:
+        """Schedule ``graph`` by uniformly random decisions (seeded)."""
+        rng = np.random.default_rng(self.seed)
+        schedule = Schedule(graph)
+        itq = IndependentTaskQueue(graph)
+        while itq:
+            ready = itq.ready_tasks()
+            task = ready[int(rng.integers(len(ready)))]
+            proc = int(rng.integers(graph.n_procs))
+            start = schedule.timelines[proc].earliest_start(
+                schedule.ready_time(task, proc), graph.cost(task, proc)
+            )
+            schedule.place(task, proc, start)
+            itq.complete(task)
+        return schedule

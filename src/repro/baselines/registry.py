@@ -1,0 +1,108 @@
+"""Scheduler registry: name -> factory.
+
+The experiment harness, CLI and benchmarks all resolve algorithms through
+this registry so that a figure definition is just a list of names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.base import Scheduler
+from repro.core.hdlts import HDLTS, PriorityRule
+
+__all__ = [
+    "SCHEDULER_FACTORIES",
+    "make_scheduler",
+    "paper_schedulers",
+    "scheduler_names",
+]
+
+
+def _genetic() -> Scheduler:
+    from repro.genetic.ga import GeneticScheduler
+
+    return GeneticScheduler()
+
+
+def _clustering() -> Scheduler:
+    from repro.clustering.linear import ClusterScheduler
+
+    return ClusterScheduler()
+
+
+def _random() -> Scheduler:
+    from repro.baselines.randomized import RandomScheduler
+
+    return RandomScheduler()
+
+
+def _factories() -> Dict[str, Callable[[], Scheduler]]:
+    from repro.baselines.batch import LevelMaxMin, LevelMinMin
+    from repro.baselines.cpop import CPOP
+    from repro.baselines.dheft import DHEFT
+    from repro.baselines.dls import DLS
+    from repro.baselines.heft import HEFT
+    from repro.baselines.lookahead import LookaheadHEFT
+    from repro.baselines.peft import PEFT
+    from repro.baselines.pets import PETS
+    from repro.baselines.sdbats import SDBATS
+
+    return {
+        "HDLTS": HDLTS,
+        "HEFT": HEFT,
+        "CPOP": CPOP,
+        "PETS": PETS,
+        "PEFT": PEFT,
+        "SDBATS": SDBATS,
+        # extension baselines (Section II families not in the paper's
+        # comparison set; see DESIGN.md "extensions")
+        "DLS": DLS,
+        "LA-HEFT": LookaheadHEFT,
+        "DHEFT": DHEFT,
+        "GA": _genetic,
+        "LC": _clustering,
+        "MinMin": LevelMinMin,
+        "RAND": _random,
+        "MaxMin": LevelMaxMin,
+        # ablation variants (DESIGN.md "Ablation benches")
+        "HDLTS-nodup": lambda: HDLTS(duplicate_entry=False),
+        "HDLTS-insertion": lambda: HDLTS(use_insertion=True),
+        "HDLTS-range": lambda: HDLTS(priority=PriorityRule.EFT_RANGE),
+        "HDLTS-meaneft": lambda: HDLTS(priority=PriorityRule.MEAN_EFT),
+        "HDLTS-greedy": lambda: HDLTS(priority=PriorityRule.MIN_EFT_FIRST),
+        "HDLTS-rank": lambda: HDLTS(priority=PriorityRule.UPWARD_RANK),
+        "HEFT-noinsertion": lambda: HEFT(insertion=False),
+        "PETS-rpt": lambda: PETS(variant="rpt"),
+        "SDBATS-nodup": lambda: SDBATS(duplicate_entry=False),
+    }
+
+
+SCHEDULER_FACTORIES: Dict[str, Callable[[], Scheduler]] = _factories()
+
+#: the algorithms evaluated throughout the paper's Section V
+PAPER_SET = ("HDLTS", "HEFT", "PETS", "PEFT", "SDBATS")
+
+
+def scheduler_names() -> List[str]:
+    """All registered scheduler names."""
+    return list(SCHEDULER_FACTORIES)
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler by registry name (case-sensitive)."""
+    try:
+        factory = SCHEDULER_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(SCHEDULER_FACTORIES)
+        raise KeyError(f"unknown scheduler {name!r}; known: {known}") from None
+    return factory()
+
+
+def paper_schedulers(include_cpop: bool = False) -> List[Scheduler]:
+    """The paper's comparison set (CPOP appears in Section II but not in
+    the evaluation figures; pass ``include_cpop=True`` to add it)."""
+    names = list(PAPER_SET)
+    if include_cpop:
+        names.insert(2, "CPOP")
+    return [make_scheduler(n) for n in names]

@@ -1,0 +1,384 @@
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
+
+Commands
+--------
+table1        reproduce Table I and the Fig. 1 makespan comparison
+figure KEY    run one evaluation figure (fig2..fig14) and print the table
+all-figures   run every figure (EXPERIMENTS.md is generated from this)
+schedule      schedule one workflow instance and show the Gantt chart
+generate      draw a random task graph and print its shape statistics
+dynamic       online-HDLTS vs static-schedule comparison under noise/failures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HDLTS (IPPS 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="reproduce Table I on the Fig. 1 graph")
+
+    p_fig = sub.add_parser("figure", help="run one evaluation figure")
+    p_fig.add_argument("key", help="fig2, fig3, fig4, fig6, fig7, fig8, fig10, fig11, fig13, fig14")
+    p_fig.add_argument("--reps", type=int, default=30, help="replications per point")
+    p_fig.add_argument("--seed", type=int, default=0)
+    p_fig.add_argument("--full", action="store_true", help="fig3: include 5000/10000 tasks")
+    p_fig.add_argument("--validate", action="store_true", help="feasibility-check every schedule")
+    p_fig.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
+    p_fig.add_argument("--chart", action="store_true", help="also render an ASCII line chart")
+    p_fig.add_argument("--csv", default=None, metavar="FILE", help="also write tidy CSV to FILE")
+
+    p_all = sub.add_parser("all-figures", help="run every figure")
+    p_all.add_argument("--reps", type=int, default=30)
+    p_all.add_argument("--seed", type=int, default=0)
+    p_all.add_argument("--full", action="store_true")
+    p_all.add_argument("--workers", type=int, default=1)
+
+    p_sched = sub.add_parser("schedule", help="schedule one workflow instance")
+    p_sched.add_argument(
+        "--workflow",
+        default="paper",
+        choices=["paper", "fft", "montage", "molecular", "gaussian", "random"],
+    )
+    p_sched.add_argument("--scheduler", default="HDLTS")
+    p_sched.add_argument("--size", type=int, default=8, help="fft points / montage nodes / gaussian matrix size / random tasks")
+    p_sched.add_argument("--procs", type=int, default=4)
+    p_sched.add_argument("--ccr", type=float, default=1.0)
+    p_sched.add_argument("--beta", type=float, default=1.0)
+    p_sched.add_argument("--seed", type=int, default=0)
+    p_sched.add_argument("--trace", action="store_true", help="print the step trace (HDLTS only)")
+
+    p_gen = sub.add_parser("generate", help="generate a random DAG, print stats")
+    p_gen.add_argument("--v", type=int, default=100)
+    p_gen.add_argument("--alpha", type=float, default=1.0)
+    p_gen.add_argument("--density", type=int, default=3)
+    p_gen.add_argument("--ccr", type=float, default=1.0)
+    p_gen.add_argument("--procs", type=int, default=4)
+    p_gen.add_argument("--wdag", type=float, default=50.0)
+    p_gen.add_argument("--beta", type=float, default=1.0)
+    p_gen.add_argument("--seed", type=int, default=0)
+
+    p_exp = sub.add_parser("export", help="schedule a workflow, export graph + schedule")
+    p_exp.add_argument("--workflow", default="paper",
+                       choices=["paper", "fft", "montage", "molecular", "gaussian", "random"])
+    p_exp.add_argument("--scheduler", default="HDLTS")
+    p_exp.add_argument("--size", type=int, default=8)
+    p_exp.add_argument("--procs", type=int, default=4)
+    p_exp.add_argument("--ccr", type=float, default=1.0)
+    p_exp.add_argument("--beta", type=float, default=1.0)
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--out", default=".", help="output directory")
+    p_exp.add_argument("--format", default="all", choices=["json", "dot", "all"])
+
+    p_diag = sub.add_parser("diagnose", help="schedule a workflow, print diagnostics")
+    p_diag.add_argument("--workflow", default="paper",
+                        choices=["paper", "fft", "montage", "molecular", "gaussian", "random"])
+    p_diag.add_argument("--scheduler", default="HDLTS")
+    p_diag.add_argument("--size", type=int, default=8)
+    p_diag.add_argument("--procs", type=int, default=4)
+    p_diag.add_argument("--ccr", type=float, default=1.0)
+    p_diag.add_argument("--beta", type=float, default=1.0)
+    p_diag.add_argument("--seed", type=int, default=0)
+
+    p_dyn = sub.add_parser("dynamic", help="online vs static under uncertainty")
+    p_dyn.add_argument("--sigma", type=float, default=0.3, help="relative execution-time noise")
+    p_dyn.add_argument("--fail-proc", type=int, default=None)
+    p_dyn.add_argument("--fail-at", type=float, default=None)
+    p_dyn.add_argument("--reps", type=int, default=20)
+    p_dyn.add_argument("--v", type=int, default=100)
+    p_dyn.add_argument("--procs", type=int, default=4)
+    p_dyn.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_table1() -> int:
+    from repro.core.trace import format_trace
+    from repro.experiments.report import format_makespans
+    from repro.experiments.table1 import (
+        PAPER_FIG1_MAKESPANS,
+        fig1_makespans,
+        table1_trace,
+    )
+
+    print("Table I: HDLTS schedule produced at each step (Fig. 1 graph)\n")
+    print(format_trace(table1_trace()))
+    print("\nFig. 1 makespans, measured vs published:\n")
+    print(format_makespans(fig1_makespans(), PAPER_FIG1_MAKESPANS))
+    return 0
+
+
+def _cmd_figure(
+    key: str,
+    reps: int,
+    seed: int,
+    full: bool,
+    validate: bool,
+    workers: int = 1,
+    chart: bool = False,
+    csv_path=None,
+) -> int:
+    from repro.experiments import format_sweep, get_figure, run_sweep
+    from repro.experiments.parallel import run_sweep_parallel
+
+    definition = get_figure(key, full=full) if key == "fig3" else get_figure(key)
+    if workers > 1:
+        result = run_sweep_parallel(
+            definition, reps=reps, seed=seed, validate=validate, workers=workers
+        )
+    else:
+        result = run_sweep(
+            definition,
+            reps=reps,
+            seed=seed,
+            validate=validate,
+            progress=lambda msg: print(f"  .. {msg}", file=sys.stderr),
+        )
+    print(format_sweep(result))
+    if chart:
+        from repro.experiments.chart import ascii_chart
+
+        print()
+        print(ascii_chart(result))
+    if csv_path:
+        from repro.experiments.export import sweep_to_csv
+
+        sweep_to_csv(result, csv_path)
+        print(f"(csv written to {csv_path})", file=sys.stderr)
+    return 0
+
+
+def _cmd_all_figures(reps: int, seed: int, full: bool, workers: int = 1) -> int:
+    from repro.experiments import list_figures
+
+    _cmd_table1()
+    for key in list_figures():
+        print()
+        _cmd_figure(
+            key, reps, seed, full and key == "fig3", validate=False, workers=workers
+        )
+    return 0
+
+
+def _make_workflow(args) -> "object":
+    from repro.generator import GeneratorConfig, generate_random_graph
+    from repro.workflows import (
+        fft_workflow,
+        gaussian_elimination_workflow,
+        molecular_dynamics_workflow,
+        montage_workflow,
+        paper_example_graph,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    if args.workflow == "paper":
+        return paper_example_graph()
+    if args.workflow == "fft":
+        return fft_workflow(args.size, args.procs, rng=rng, ccr=args.ccr, beta=args.beta)
+    if args.workflow == "montage":
+        return montage_workflow(args.size, args.procs, rng=rng, ccr=args.ccr, beta=args.beta)
+    if args.workflow == "molecular":
+        return molecular_dynamics_workflow(args.procs, rng=rng, ccr=args.ccr, beta=args.beta)
+    if args.workflow == "gaussian":
+        return gaussian_elimination_workflow(args.size, args.procs, rng=rng, ccr=args.ccr, beta=args.beta)
+    config = GeneratorConfig(
+        v=args.size, ccr=args.ccr, n_procs=args.procs, beta=args.beta
+    )
+    return generate_random_graph(config, rng)
+
+
+def _cmd_schedule(args) -> int:
+    from repro.baselines.registry import make_scheduler
+    from repro.core.trace import format_trace
+    from repro.metrics import evaluate
+    from repro.schedule import render_gantt, validate_schedule
+
+    graph = _make_workflow(args)
+    if len(graph.entry_tasks()) != 1 or len(graph.exit_tasks()) != 1:
+        graph = graph.normalized()
+    scheduler = make_scheduler(args.scheduler)
+    if args.trace and hasattr(scheduler, "record_trace"):
+        scheduler.record_trace = True
+    result = scheduler.run(graph)
+    validate_schedule(graph, result.schedule)
+    report = evaluate(graph, result.schedule)
+    print(
+        f"{args.workflow} workflow: {graph.n_tasks} tasks, {graph.n_edges} edges, "
+        f"{graph.n_procs} CPUs"
+    )
+    print(
+        f"{scheduler.name}: makespan={report.makespan:.2f} slr={report.slr:.3f} "
+        f"speedup={report.speedup:.3f} efficiency={report.efficiency:.3f} "
+        f"({result.wall_time * 1e3:.1f} ms)"
+    )
+    print()
+    print(render_gantt(result.schedule))
+    if args.trace and result.trace:
+        print()
+        print(format_trace(result.trace))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.generator import GeneratorConfig, generate_random_graph
+    from repro.model.validation import validate_task_graph
+
+    config = GeneratorConfig(
+        v=args.v,
+        alpha=args.alpha,
+        density=args.density,
+        ccr=args.ccr,
+        n_procs=args.procs,
+        w_dag=args.wdag,
+        beta=args.beta,
+    )
+    graph = generate_random_graph(config, np.random.default_rng(args.seed))
+    validate_task_graph(graph)
+    from repro.model.profile import graph_profile
+
+    print(f"random DAG "
+          f"(entries={len(graph.entry_tasks())}, exits={len(graph.exit_tasks())}, "
+          f"requested CCR={config.ccr}):")
+    print(graph_profile(graph).format())
+    return 0
+
+
+def _cmd_export(args) -> int:
+    import pathlib
+
+    from repro.baselines.registry import make_scheduler
+    from repro.io import graph_to_dot, save_graph, save_schedule
+    from repro.schedule import validate_schedule
+
+    graph = _make_workflow(args)
+    if len(graph.entry_tasks()) != 1 or len(graph.exit_tasks()) != 1:
+        graph = graph.normalized()
+    result = make_scheduler(args.scheduler).run(graph)
+    validate_schedule(graph, result.schedule)
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+    stem = f"{args.workflow}_{args.scheduler}".replace("/", "_")
+    if args.format in ("json", "all"):
+        save_graph(graph, out / f"{stem}.graph.json")
+        save_schedule(result.schedule, out / f"{stem}.schedule.json")
+        written += [f"{stem}.graph.json", f"{stem}.schedule.json"]
+    if args.format in ("dot", "all"):
+        (out / f"{stem}.dot").write_text(graph_to_dot(graph, result.schedule))
+        written.append(f"{stem}.dot")
+    print(f"makespan {result.makespan:.2f}; wrote " + ", ".join(written))
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    from repro.analysis import diagnose
+    from repro.baselines.registry import make_scheduler
+    from repro.schedule import validate_schedule
+
+    graph = _make_workflow(args)
+    if len(graph.entry_tasks()) != 1 or len(graph.exit_tasks()) != 1:
+        graph = graph.normalized()
+    result = make_scheduler(args.scheduler).run(graph)
+    validate_schedule(graph, result.schedule)
+    print(f"{args.scheduler} on {args.workflow} "
+          f"({graph.n_tasks} tasks, {graph.n_procs} CPUs):")
+    print(diagnose(graph, result.schedule).format(graph))
+    return 0
+
+
+def _cmd_dynamic(args) -> int:
+    from repro.core import HDLTS
+    from repro.dynamic import FailStop, OnlineHDLTS, gaussian_noise, replay_static
+    from repro.generator import GeneratorConfig, generate_random_graph
+    from repro.metrics.stats import RunningStats
+
+    failures = []
+    if args.fail_proc is not None:
+        failures = [FailStop(args.fail_proc, args.fail_at or 0.0)]
+    static_stats, online_stats = RunningStats(), RunningStats()
+    completed_static = 0
+    for rep in range(args.reps):
+        rng = np.random.default_rng([args.seed, rep])
+        graph = generate_random_graph(
+            GeneratorConfig(v=args.v, n_procs=args.procs), rng
+        ).normalized()
+        noise = gaussian_noise(graph, args.sigma, rng)
+        online = OnlineHDLTS().execute(graph, noise, failures)
+        online_stats.add(online.makespan)
+        if not failures:
+            static = HDLTS().run(graph).schedule
+            static_stats.add(replay_static(graph, static, noise).makespan)
+            completed_static += 1
+    print(
+        f"online HDLTS under sigma={args.sigma} noise"
+        + (f" + failure of CPU {args.fail_proc} at t={args.fail_at}" if failures else "")
+        + f": mean makespan {online_stats.mean:.2f} (n={online_stats.n})"
+    )
+    if completed_static:
+        print(
+            f"static HDLTS schedule replayed under the same noise: "
+            f"mean makespan {static_stats.mean:.2f} (n={static_stats.n})"
+        )
+    else:
+        print("static schedules cannot survive CPU failures (no comparison arm)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and dispatch; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except KeyError as err:
+        print(f"error: {err.args[0] if err.args else err}", file=sys.stderr)
+        return 2
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args) -> int:
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "figure":
+        return _cmd_figure(
+            args.key,
+            args.reps,
+            args.seed,
+            args.full,
+            args.validate,
+            args.workers,
+            chart=args.chart,
+            csv_path=args.csv,
+        )
+    if args.command == "all-figures":
+        return _cmd_all_figures(args.reps, args.seed, args.full, args.workers)
+    if args.command == "schedule":
+        return _cmd_schedule(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    if args.command == "diagnose":
+        return _cmd_diagnose(args)
+    if args.command == "dynamic":
+        return _cmd_dynamic(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

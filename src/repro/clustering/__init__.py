@@ -1,0 +1,17 @@
+"""Cluster-based scheduling (the paper's Section II-C family).
+
+Clustering heuristics first group tasks into clusters on an *unbounded*
+virtual platform (zeroing the communication inside each cluster), then
+merge clusters down to the physical CPU count and order the tasks.  The
+paper dismisses the family as impractical; implementing it lets the
+benches put a number on that claim.
+
+* :func:`linear_clustering` -- the classic Kim-Browne linear clustering
+  (repeatedly peel the longest remaining path into a cluster);
+* :class:`ClusterScheduler` -- linear clustering + work-balanced merge
+  onto the CPUs + eager topological ordering.
+"""
+
+from repro.clustering.linear import linear_clustering, ClusterScheduler
+
+__all__ = ["linear_clustering", "ClusterScheduler"]

@@ -1,0 +1,120 @@
+"""Linear clustering (Kim & Browne) and a cluster-based scheduler.
+
+Linear clustering peels critical paths: using mean computation costs and
+full communication costs, find the longest entry-to-exit path through
+still-unclustered tasks, make it one cluster (its internal communication
+becomes free), and repeat until every task is clustered.  Each cluster
+is a chain, hence "linear".
+
+:class:`ClusterScheduler` then
+
+1. merges clusters down to the CPU count, smallest-work first (the
+   iterative merging the paper describes),
+2. maps merged clusters to CPUs greedily -- heaviest cluster first, each
+   onto the CPU minimizing its load after adding that cluster's cost on
+   that CPU (heterogeneity-aware), and
+3. orders all tasks in one global topological pass with eager start
+   times on their cluster's CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.base import Scheduler
+from repro.model.attributes import mean_execution_times
+from repro.model.task_graph import TaskGraph
+from repro.schedule.schedule import Schedule
+
+__all__ = ["linear_clustering", "ClusterScheduler"]
+
+
+def linear_clustering(graph: TaskGraph) -> List[List[int]]:
+    """Partition tasks into linear clusters by repeated CP peeling."""
+    mean_w = mean_execution_times(graph)
+    unclustered = set(graph.tasks())
+    clusters: List[List[int]] = []
+    topo = graph.topological_order()
+
+    while unclustered:
+        # longest path through unclustered tasks (mean cost + comm)
+        dist: Dict[int, float] = {}
+        parent: Dict[int, int] = {}
+        best_end, best_len = -1, -np.inf
+        for task in topo:
+            if task not in unclustered:
+                continue
+            incoming = -np.inf
+            for pred in graph.predecessors(task):
+                if pred in dist:
+                    candidate = dist[pred] + graph.comm_cost(pred, task)
+                    if candidate > incoming:
+                        incoming = candidate
+                        parent[task] = pred
+            dist[task] = mean_w[task] + max(incoming, 0.0)
+            if dist[task] > best_len:
+                best_len = dist[task]
+                best_end = task
+        path = [best_end]
+        while path[-1] in parent:
+            path.append(parent[path[-1]])
+        path.reverse()
+        clusters.append(path)
+        unclustered.difference_update(path)
+    return clusters
+
+
+class ClusterScheduler(Scheduler):
+    """Linear clustering + merge-to-CPUs + eager topological ordering."""
+
+    name = "LC"
+
+    def _merge(
+        self, graph: TaskGraph, clusters: List[List[int]]
+    ) -> List[List[int]]:
+        """Merge smallest-work clusters until at most ``n_procs`` remain."""
+        mean_w = mean_execution_times(graph)
+
+        def work(cluster: Sequence[int]) -> float:
+            return float(sum(mean_w[t] for t in cluster))
+
+        merged = [list(c) for c in clusters]
+        while len(merged) > graph.n_procs:
+            merged.sort(key=work)
+            a = merged.pop(0)
+            merged[0] = a + merged[0]
+        return merged
+
+    def build_schedule(self, graph: TaskGraph) -> Schedule:
+        """Cluster ``graph``, map clusters to CPUs, order eagerly."""
+        clusters = self._merge(graph, linear_clustering(graph))
+        w = graph.cost_matrix()
+
+        # heaviest first onto the CPU minimizing resulting load
+        order = sorted(
+            clusters, key=lambda c: -float(sum(w[t].mean() for t in c))
+        )
+        load = np.zeros(graph.n_procs)
+        proc_of_cluster: Dict[int, int] = {}
+        cluster_of: Dict[int, int] = {}
+        for ci, cluster in enumerate(order):
+            cost_on = np.array(
+                [sum(w[t, p] for t in cluster) for p in graph.procs()]
+            )
+            proc = int(np.argmin(load + cost_on))
+            load[proc] += cost_on[proc]
+            proc_of_cluster[ci] = proc
+            for task in cluster:
+                cluster_of[task] = ci
+
+        schedule = Schedule(graph)
+        for task in graph.topological_order():
+            proc = proc_of_cluster[cluster_of[task]]
+            ready = schedule.ready_time(task, proc)
+            start = schedule.timelines[proc].earliest_start(
+                ready, graph.cost(task, proc), insertion=True
+            )
+            schedule.place(task, proc, start)
+        return schedule

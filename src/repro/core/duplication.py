@@ -1,0 +1,90 @@
+"""Effective entry-task duplication (the paper's Algorithm 1).
+
+The entry task is the only task HDLTS ever duplicates.  A duplicate on
+CPU ``k`` executes over ``[0, W(entry, k))`` -- the entry has no inputs, so
+a copy can start at time zero wherever that window is still idle.  The
+duplicate is *effective* (worth materializing for a child ``t`` being
+placed on ``k``) exactly when it delivers the entry's output earlier than
+the network can::
+
+    W(entry, k)  <  min over committed copies c of
+                       finish(c) + (0 if c is on k else Comm(entry, t))
+
+which is Algorithm 1's ``EST(V1, k) < AFT(V1) + Comm_Cost(V1, Vj)`` test
+generalized to any set of already-committed copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schedule.schedule import Schedule
+
+__all__ = ["DuplicationDecision", "entry_duplication_plan", "entry_arrival"]
+
+
+@dataclass(frozen=True)
+class DuplicationDecision:
+    """Outcome of Algorithm 1 for one (child, CPU) pair."""
+
+    proc: int
+    #: True when a duplicate should be (or was assumed to be) used
+    duplicate: bool
+    #: earliest availability of the entry's data on ``proc``
+    arrival: float
+
+
+def _dup_fits(schedule: Schedule, entry: int, proc: int) -> bool:
+    """A duplicate can still be inserted at time 0 on ``proc``."""
+    duration = schedule.graph.cost(entry, proc)
+    return schedule.timelines[proc].fits(0.0, duration)
+
+
+def _committed_arrival(schedule: Schedule, entry: int, child: int, proc: int) -> float:
+    """Arrival of the entry's data on ``proc`` via already-committed copies."""
+    return schedule.arrival_time(entry, child, proc)
+
+
+def entry_arrival(
+    schedule: Schedule,
+    entry: int,
+    child: int,
+    proc: int,
+    allow_duplication: bool = True,
+) -> float:
+    """Earliest availability of the entry's output on ``proc`` for ``child``,
+    considering a hypothetical duplicate when one still fits."""
+    decision = entry_duplication_plan(schedule, entry, child, proc, allow_duplication)
+    return decision.arrival
+
+
+def entry_duplication_plan(
+    schedule: Schedule,
+    entry: int,
+    child: int,
+    proc: int,
+    allow_duplication: bool = True,
+) -> DuplicationDecision:
+    """Run Algorithm 1 for placing ``child`` on ``proc``.
+
+    Returns whether a duplicate would be used and the resulting arrival
+    time of the entry's data.  A duplicate is chosen only when it is
+    *strictly* earlier than every committed copy (no gratuitous copies).
+    """
+    via_network = _committed_arrival(schedule, entry, child, proc)
+    if not allow_duplication:
+        return DuplicationDecision(proc, False, via_network)
+    # a copy already local to ``proc`` makes duplication pointless
+    if any(c.proc == proc for c in schedule.copies(entry)):
+        return DuplicationDecision(proc, False, via_network)
+    if not _dup_fits(schedule, entry, proc):
+        return DuplicationDecision(proc, False, via_network)
+    dup_finish = schedule.graph.cost(entry, proc)
+    if dup_finish < via_network:
+        return DuplicationDecision(proc, True, dup_finish)
+    return DuplicationDecision(proc, False, via_network)
+
+
+def materialize_duplicate(schedule: Schedule, entry: int, proc: int) -> None:
+    """Commit an entry duplicate on ``proc`` at time 0."""
+    schedule.place(entry, proc, 0.0, duplicate=True)

@@ -1,0 +1,237 @@
+"""Heterogeneous Dynamic List Task Scheduling (HDLTS) -- Algorithm 2.
+
+The scheduler keeps the paper's three pillars separable so each can be
+ablated:
+
+* ``duplicate_entry`` -- pillar 1, effective entry-task duplication
+  (Algorithm 1, :mod:`repro.core.duplication`);
+* the dynamic ITQ -- pillar 2, only precedence-satisfied tasks are
+  prioritized, and priorities are recomputed from live platform state at
+  every step (:mod:`repro.core.itq`);
+* ``priority`` -- pillar 3, the penalty value PV = sample standard
+  deviation of the task's EFT vector over the CPUs (Eq. 8); alternative
+  rules are provided for the ablation benchmarks.
+
+Semantics are pinned to the paper's Table I worked example -- see
+DESIGN.md; the full trace is reproduced bit-exactly by the test suite.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import Scheduler
+from repro.core.duplication import entry_duplication_plan
+from repro.core.itq import IndependentTaskQueue
+from repro.core.trace import TraceStep
+from repro.model.task_graph import TaskGraph
+from repro.schedule.schedule import Schedule
+
+__all__ = ["HDLTS", "PriorityRule"]
+
+
+class PriorityRule(str, enum.Enum):
+    """Task-selection rule applied to the ITQ each step."""
+
+    #: the paper's penalty value: sample std (ddof=1) of the EFT vector
+    PENALTY_VALUE = "pv"
+    #: spread of the EFT vector (max - min): a cheaper heterogeneity proxy
+    EFT_RANGE = "range"
+    #: largest mean EFT first (schedule the globally slowest task early)
+    MEAN_EFT = "mean_eft"
+    #: smallest best-case EFT first (pure greedy; a weak strawman)
+    MIN_EFT_FIRST = "min_eft"
+    #: HEFT's mean-cost upward rank, applied to the dynamic ready list --
+    #: isolates pillar 2 (the ITQ) from pillar 3 (the PV formula): this
+    #: is "dynamic HEFT" with global downstream awareness
+    UPWARD_RANK = "rank_u"
+
+
+class HDLTS(Scheduler):
+    """The paper's scheduler.
+
+    Parameters
+    ----------
+    duplicate_entry:
+        Enable Algorithm 1 (effective entry-task duplication).
+    use_insertion:
+        Search idle gaps for the EST instead of appending after
+        ``Avail`` (the paper's trace uses append; insertion is an
+        extension used by the ablation study).
+    priority:
+        Task-selection rule; defaults to the paper's penalty value.
+    record_trace:
+        Keep a per-step :class:`~repro.core.trace.TraceStep` record
+        (costs memory on big graphs; required to print Table I).
+    """
+
+    name = "HDLTS"
+
+    def __init__(
+        self,
+        duplicate_entry: bool = True,
+        use_insertion: bool = False,
+        priority: PriorityRule = PriorityRule.PENALTY_VALUE,
+        record_trace: bool = False,
+    ) -> None:
+        self.duplicate_entry = duplicate_entry
+        self.use_insertion = use_insertion
+        self.priority = PriorityRule(priority)
+        self.record_trace = record_trace
+        self.last_trace: Optional[List[TraceStep]] = None
+
+    # ------------------------------------------------------------------
+    def build_schedule(self, graph: TaskGraph) -> Schedule:
+        """Run Algorithm 2 on ``graph`` (single-entry required)."""
+        entry = graph.entry_task  # raises for multi-entry graphs
+        n_procs = graph.n_procs
+        if self.priority is PriorityRule.UPWARD_RANK:
+            from repro.model.ranking import upward_rank
+
+            self._rank_u = upward_rank(graph)
+        schedule = Schedule(graph)
+        itq = IndependentTaskQueue(graph)
+        w = graph.cost_matrix()
+        avail = np.zeros(n_procs)
+        entry_children = set(graph.successors(entry))
+
+        # cached per-task ready-time vectors (Definition 5 per CPU,
+        # including the hypothetical entry duplicate of Algorithm 1)
+        ready_rows: Dict[int, np.ndarray] = {}
+
+        def compute_ready_row(task: int) -> np.ndarray:
+            row = np.zeros(n_procs)
+            for parent in graph.predecessors(task):
+                if parent == entry:
+                    for proc in range(n_procs):
+                        arrival = entry_duplication_plan(
+                            schedule, entry, task, proc, self.duplicate_entry
+                        ).arrival
+                        if arrival > row[proc]:
+                            row[proc] = arrival
+                else:
+                    comm = graph.comm_cost(parent, task)
+                    copies = schedule.copies(parent)
+                    for proc in range(n_procs):
+                        arrival = min(
+                            c.finish + (0.0 if c.proc == proc else comm)
+                            for c in copies
+                        )
+                        if arrival > row[proc]:
+                            row[proc] = arrival
+            return row
+
+        trace: List[TraceStep] = [] if self.record_trace else None  # type: ignore[assignment]
+        for task in itq.ready_tasks():
+            ready_rows[task] = compute_ready_row(task)
+
+        step = 0
+        while itq:
+            step += 1
+            ready_list = itq.ready_tasks()
+            ready_mat = np.array([ready_rows[t] for t in ready_list])
+            w_ready = w[ready_list]
+            if self.use_insertion:
+                est = np.empty_like(ready_mat)
+                for i, task in enumerate(ready_list):
+                    for proc in range(n_procs):
+                        est[i, proc] = schedule.timelines[proc].earliest_start(
+                            ready_mat[i, proc], w_ready[i, proc], insertion=True
+                        )
+            else:
+                est = np.maximum(ready_mat, avail[None, :])
+            eft = est + w_ready
+
+            priorities = self._priorities(eft, ready_list)
+            index = int(np.argmax(priorities))  # first max -> lowest task id
+            task = ready_list[index]
+            proc = int(np.argmin(eft[index]))  # first min -> lowest CPU
+
+            duplicated_on: Tuple[int, ...] = ()
+            if (
+                self.duplicate_entry
+                and task != entry
+                and task in entry_children
+            ):
+                plan = entry_duplication_plan(schedule, entry, task, proc)
+                if plan.duplicate:
+                    schedule.place(entry, proc, 0.0, duplicate=True)
+                    duplicated_on = (proc,)
+
+            # recompute the committed start from live state (the
+            # materialized duplicate is now a real copy)
+            ready = schedule.ready_time(task, proc)
+            start = schedule.timelines[proc].earliest_start(
+                ready, w[task, proc], insertion=self.use_insertion
+            )
+            assignment = schedule.place(task, proc, start)
+            avail[proc] = schedule.timelines[proc].avail
+
+            if trace is not None:
+                trace.append(
+                    TraceStep(
+                        step=step,
+                        ready_tasks=tuple(ready_list),
+                        priorities=tuple(float(v) for v in priorities),
+                        selected=task,
+                        eft=tuple(float(v) for v in eft[index]),
+                        chosen_proc=proc,
+                        start=assignment.start,
+                        finish=assignment.finish,
+                        duplicated_on=duplicated_on,
+                    )
+                )
+
+            for released in itq.complete(task):
+                ready_rows[released] = compute_ready_row(released)
+            ready_rows.pop(task, None)
+
+            # the commit (and any duplicate) only touched ``proc``; the
+            # hypothetical-duplication window of pending entry children
+            # may have changed there, so refresh that column.
+            for pending in itq:
+                if pending in entry_children:
+                    arrival = entry_duplication_plan(
+                        schedule, entry, pending, proc, self.duplicate_entry
+                    ).arrival
+                    ready_rows[pending][proc] = max(
+                        arrival,
+                        self._non_entry_ready(schedule, pending, proc, entry),
+                    )
+
+        self.last_trace = trace
+        return schedule
+
+    # ------------------------------------------------------------------
+    def _non_entry_ready(
+        self, schedule: Schedule, task: int, proc: int, entry: int
+    ) -> float:
+        """Ready contribution on ``proc`` from the non-entry parents."""
+        graph = schedule.graph
+        best = 0.0
+        for parent in graph.predecessors(task):
+            if parent == entry:
+                continue
+            arrival = schedule.arrival_time(parent, task, proc)
+            if arrival > best:
+                best = arrival
+        return best
+
+    def _priorities(self, eft: np.ndarray, ready_list=None) -> np.ndarray:
+        """Apply the configured priority rule to the ITQ's EFT matrix."""
+        if self.priority is PriorityRule.UPWARD_RANK:
+            return self._rank_u[ready_list]
+        if self.priority is PriorityRule.PENALTY_VALUE:
+            if eft.shape[1] <= 1:
+                return np.zeros(eft.shape[0])
+            return eft.std(axis=1, ddof=1)
+        if self.priority is PriorityRule.EFT_RANGE:
+            return eft.max(axis=1) - eft.min(axis=1)
+        if self.priority is PriorityRule.MEAN_EFT:
+            return eft.mean(axis=1)
+        if self.priority is PriorityRule.MIN_EFT_FIRST:
+            return -eft.min(axis=1)
+        raise AssertionError(f"unhandled priority rule {self.priority}")

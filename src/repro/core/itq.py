@@ -1,0 +1,72 @@
+"""The Independent Task Queue (ITQ).
+
+The paper's dynamic ready list: a task enters the ITQ the moment its last
+parent is mapped, and leaves when it is mapped itself.  Priorities are
+*not* stored here -- HDLTS recomputes them from the platform state on
+every step -- so the ITQ is a plain dependency-counting frontier with
+deterministic iteration order (ascending task id, which is also the
+tie-break order for equal penalty values).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set
+
+from repro.model.task_graph import TaskGraph
+
+__all__ = ["IndependentTaskQueue"]
+
+
+class IndependentTaskQueue:
+    """Dependency-counting ready frontier over a task graph."""
+
+    def __init__(self, graph: TaskGraph) -> None:
+        self.graph = graph
+        self._remaining = [graph.in_degree(t) for t in graph.tasks()]
+        self._ready: Set[int] = {
+            t for t in graph.tasks() if self._remaining[t] == 0
+        }
+        self._done: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._ready)
+
+    def __bool__(self) -> bool:
+        return bool(self._ready)
+
+    def __contains__(self, task: int) -> bool:
+        return task in self._ready
+
+    def __iter__(self) -> Iterator[int]:
+        """Ready tasks in ascending id order (deterministic)."""
+        return iter(sorted(self._ready))
+
+    def ready_tasks(self) -> List[int]:
+        """The current independent tasks, ascending id."""
+        return sorted(self._ready)
+
+    def complete(self, task: int) -> List[int]:
+        """Mark ``task`` mapped; returns the tasks that became independent."""
+        if task not in self._ready:
+            raise ValueError(
+                f"task {task} is not independent (ready set: {sorted(self._ready)})"
+            )
+        self._ready.remove(task)
+        self._done.add(task)
+        released: List[int] = []
+        for succ in self.graph.successors(task):
+            self._remaining[succ] -= 1
+            if self._remaining[succ] == 0:
+                self._ready.add(succ)
+                released.append(succ)
+            elif self._remaining[succ] < 0:  # pragma: no cover - invariant
+                raise RuntimeError(f"task {succ} released twice")
+        return released
+
+    @property
+    def n_completed(self) -> int:
+        return len(self._done)
+
+    def all_mapped(self) -> bool:
+        """True when every task has been completed."""
+        return len(self._done) == self.graph.n_tasks

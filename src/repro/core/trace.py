@@ -1,0 +1,67 @@
+"""Step-by-step trace records (the paper's Table I).
+
+HDLTS (and, for uniformity, any scheduler that opts in) can record one
+:class:`TraceStep` per mapping decision: the ready set, the priority of
+every ready task, the selected task, its EFT on every CPU and the chosen
+CPU.  :func:`format_trace` renders the exact layout of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["TraceStep", "format_trace"]
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One row of the Table I trace."""
+
+    step: int
+    ready_tasks: Tuple[int, ...]
+    priorities: Tuple[float, ...]
+    selected: int
+    eft: Tuple[float, ...]
+    chosen_proc: int
+    start: float
+    finish: float
+    duplicated_on: Tuple[int, ...] = ()
+
+    def priority_of(self, task: int) -> float:
+        """Priority this step assigned to ``task`` (must be ready)."""
+        return self.priorities[self.ready_tasks.index(task)]
+
+
+def format_trace(
+    trace: Sequence[TraceStep],
+    names: Optional[Dict[int, str]] = None,
+    precision: int = 1,
+) -> str:
+    """Render a trace in the layout of the paper's Table I."""
+
+    def name(task: int) -> str:
+        return names[task] if names else f"T{task + 1}"
+
+    rows: List[List[str]] = []
+    n_procs = len(trace[0].eft) if trace else 0
+    header = ["Step", "Ready Tasks", "Penalty Values", "Selected"] + [
+        f"EFT P{p + 1}" for p in range(n_procs)
+    ]
+    for record in trace:
+        ready = ", ".join(name(t) for t in record.ready_tasks)
+        pvs = ", ".join(f"{v:.{precision}f}" for v in record.priorities)
+        eft = [f"{v:g}" for v in record.eft]
+        rows.append([str(record.step), ready, pvs, name(record.selected)] + eft)
+
+    widths = [
+        max(len(header[c]), max((len(r[c]) for r in rows), default=0))
+        for c in range(len(header))
+    ]
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt(header), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Dynamic / uncertain-environment extension (the paper's future work).
+
+The paper argues HDLTS suits dynamic environments because every decision
+is made from live platform state; its conclusion defers that evaluation
+to future work.  This package builds it:
+
+* :mod:`repro.dynamic.noise` -- execution-time perturbation models
+  (multiplicative gaussian / uniform noise over the estimated ``W``);
+* :mod:`repro.dynamic.failures` -- fail-stop CPU failures;
+* :mod:`repro.dynamic.online` -- :class:`OnlineHDLTS`, which re-runs the
+  ITQ/penalty-value loop *at runtime*: decisions use estimated costs, but
+  the platform state they see is the realized one.  Compared against
+  executing a statically computed schedule under the same perturbations
+  (via :class:`~repro.schedule.simulator.ScheduleSimulator`).
+"""
+
+from repro.dynamic.noise import exact_durations, gaussian_noise, uniform_noise
+from repro.dynamic.failures import FailStop
+from repro.dynamic.online import OnlineHDLTS, OnlineResult, replay_static
+from repro.dynamic.robustness import RobustnessReport, robustness_report
+from repro.dynamic.repair import repair_after_failure
+
+__all__ = [
+    "exact_durations",
+    "gaussian_noise",
+    "uniform_noise",
+    "FailStop",
+    "OnlineHDLTS",
+    "OnlineResult",
+    "replay_static",
+    "RobustnessReport",
+    "robustness_report",
+    "repair_after_failure",
+]

@@ -1,0 +1,262 @@
+"""Online HDLTS: the penalty-value loop run at execution time.
+
+``OnlineHDLTS`` makes exactly the decisions HDLTS would -- dynamic ITQ,
+penalty-value selection, min-EFT mapping, effective entry duplication --
+but against the *realized* platform: estimated costs ``W`` drive the
+decisions while actual durations come from a perturbation model, and
+CPUs may fail-stop mid-run.  A task caught on a failing CPU is lost and
+re-dispatched when the failure is detected; the dead CPU is excluded
+from then on.
+
+``replay_static`` is the comparison arm: a schedule computed offline by
+any static scheduler, executed under the same realized durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.itq import IndependentTaskQueue
+from repro.dynamic.failures import FailStop, failure_times
+from repro.dynamic.noise import DurationFn, exact_durations
+from repro.model.task_graph import TaskGraph
+from repro.schedule.schedule import Schedule
+from repro.schedule.simulator import ScheduleSimulator
+
+__all__ = ["OnlineHDLTS", "OnlineResult", "OnlineRecord", "replay_static"]
+
+
+@dataclass(frozen=True)
+class OnlineRecord:
+    """One dispatch (successful or lost) during an online run."""
+
+    task: int
+    proc: int
+    start: float
+    finish: float
+    duplicate: bool = False
+    lost: bool = False
+
+
+@dataclass
+class OnlineResult:
+    """Realized execution of an online (or replayed static) run."""
+
+    makespan: float
+    finish_times: Dict[int, float]
+    proc_of: Dict[int, int]
+    records: List[OnlineRecord] = field(default_factory=list)
+    n_lost: int = 0
+    dead_procs: Tuple[int, ...] = ()
+
+    def finish_of(self, task: int) -> float:
+        """Realized finish time of ``task``."""
+        return self.finish_times[task]
+
+
+class AllProcessorsFailed(RuntimeError):
+    """Every CPU died before the workflow finished."""
+
+
+class OnlineHDLTS:
+    """Runtime HDLTS under uncertainty (the paper's future-work mode)."""
+
+    name = "OnlineHDLTS"
+
+    def __init__(self, duplicate_entry: bool = True) -> None:
+        self.duplicate_entry = duplicate_entry
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        graph: TaskGraph,
+        duration_fn: Optional[DurationFn] = None,
+        failures: Optional[Iterable[FailStop]] = None,
+    ) -> OnlineResult:
+        """Run the workflow online; returns the realized execution."""
+        if len(graph.entry_tasks()) != 1 or len(graph.exit_tasks()) != 1:
+            graph = graph.normalized()
+        if duration_fn is None:
+            duration_fn = exact_durations(graph)
+        entry = graph.entry_task
+        n_procs = graph.n_procs
+        w = graph.cost_matrix()
+        fail_at = failure_times(failures, n_procs)
+
+        avail = np.zeros(n_procs)
+        dead: set = set()
+        # realized copies of each task's output: task -> [(proc, finish)]
+        copies: Dict[int, List[Tuple[int, float]]] = {}
+        finish_times: Dict[int, float] = {}
+        proc_of: Dict[int, int] = {}
+        records: List[OnlineRecord] = []
+        n_lost = 0
+
+        def arrival(parent: int, child: int, proc: int) -> float:
+            comm = graph.comm_cost(parent, child)
+            return min(
+                fin + (0.0 if cproc == proc else comm)
+                for cproc, fin in copies[parent]
+            )
+
+        def ready_row(task: int, floor: float) -> np.ndarray:
+            row = np.full(n_procs, floor)
+            for parent in graph.predecessors(task):
+                for proc in range(n_procs):
+                    t = arrival(parent, task, proc)
+                    # effective entry duplication, online flavour: a copy
+                    # of the entry can start *now* (at avail) on this CPU
+                    if (
+                        self.duplicate_entry
+                        and parent == entry
+                        and not any(c == proc for c, _ in copies[entry])
+                    ):
+                        t = min(t, avail[proc] + w[entry, proc])
+                    if t > row[proc]:
+                        row[proc] = t
+            return row
+
+        def try_dispatch(task: int, proc: int, ready: float) -> Optional[float]:
+            """Run ``task`` on ``proc``; returns realized finish or None
+            (lost to a failure, with the CPU marked dead)."""
+            nonlocal n_lost
+            # materialize an entry duplicate first when it is what makes
+            # this CPU attractive (same strict-improvement rule as offline)
+            if (
+                self.duplicate_entry
+                and task != entry
+                and entry in graph.predecessors(task)
+                and not any(c == proc for c, _ in copies[entry])
+            ):
+                via_network = arrival(entry, task, proc)
+                dup_finish = avail[proc] + duration_fn(entry, proc)
+                if avail[proc] + w[entry, proc] < via_network:
+                    # run the duplicate (it may itself be lost)
+                    dup_start = avail[proc]
+                    tau = fail_at.get(proc, np.inf)
+                    if dup_finish > tau:
+                        dead.add(proc)
+                        avail[proc] = max(avail[proc], min(tau, dup_start))
+                        records.append(
+                            OnlineRecord(entry, proc, dup_start, tau, True, True)
+                        )
+                        n_lost += 1
+                        return None
+                    avail[proc] = dup_finish
+                    copies[entry].append((proc, dup_finish))
+                    records.append(
+                        OnlineRecord(entry, proc, dup_start, dup_finish, True)
+                    )
+                    # the local copy may tighten the task's ready time
+                    ready = self._ready_on(graph, task, proc, arrival)
+            start = max(avail[proc], ready)
+            duration = duration_fn(task, proc)
+            finish = start + duration
+            tau = fail_at.get(proc, np.inf)
+            if finish > tau:
+                dead.add(proc)
+                avail[proc] = tau
+                records.append(
+                    OnlineRecord(task, proc, start, max(start, tau), False, True)
+                )
+                n_lost += 1
+                return None
+            avail[proc] = finish
+            copies.setdefault(task, []).append((proc, finish))
+            finish_times[task] = finish
+            proc_of[task] = proc
+            records.append(OnlineRecord(task, proc, start, finish))
+            return finish
+
+        itq = IndependentTaskQueue(graph)
+        while itq:
+            ready_list = itq.ready_tasks()
+            alive = [p for p in range(n_procs) if p not in dead]
+            if not alive:
+                raise AllProcessorsFailed(
+                    f"all CPUs failed with {graph.n_tasks - len(finish_times)} tasks left"
+                )
+            rows = np.array([ready_row(t, 0.0) for t in ready_list])
+            est = np.maximum(rows, avail[None, :])
+            eft = est + w[ready_list]
+            eft[:, sorted(dead)] = np.inf
+            if len(alive) > 1:
+                priorities = np.asarray(eft[:, alive]).std(axis=1, ddof=1)
+            else:
+                priorities = np.zeros(len(ready_list))
+            index = int(np.argmax(priorities))
+            task = ready_list[index]
+
+            floor = 0.0
+            excluded: set = set(dead)
+            while True:
+                candidates = [p for p in range(n_procs) if p not in excluded]
+                if not candidates:
+                    raise AllProcessorsFailed(
+                        f"no CPU left for task {task}"
+                    )
+                row = ready_row(task, floor)
+                scores = {
+                    p: max(row[p], avail[p]) + w[task, p] for p in candidates
+                }
+                proc = min(scores, key=lambda p: (scores[p], p))
+                finish = try_dispatch(task, proc, row[proc])
+                if finish is not None:
+                    break
+                # failure detected: re-dispatch no earlier than detection
+                floor = max(floor, avail[proc])
+                excluded = set(dead)
+            itq.complete(task)
+
+        makespan = max(finish_times.values(), default=0.0)
+        return OnlineResult(
+            makespan=makespan,
+            finish_times=finish_times,
+            proc_of=proc_of,
+            records=records,
+            n_lost=n_lost,
+            dead_procs=tuple(sorted(dead)),
+        )
+
+    @staticmethod
+    def _ready_on(graph, task, proc, arrival) -> float:
+        best = 0.0
+        for parent in graph.predecessors(task):
+            t = arrival(parent, task, proc)
+            if t > best:
+                best = t
+        return best
+
+
+def replay_static(
+    graph: TaskGraph,
+    schedule: Schedule,
+    duration_fn: Optional[DurationFn] = None,
+) -> OnlineResult:
+    """Execute a statically computed schedule under perturbed durations.
+
+    The placement and per-CPU order are fixed; only timing floats.  This
+    is the baseline the online mode is compared against (a static
+    schedule cannot survive CPU failures, so failures apply only to the
+    online arm).
+    """
+    sim = ScheduleSimulator(graph).run(schedule, duration_fn)
+    records = [
+        OnlineRecord(
+            task,
+            sim.proc_of.get(task, -1),
+            sim.start_times.get(task, 0.0),
+            sim.finish_times.get(task, 0.0),
+        )
+        for task, _ in sim.order
+        if task in sim.finish_times
+    ]
+    return OnlineResult(
+        makespan=sim.makespan,
+        finish_times=sim.finish_times,
+        proc_of=sim.proc_of,
+        records=records,
+    )

@@ -1,0 +1,20 @@
+"""Energy accounting and slack reclamation (extension).
+
+Section II-B of the paper dismisses task duplication partly on energy
+grounds ("with the cost of complexity and cost of higher energy
+consumption"), and the Molecular-Dynamics workload is taken from an
+energy-aware scheduling paper [27].  This package makes those claims
+measurable:
+
+* :class:`EnergyModel` -- per-CPU busy/idle power, energy of a schedule
+  (duplicates burn real energy);
+* :func:`reclaim_slack` -- DVFS-style slack reclamation: stretch
+  non-critical tasks into their downstream slack at proportionally
+  lower power (the classic cubic dynamic-power assumption), without
+  changing the makespan.
+"""
+
+from repro.energy.model import EnergyModel, EnergyReport
+from repro.energy.slack import reclaim_slack, task_slack
+
+__all__ = ["EnergyModel", "EnergyReport", "reclaim_slack", "task_slack"]

@@ -1,0 +1,135 @@
+"""Per-CPU busy/idle power model and schedule energy accounting.
+
+The standard two-state model of the energy-aware scheduling literature
+(e.g. Mei, Li & Li [27], whose workload the paper reuses): a CPU draws
+``busy_power`` while executing a task copy and ``idle_power`` otherwise;
+the platform is on from time 0 until the makespan.  Duplicate copies
+occupy real busy time, so duplication's energy cost -- the paper's
+Section II-B argument -- shows up directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.schedule.schedule import Schedule
+
+__all__ = ["EnergyModel", "EnergyReport"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one schedule."""
+
+    busy_energy: float
+    idle_energy: float
+    #: busy energy attributable to duplicate copies only
+    duplication_energy: float
+    makespan: float
+
+    @property
+    def total(self) -> float:
+        return self.busy_energy + self.idle_energy
+
+    @property
+    def duplication_overhead(self) -> float:
+        """Duplicates' share of total energy."""
+        return self.duplication_energy / self.total if self.total > 0 else 0.0
+
+
+class EnergyModel:
+    """Two-state (busy/idle) power model over a heterogeneous platform.
+
+    ``busy_power`` / ``idle_power`` may be scalars (uniform platform) or
+    per-CPU sequences.  Units are free; energy = power x time.
+    """
+
+    def __init__(
+        self,
+        n_procs: int,
+        busy_power: Union[float, Sequence[float]] = 10.0,
+        idle_power: Union[float, Sequence[float]] = 1.0,
+    ) -> None:
+        if n_procs < 1:
+            raise ValueError("n_procs must be >= 1")
+        self.n_procs = n_procs
+        self.busy_power = self._expand(busy_power, n_procs, "busy_power")
+        self.idle_power = self._expand(idle_power, n_procs, "idle_power")
+        if np.any(self.idle_power > self.busy_power):
+            raise ValueError("idle power must not exceed busy power")
+
+    @staticmethod
+    def _expand(value, n_procs: int, name: str) -> np.ndarray:
+        arr = (
+            np.full(n_procs, float(value))
+            if np.isscalar(value)
+            else np.asarray(value, dtype=float)
+        )
+        if arr.shape != (n_procs,):
+            raise ValueError(f"{name} must be scalar or length {n_procs}")
+        if np.any(arr < 0):
+            raise ValueError(f"{name} must be non-negative")
+        return arr
+
+    # ------------------------------------------------------------------
+    def energy(self, schedule: Schedule) -> EnergyReport:
+        """Account the energy of a finished schedule."""
+        if self.n_procs != len(schedule.timelines):
+            raise ValueError(
+                f"model has {self.n_procs} CPUs, schedule has "
+                f"{len(schedule.timelines)}"
+            )
+        makespan = schedule.makespan
+        busy = 0.0
+        dup = 0.0
+        idle = 0.0
+        for timeline in schedule.timelines:
+            occupied = 0.0
+            for slot in timeline.slots():
+                duration = slot.end - slot.start
+                occupied += duration
+                busy += duration * self.busy_power[timeline.proc]
+                if slot.duplicate:
+                    dup += duration * self.busy_power[timeline.proc]
+            idle += (makespan - occupied) * self.idle_power[timeline.proc]
+        return EnergyReport(
+            busy_energy=busy,
+            idle_energy=idle,
+            duplication_energy=dup,
+            makespan=makespan,
+        )
+
+    def energy_with_frequencies(
+        self, schedule: Schedule, scales: dict
+    ) -> EnergyReport:
+        """Energy when some task copies run slowed by DVFS.
+
+        ``scales[(task, proc)] = s`` means the copy runs at relative
+        frequency ``1/s`` (duration already stretched by ``s`` in the
+        schedule); dynamic power scales as ``f^3``, so the copy's busy
+        power is divided by ``s**3`` (energy by ``s**2``).
+        """
+        makespan = schedule.makespan
+        busy = 0.0
+        dup = 0.0
+        idle = 0.0
+        for timeline in schedule.timelines:
+            occupied = 0.0
+            for slot in timeline.slots():
+                duration = slot.end - slot.start
+                occupied += duration
+                scale = scales.get((slot.task, timeline.proc), 1.0)
+                power = self.busy_power[timeline.proc] / scale**3
+                busy += duration * power
+                if slot.duplicate:
+                    dup += duration * power
+            idle += (makespan - occupied) * self.idle_power[timeline.proc]
+        return EnergyReport(
+            busy_energy=busy,
+            idle_energy=idle,
+            duplication_energy=dup,
+            makespan=makespan,
+        )

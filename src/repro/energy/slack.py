@@ -1,0 +1,100 @@
+"""Slack computation and DVFS-style slack reclamation.
+
+A task's *slack* is how much later it could finish without delaying any
+child's start, the next task on its CPU, or the makespan.  Slack
+reclamation stretches each task into its own slack (equivalently, runs
+it at a lower frequency) -- start times never move, so no constraint can
+cascade -- trading idle-window time for cubic dynamic-power savings
+while keeping the makespan bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.model.task_graph import TaskGraph
+from repro.schedule.schedule import Schedule
+
+__all__ = ["task_slack", "reclaim_slack"]
+
+_EPS = 1e-9
+
+
+def _latest_finish(
+    graph: TaskGraph, schedule: Schedule, task: int
+) -> float:
+    """Latest finish of ``task``'s primary copy that delays nothing.
+
+    Conservative: every child is assumed to read *this* copy, even when
+    a duplicate could serve it, so the bound is always safe.
+    """
+    assignment = schedule.assignment(task)
+    bound = schedule.makespan
+    for child in graph.successors(task):
+        child_assignment = schedule.assignment(child)
+        comm = (
+            0.0
+            if child_assignment.proc == assignment.proc
+            else graph.comm_cost(task, child)
+        )
+        bound = min(bound, child_assignment.start - comm)
+    # the next slot on the same CPU pins the finish too
+    for slot in schedule.timelines[assignment.proc].slots():
+        if slot.start >= assignment.finish - _EPS and slot.task != task:
+            bound = min(bound, slot.start)
+            break
+    return bound
+
+
+def task_slack(graph: TaskGraph, schedule: Schedule) -> Dict[int, float]:
+    """Per-task slack (primary copies; never negative)."""
+    if not schedule.is_complete():
+        raise ValueError("schedule is incomplete")
+    slack: Dict[int, float] = {}
+    for task in graph.tasks():
+        finish = schedule.finish_of(task)
+        slack[task] = max(0.0, _latest_finish(graph, schedule, task) - finish)
+    return slack
+
+
+def reclaim_slack(
+    graph: TaskGraph,
+    schedule: Schedule,
+    max_scale: float = 4.0,
+) -> Tuple[Schedule, Dict[Tuple[int, int], float]]:
+    """Stretch every primary copy into its slack.
+
+    Returns ``(stretched schedule, scales)`` where
+    ``scales[(task, proc)]`` is the slowdown factor (>= 1) suitable for
+    :meth:`repro.energy.model.EnergyModel.energy_with_frequencies`.
+    Starts are preserved, so the makespan is unchanged and feasibility
+    follows from the per-task latest-finish bound.  Duplicate copies are
+    left at full speed (their consumers may sit on other CPUs whose
+    needs the conservative bound does not cover).
+    """
+    if max_scale < 1.0:
+        raise ValueError("max_scale must be >= 1")
+    slack = task_slack(graph, schedule)
+    stretched = Schedule(graph)
+    scales: Dict[Tuple[int, int], float] = {}
+    for timeline in schedule.timelines:
+        for slot in timeline.slots():
+            duration = slot.end - slot.start
+            if slot.duplicate or duration <= _EPS:
+                stretched.place(
+                    slot.task,
+                    timeline.proc,
+                    slot.start,
+                    duration=duration,
+                    duplicate=slot.duplicate,
+                )
+                continue
+            scale = min(max_scale, (duration + slack[slot.task]) / duration)
+            scales[(slot.task, timeline.proc)] = scale
+            stretched.place(
+                slot.task,
+                timeline.proc,
+                slot.start,
+                duration=duration * scale,
+            )
+    return stretched, scales

@@ -1,0 +1,10 @@
+"""Exact (optimal) scheduling for small instances.
+
+Used by the test suite to measure heuristic optimality gaps, and by the
+ablation story: HDLTS's 73 on the paper's Fig. 1 graph can be compared
+against the true optimum.
+"""
+
+from repro.exact.branch_and_bound import BranchAndBound, optimal_makespan
+
+__all__ = ["BranchAndBound", "optimal_makespan"]

@@ -1,0 +1,77 @@
+"""ASCII line charts for sweep results.
+
+The paper's figures are line plots; with no plotting stack available the
+CLI renders the same series as a text chart -- one mark per scheduler,
+y-axis auto-scaled, collisions shown as ``*``::
+
+    3.62 |                               A
+         |                       A    s
+         |               A  s e
+         |        *  e
+    2.09 |  *
+         +----+----+----+----+----
+           1.0  2.0  3.0  4.0  5.0
+
+Marks are the first letters of the scheduler names (legend printed
+below the chart).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.harness import SweepResult
+
+__all__ = ["ascii_chart"]
+
+
+def ascii_chart(result: SweepResult, height: int = 12, col_width: int = 7) -> str:
+    """Render all scheduler series of a sweep as one ASCII chart."""
+    if height < 3:
+        raise ValueError("height must be >= 3")
+    definition = result.definition
+    names = list(definition.schedulers)
+    series = {name: result.series(name) for name in names}
+    values = [v for s in series.values() for v in s]
+    lo, hi = min(values), max(values)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0  # flat series: avoid dividing by zero
+
+    # one distinct mark per scheduler: first unused character of the name
+    marks: dict = {}
+    used = set()
+    for name in names:
+        mark = next(
+            (c for c in name if c.upper() not in used), name[0]
+        ).upper()
+        if name != names[0] and mark == marks.get(names[0]):
+            mark = mark.lower()
+        marks[name] = mark
+        used.add(mark.upper())
+
+    n_cols = len(definition.x_values)
+    width = n_cols * col_width
+    rows: List[List[str]] = [[" "] * width for _ in range(height)]
+    for name in names:
+        for col, value in enumerate(series[name]):
+            level = int(round((value - lo) / (hi - lo) * (height - 1)))
+            r = height - 1 - level
+            c = col * col_width + col_width // 2
+            rows[r][c] = "*" if rows[r][c] != " " else marks[name]
+
+    label_hi = f"{hi:.3g}"
+    label_lo = f"{lo:.3g}"
+    margin = max(len(label_hi), len(label_lo))
+    lines = []
+    for i, row in enumerate(rows):
+        prefix = label_hi if i == 0 else (label_lo if i == height - 1 else "")
+        lines.append(f"{prefix:>{margin}} |{''.join(row)}")
+    axis = "+".join("-" * (col_width - 1) for _ in range(n_cols))
+    lines.append(f"{'':>{margin}} +{axis}-")
+    ticks = "".join(
+        f"{str(x):^{col_width}}" for x in definition.x_values
+    )
+    lines.append(f"{'':>{margin}}  {ticks}")
+    legend = "   ".join(f"{marks[name]}={name}" for name in names)
+    lines.append(f"{'':>{margin}}  {definition.x_label}    [{legend}]")
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""CSV export of sweep and grid results for external plotting.
+
+The benches regenerate the paper's tables as text; anyone who wants the
+actual figures (matplotlib, gnuplot, a spreadsheet) gets tidy long-form
+CSV from here: one row per (x, scheduler) with mean/std/n.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Optional, Union
+
+from repro.experiments.grid import GridResult
+from repro.experiments.harness import SweepResult
+
+__all__ = ["sweep_to_csv", "grid_to_csv"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def sweep_to_csv(result: SweepResult, path: Optional[PathLike] = None) -> str:
+    """Serialize a sweep as tidy CSV; optionally write it to ``path``."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(
+        ["figure", result.definition.x_label, "scheduler", "metric", "mean", "std", "n"]
+    )
+    for row in result.as_rows():
+        writer.writerow(
+            [
+                result.definition.key,
+                row["x"],
+                row["scheduler"],
+                result.definition.metric,
+                f"{row['mean']:.6f}",
+                f"{row['std']:.6f}",
+                row["n"],
+            ]
+        )
+    text = buffer.getvalue()
+    if path is not None:
+        pathlib.Path(path).write_text(text)
+    return text
+
+
+def grid_to_csv(result: GridResult, path: Optional[PathLike] = None) -> str:
+    """Serialize grid marginals as tidy CSV (axis, value, scheduler)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["axis", "value", "scheduler", "metric", "mean", "std", "n"])
+    for name, acc in result.overall.items():
+        writer.writerow(
+            ["overall", "", name, result.metric, f"{acc.mean:.6f}", f"{acc.std:.6f}", acc.n]
+        )
+    for axis, buckets in result.marginals.items():
+        for value in sorted(buckets):
+            for name, acc in buckets[value].items():
+                writer.writerow(
+                    [
+                        axis,
+                        value,
+                        name,
+                        result.metric,
+                        f"{acc.mean:.6f}",
+                        f"{acc.std:.6f}",
+                        acc.n,
+                    ]
+                )
+    text = buffer.getvalue()
+    if path is not None:
+        pathlib.Path(path).write_text(text)
+    return text

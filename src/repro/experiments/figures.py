@@ -1,0 +1,253 @@
+"""One :class:`SweepDefinition` per figure of the paper's evaluation.
+
+Where the paper fixes a parameter, we fix it to the published value
+(Montage: 5 CPUs for the CCR sweep, CCR=3 for every efficiency-vs-CPU
+sweep, FFT efficiency at m=16, Montage sizes 50 and 100).  Where the
+paper is silent we use the Table II midpoint defaults -- v=100, alpha=1,
+density=3, CCR=1, 4 CPUs, W_dag=50, beta=1 -- and record that choice in
+EXPERIMENTS.md.
+
+``fig3`` defaults to task sizes up to 1000; pass ``full=True`` to include
+the paper's 5000/10000-task points (minutes of pure-Python runtime).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.experiments.harness import SweepDefinition
+from repro.generator.parameters import GeneratorConfig
+from repro.generator.random_dag import generate_random_graph
+from repro.workflows.fft import fft_topology
+from repro.workflows.molecular import molecular_dynamics_topology
+from repro.workflows.montage import montage_topology
+from repro.workflows.topology import realize_topology
+
+__all__ = ["FIGURES", "get_figure", "list_figures"]
+
+# Table II midpoint defaults (see module docstring).  ``single_entry``:
+# the paper's worked example and its entry-duplication pillar presume a
+# real entry task; random graphs folded under a zero-cost pseudo entry
+# would make Algorithm 1 a no-op, so the random-workflow figures draw
+# single-entry graphs (EXPERIMENTS.md discusses the multi-entry variant).
+_BASE = GeneratorConfig(single_entry=True)
+_EFFICIENCY_CCR = 3.0  # the paper pins CCR=3 for efficiency-vs-CPUs sweeps
+
+
+# ----------------------------------------------------------------------
+# random-workflow figures (Section V-B)
+# ----------------------------------------------------------------------
+def _fig2() -> SweepDefinition:
+    def make(ccr, rng):
+        return generate_random_graph(_BASE.with_(ccr=float(ccr)), rng)
+
+    return SweepDefinition(
+        key="fig2",
+        title="Average SLR of random application workflows vs CCR",
+        x_label="CCR",
+        x_values=(1.0, 2.0, 3.0, 4.0, 5.0),
+        metric="slr",
+        make_graph=make,
+        description="v=100, alpha=1, density=3, 4 CPUs, W_dag=50, beta=1, single entry",
+    )
+
+
+def _fig3(full: bool = False) -> SweepDefinition:
+    sizes = (100, 200, 300, 400, 500, 1000)
+    if full:
+        sizes = sizes + (5000, 10000)
+
+    def make(v, rng):
+        return generate_random_graph(_BASE.with_(v=int(v)), rng)
+
+    return SweepDefinition(
+        key="fig3",
+        title="Average SLR of random application workflows vs task size",
+        x_label="tasks",
+        x_values=sizes,
+        metric="slr",
+        make_graph=make,
+        description="alpha=1, density=3, CCR=1, 4 CPUs, single entry (full=True adds 5000/10000)",
+    )
+
+
+def _fig4() -> SweepDefinition:
+    def make(n_procs, rng):
+        return generate_random_graph(_BASE.with_(n_procs=int(n_procs)), rng)
+
+    return SweepDefinition(
+        key="fig4",
+        title="Efficiency of random application workflows vs number of CPUs",
+        x_label="CPUs",
+        x_values=(2, 4, 6, 8, 10),
+        metric="efficiency",
+        make_graph=make,
+        description="v=100, alpha=1, density=3, CCR=1, W_dag=50, beta=1, single entry",
+    )
+
+
+# ----------------------------------------------------------------------
+# FFT figures (Section V-C.1)
+# ----------------------------------------------------------------------
+def _fft_graph(m: int, n_procs: int, ccr: float, rng: np.random.Generator):
+    return realize_topology(
+        fft_topology(m), n_procs, rng=rng, ccr=ccr, beta=1.0, w_dag=50.0
+    )
+
+
+def _fig6() -> SweepDefinition:
+    return SweepDefinition(
+        key="fig6",
+        title="Average SLR of FFT workflows vs input points",
+        x_label="points",
+        x_values=(4, 8, 16, 32),
+        metric="slr",
+        make_graph=lambda m, rng: _fft_graph(int(m), 4, 1.0, rng),
+        description="FFT m=4..32 (15..223 tasks), CCR=1, 4 CPUs",
+    )
+
+
+def _fig7() -> SweepDefinition:
+    return SweepDefinition(
+        key="fig7",
+        title="Average SLR of FFT workflows vs CCR",
+        x_label="CCR",
+        x_values=(1.0, 2.0, 3.0, 4.0, 5.0),
+        metric="slr",
+        make_graph=lambda ccr, rng: _fft_graph(16, 4, float(ccr), rng),
+        description="FFT m=16 (95 tasks), 4 CPUs",
+    )
+
+
+def _fig8() -> SweepDefinition:
+    return SweepDefinition(
+        key="fig8",
+        title="Efficiency of FFT workflows vs number of CPUs",
+        x_label="CPUs",
+        x_values=(2, 4, 6, 8, 10),
+        metric="efficiency",
+        make_graph=lambda p, rng: _fft_graph(16, int(p), _EFFICIENCY_CCR, rng),
+        description="FFT m=16 (the paper's choice), CCR=3",
+    )
+
+
+# ----------------------------------------------------------------------
+# Montage figures (Section V-C.2)
+# ----------------------------------------------------------------------
+_MONTAGE_SIZES = (50, 100)  # the paper evaluates both fixed structures
+
+
+def _montage_graph(size: int, n_procs: int, ccr: float, rng):
+    return realize_topology(
+        montage_topology(size), n_procs, rng=rng, ccr=ccr, beta=1.0, w_dag=50.0
+    )
+
+
+def _fig10() -> SweepDefinition:
+    def make(ccr, rng):
+        # alternate between the 50- and 100-node structures so the
+        # average covers both, as the paper's text describes
+        size = _MONTAGE_SIZES[int(rng.integers(len(_MONTAGE_SIZES)))]
+        return _montage_graph(size, 5, float(ccr), rng)
+
+    return SweepDefinition(
+        key="fig10",
+        title="Average SLR of Montage workflows vs CCR",
+        x_label="CCR",
+        x_values=(1.0, 2.0, 3.0, 4.0, 5.0),
+        metric="slr",
+        make_graph=make,
+        description="Montage 50/100 nodes, 5 CPUs (paper's setting)",
+    )
+
+
+def _fig11() -> SweepDefinition:
+    def make(p, rng):
+        size = _MONTAGE_SIZES[int(rng.integers(len(_MONTAGE_SIZES)))]
+        return _montage_graph(size, int(p), _EFFICIENCY_CCR, rng)
+
+    return SweepDefinition(
+        key="fig11",
+        title="Efficiency of Montage workflows vs number of CPUs",
+        x_label="CPUs",
+        x_values=(2, 4, 6, 8, 10),
+        metric="efficiency",
+        make_graph=make,
+        description="Montage 50/100 nodes, CCR=3 (paper's setting)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Molecular-dynamics figures (Section V-C.3)
+# ----------------------------------------------------------------------
+def _md_graph(n_procs: int, ccr: float, rng):
+    return realize_topology(
+        molecular_dynamics_topology(),
+        n_procs,
+        rng=rng,
+        ccr=ccr,
+        beta=1.0,
+        w_dag=50.0,
+    )
+
+
+def _fig13() -> SweepDefinition:
+    return SweepDefinition(
+        key="fig13",
+        title="Average SLR of Molecular Dynamics workflow vs CCR",
+        x_label="CCR",
+        x_values=(1.0, 2.0, 3.0, 4.0, 5.0),
+        metric="slr",
+        make_graph=lambda ccr, rng: _md_graph(4, float(ccr), rng),
+        description="fixed 41-task MD graph, 4 CPUs",
+    )
+
+
+def _fig14() -> SweepDefinition:
+    return SweepDefinition(
+        key="fig14",
+        title="Efficiency of Molecular Dynamics workflow vs number of CPUs",
+        x_label="CPUs",
+        x_values=(2, 4, 6, 8, 10),
+        metric="efficiency",
+        make_graph=lambda p, rng: _md_graph(int(p), _EFFICIENCY_CCR, rng),
+        description="fixed 41-task MD graph, CCR=3 (paper's setting)",
+    )
+
+
+FIGURES: Dict[str, SweepDefinition] = {
+    d.key: d
+    for d in (
+        _fig2(),
+        _fig3(),
+        _fig4(),
+        _fig6(),
+        _fig7(),
+        _fig8(),
+        _fig10(),
+        _fig11(),
+        _fig13(),
+        _fig14(),
+    )
+}
+
+
+def get_figure(key: str, **kwargs) -> SweepDefinition:
+    """Fetch a figure definition; ``fig3`` accepts ``full=True``."""
+    if key == "fig3" and kwargs.pop("full", False):
+        return _fig3(full=True)
+    if kwargs:
+        raise TypeError(f"unexpected options {sorted(kwargs)} for {key}")
+    try:
+        return FIGURES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {key!r}; known: {', '.join(FIGURES)}"
+        ) from None
+
+
+def list_figures() -> List[str]:
+    """Keys of every defined figure (fig2 .. fig14)."""
+    return list(FIGURES)

@@ -1,0 +1,159 @@
+"""Generic sweep runner.
+
+A sweep walks one x-axis (CCR, task count, CPU count, FFT points, ...).
+At every point it draws ``reps`` random problem instances and runs the
+whole scheduler set on *the same* instance (paired comparison -- the
+variance-reduction the paper's 1000-run averages rely on), accumulating
+the chosen metric per scheduler with a Welford accumulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.registry import PAPER_SET, make_scheduler
+from repro.metrics.metrics import efficiency, slr
+from repro.metrics.stats import RunningStats
+from repro.model.task_graph import TaskGraph
+from repro.schedule.validation import validate_schedule
+
+__all__ = [
+    "SweepDefinition",
+    "SweepResult",
+    "run_sweep",
+    "run_single_point",
+    "run_replication",
+]
+
+GraphFactory = Callable[[object, np.random.Generator], TaskGraph]
+
+_METRICS: Dict[str, Callable[[TaskGraph, float], float]] = {
+    "slr": slr,
+    "efficiency": efficiency,
+    "makespan": lambda graph, makespan: makespan,
+}
+
+
+@dataclass(frozen=True)
+class SweepDefinition:
+    """A reproducible experiment: one figure of the paper."""
+
+    key: str
+    title: str
+    x_label: str
+    x_values: Tuple
+    metric: str
+    make_graph: GraphFactory
+    schedulers: Tuple[str, ...] = PAPER_SET
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.metric not in _METRICS:
+            raise ValueError(
+                f"metric must be one of {sorted(_METRICS)}, got {self.metric!r}"
+            )
+        if not self.x_values:
+            raise ValueError("sweep needs at least one x value")
+
+
+@dataclass
+class SweepResult:
+    """Accumulated sweep output: ``stats[x][scheduler] -> RunningStats``."""
+
+    definition: SweepDefinition
+    reps: int
+    seed: int
+    stats: Dict[object, Dict[str, RunningStats]] = field(default_factory=dict)
+
+    def mean(self, x, scheduler: str) -> float:
+        """Mean metric of ``scheduler`` at x point ``x``."""
+        return self.stats[x][scheduler].mean
+
+    def series(self, scheduler: str) -> List[float]:
+        """Metric means across the x-axis for one scheduler."""
+        return [self.stats[x][scheduler].mean for x in self.definition.x_values]
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Flat records (x, scheduler, mean, std, n) for serialization."""
+        rows: List[Dict[str, object]] = []
+        for x in self.definition.x_values:
+            for name, acc in self.stats[x].items():
+                rows.append(
+                    {
+                        "x": x,
+                        "scheduler": name,
+                        "mean": acc.mean,
+                        "std": acc.std,
+                        "n": acc.n,
+                    }
+                )
+        return rows
+
+
+def run_replication(
+    definition: SweepDefinition,
+    x,
+    x_index: int,
+    rep: int,
+    seed: int,
+    validate: bool = False,
+) -> Dict[str, float]:
+    """One replication of one x point: every scheduler on one instance.
+
+    The RNG stream is keyed by ``(seed, x_index, rep)`` so replications
+    are independent and the work can be chunked across processes without
+    changing any result.
+    """
+    metric_fn = _METRICS[definition.metric]
+    rng = np.random.default_rng([seed, x_index, rep])
+    graph = definition.make_graph(x, rng)
+    if len(graph.entry_tasks()) != 1 or len(graph.exit_tasks()) != 1:
+        graph = graph.normalized()
+    values: Dict[str, float] = {}
+    # keyed by *registry* name so ablation variants of one class coexist
+    for name in definition.schedulers:
+        result = make_scheduler(name).run(graph)
+        if validate:
+            validate_schedule(graph, result.schedule)
+        values[name] = metric_fn(graph, result.makespan)
+    return values
+
+
+def run_single_point(
+    definition: SweepDefinition,
+    x,
+    reps: int,
+    seed: int = 0,
+    x_index: int = 0,
+    validate: bool = False,
+) -> Dict[str, RunningStats]:
+    """All replications of one x point; returns per-scheduler stats."""
+    accumulators = {name: RunningStats() for name in definition.schedulers}
+    for rep in range(reps):
+        values = run_replication(definition, x, x_index, rep, seed, validate)
+        for name, value in values.items():
+            accumulators[name].add(value)
+    return accumulators
+
+
+def run_sweep(
+    definition: SweepDefinition,
+    reps: int = 30,
+    seed: int = 0,
+    validate: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Run a full sweep; deterministic for a given ``seed``."""
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    result = SweepResult(definition=definition, reps=reps, seed=seed)
+    for i, x in enumerate(definition.x_values):
+        if progress:
+            progress(f"{definition.key}: {definition.x_label}={x} ({reps} reps)")
+        result.stats[x] = run_single_point(
+            definition, x, reps, seed=seed, x_index=i, validate=validate
+        )
+    return result

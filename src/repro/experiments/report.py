@@ -1,0 +1,77 @@
+"""Text rendering of experiment results.
+
+The benches tee these tables into ``bench_output.txt`` /
+``EXPERIMENTS.md``; the CLI prints them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.harness import SweepResult
+
+__all__ = ["format_sweep", "format_makespans", "winners", "format_table"]
+
+
+def format_table(
+    header: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Plain fixed-width table."""
+    widths = [
+        max(len(str(header[c])), max((len(str(r[c])) for r in rows), default=0))
+        for c in range(len(header))
+    ]
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def format_sweep(result: SweepResult, precision: int = 4) -> str:
+    """Render a sweep as x-axis rows against scheduler columns."""
+    definition = result.definition
+    header = [definition.x_label] + list(definition.schedulers) + ["best"]
+    rows: List[List[str]] = []
+    for x in definition.x_values:
+        stats = result.stats[x]
+        means = {name: stats[name].mean for name in definition.schedulers}
+        best = (
+            min(means, key=means.get)
+            if definition.metric == "slr"
+            else max(means, key=means.get)
+        )
+        rows.append(
+            [str(x)]
+            + [f"{means[name]:.{precision}f}" for name in definition.schedulers]
+            + [best]
+        )
+    title = f"{definition.title}  [{definition.metric}, reps={result.reps}]"
+    note = f"  ({definition.description})" if definition.description else ""
+    return f"{title}{note}\n" + format_table(header, rows)
+
+
+def winners(result: SweepResult) -> Dict[object, str]:
+    """Per-x-point winning scheduler (lowest SLR / highest efficiency)."""
+    out: Dict[object, str] = {}
+    lower_is_better = result.definition.metric in ("slr", "makespan")
+    for x in result.definition.x_values:
+        stats = result.stats[x]
+        pick = min if lower_is_better else max
+        out[x] = pick(stats, key=lambda name: stats[name].mean)
+    return out
+
+
+def format_makespans(
+    measured: Dict[str, float], published: Dict[str, float]
+) -> str:
+    """The in-text Fig. 1 makespan comparison, measured vs paper."""
+    header = ["algorithm", "measured", "paper", "delta"]
+    rows = []
+    for name, value in measured.items():
+        paper = published.get(name)
+        delta = "" if paper is None else f"{value - paper:+g}"
+        rows.append([name, f"{value:g}", "" if paper is None else f"{paper:g}", delta])
+    return format_table(header, rows)

@@ -1,0 +1,38 @@
+"""Table I and the in-text Fig. 1 makespan comparison."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.registry import make_scheduler
+from repro.core.hdlts import HDLTS
+from repro.core.trace import TraceStep
+from repro.workflows.paper_example import paper_example_graph
+
+__all__ = ["table1_trace", "fig1_makespans", "PAPER_FIG1_MAKESPANS"]
+
+#: the paper's published makespans on the Fig. 1 example (Section IV text)
+PAPER_FIG1_MAKESPANS: Dict[str, float] = {
+    "HDLTS": 73,
+    "HEFT": 80,
+    "PETS": 77,
+    "PEFT": 86,
+    "SDBATS": 74,
+}
+
+
+def table1_trace() -> List[TraceStep]:
+    """Reproduce the Table I step-by-step HDLTS trace."""
+    scheduler = HDLTS(record_trace=True)
+    result = scheduler.run(paper_example_graph())
+    assert result.trace is not None
+    return result.trace
+
+
+def fig1_makespans(
+    schedulers: Optional[Sequence[str]] = None,
+) -> Dict[str, float]:
+    """Makespan of each algorithm on the Fig. 1 graph (measured)."""
+    names = list(schedulers) if schedulers else list(PAPER_FIG1_MAKESPANS)
+    graph = paper_example_graph()
+    return {name: make_scheduler(name).run(graph).makespan for name in names}

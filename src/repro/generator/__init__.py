@@ -1,0 +1,19 @@
+"""Synthetic random task-graph generator (Section V-B).
+
+Re-implements the paper's generator: the Topcuoglu-style parameter set
+(V, alpha, density, CCR, number of CPUs, W_dag, beta -- Table II), the
+cost model of Eqs. (13)-(14), and support for multi-entry / multi-exit
+graphs that the evaluation folds into single-entry/exit form with
+zero-cost pseudo tasks.
+"""
+
+from repro.generator.parameters import GeneratorConfig, TABLE_II, iter_table_ii
+from repro.generator.random_dag import RandomDAGGenerator, generate_random_graph
+
+__all__ = [
+    "GeneratorConfig",
+    "TABLE_II",
+    "iter_table_ii",
+    "RandomDAGGenerator",
+    "generate_random_graph",
+]

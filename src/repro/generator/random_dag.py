@@ -1,0 +1,170 @@
+"""Random layered-DAG structure generation (Section V-B).
+
+The generator follows the Topcuoglu method the paper adopts:
+
+1. **Shape.**  The number of levels is drawn around ``sqrt(v) / alpha``
+   and each level's width around ``sqrt(v) * alpha`` -- small ``alpha``
+   gives tall thin graphs (low parallelism), large ``alpha`` short fat
+   ones -- then widths are normalized so the level sizes sum exactly
+   to ``v``.
+2. **Edges.**  Every task gets ``density`` out-edges on average, aimed at
+   tasks in later levels (strongly biased to the next level, as in the
+   published examples).  A repair pass guarantees every task outside
+   level 0 has at least one parent, so the DAG is connected from its
+   entry tasks.
+3. **Costs.**  Eq. (13) for computation (``w_i ~ U(0, 2 W_dag)``,
+   per-CPU spread ``beta``) and Eq. (14) for communication
+   (``comm = w_i * CCR``).
+
+The generator can emit graphs with several entry/exit tasks (the paper's
+generator does); the evaluation harness normalizes them with zero-cost
+pseudo tasks exactly as Section III prescribes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.generator.parameters import GeneratorConfig
+from repro.model.task_graph import TaskGraph
+
+__all__ = ["RandomDAGGenerator", "generate_random_graph"]
+
+
+class RandomDAGGenerator:
+    """Reusable generator bound to one configuration."""
+
+    def __init__(self, config: GeneratorConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def level_sizes(self, rng: np.random.Generator) -> List[int]:
+        """Partition ``v`` tasks into levels of the configured shape."""
+        v, alpha = self.config.v, self.config.alpha
+        if v == 1:
+            return [1]
+        if self.config.single_entry:
+            # reserve level 0 for the lone entry, shape the rest normally
+            rest = self.config.with_(single_entry=False, v=v - 1)
+            return [1] + RandomDAGGenerator(rest).level_sizes(rng)
+        mean_height = max(1.0, math.sqrt(v) / alpha)
+        height = max(1, int(round(rng.uniform(0.8, 1.2) * mean_height)))
+        height = min(height, v)  # can't have more levels than tasks
+        mean_width = math.sqrt(v) * alpha
+        raw = rng.uniform(0.5 * mean_width, 1.5 * mean_width, size=height)
+        sizes = np.maximum(1, np.round(raw * (v / raw.sum()))).astype(int)
+        # exact-sum repair: trim/grow greedily (levels keep >= 1 task)
+        diff = int(sizes.sum()) - v
+        i = 0
+        while diff != 0:
+            idx = int(np.argmax(sizes)) if diff > 0 else int(np.argmin(sizes))
+            if diff > 0 and sizes[idx] > 1:
+                sizes[idx] -= 1
+                diff -= 1
+            elif diff < 0:
+                sizes[idx] += 1
+                diff += 1
+            else:  # all levels at width 1 but still too many: drop a level
+                sizes = sizes[:-1]
+                diff = int(sizes.sum()) - v
+            i += 1
+            if i > 10 * len(sizes) + v:  # pragma: no cover - safety net
+                raise RuntimeError("level-size repair failed to converge")
+        return [int(s) for s in sizes if s > 0]
+
+    def _edges(
+        self, levels: List[List[int]], rng: np.random.Generator
+    ) -> List[Tuple[int, int]]:
+        """Out-degree-driven wiring plus the orphan-repair pass."""
+        density = self.config.density
+        edges: List[Tuple[int, int]] = []
+        seen = set()
+
+        def later_pool(level_index: int) -> List[int]:
+            """Candidate targets: mostly next level, some further."""
+            pool = list(levels[level_index + 1])
+            # small tail from deeper levels lets long edges appear
+            for deeper in levels[level_index + 2 : level_index + 4]:
+                pool.extend(deeper)
+            return pool
+
+        for li in range(len(levels) - 1):
+            for src in levels[li]:
+                pool = later_pool(li)
+                k = min(density, len(pool))
+                if k == 0:
+                    continue
+                # bias: draw with 80% weight on the immediate next level
+                next_n = len(levels[li + 1])
+                weights = np.full(len(pool), 0.2 / max(1, len(pool) - next_n))
+                weights[:next_n] = 0.8 / next_n
+                weights /= weights.sum()
+                targets = rng.choice(len(pool), size=k, replace=False, p=weights)
+                for t in targets:
+                    key = (src, pool[int(t)])
+                    if key not in seen:
+                        seen.add(key)
+                        edges.append(key)
+
+        # repair: every non-entry-level task needs a parent
+        has_parent = {dst for _, dst in seen}
+        for li in range(1, len(levels)):
+            for dst in levels[li]:
+                if dst not in has_parent:
+                    src = int(rng.choice(levels[li - 1]))
+                    key = (src, dst)
+                    if key not in seen:
+                        seen.add(key)
+                        edges.append(key)
+                    has_parent.add(dst)
+        return edges
+
+    # ------------------------------------------------------------------
+    # costs
+    # ------------------------------------------------------------------
+    def generate(self, rng: Optional[np.random.Generator] = None) -> TaskGraph:
+        """Draw one random task graph."""
+        if rng is None:
+            rng = np.random.default_rng()
+        cfg = self.config
+        sizes = self.level_sizes(rng)
+        levels: List[List[int]] = []
+        next_id = 0
+        for width in sizes:
+            levels.append(list(range(next_id, next_id + width)))
+            next_id += width
+
+        edge_list = self._edges(levels, rng)
+
+        mean_costs = rng.uniform(0.0, 2.0 * cfg.w_dag, size=cfg.v)
+        if cfg.heterogeneity == "consistent":
+            # machine-speed model: one factor per CPU from the beta band
+            factors = rng.uniform(
+                1.0 - cfg.beta / 2.0, 1.0 + cfg.beta / 2.0, size=cfg.n_procs
+            )
+            w = mean_costs[:, None] * factors[None, :]
+        else:
+            low = mean_costs * (1.0 - cfg.beta / 2.0)
+            high = mean_costs * (1.0 + cfg.beta / 2.0)
+            w = rng.uniform(
+                low[:, None], high[:, None], size=(cfg.v, cfg.n_procs)
+            )
+
+        graph = TaskGraph(cfg.n_procs)
+        for tid in range(cfg.v):
+            graph.add_task(w[tid])
+        for src, dst in edge_list:
+            graph.add_edge(src, dst, float(mean_costs[src] * cfg.ccr))
+        return graph
+
+
+def generate_random_graph(
+    config: GeneratorConfig, rng: Optional[np.random.Generator] = None
+) -> TaskGraph:
+    """One-shot convenience wrapper around :class:`RandomDAGGenerator`."""
+    return RandomDAGGenerator(config).generate(rng)

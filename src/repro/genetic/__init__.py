@@ -1,0 +1,12 @@
+"""Genetic-algorithm scheduling (the paper's Section II GA family).
+
+The paper contrasts list scheduling against genetic approaches ([12]-
+[17]): GAs search harder and can produce better schedules, at far higher
+cost.  :class:`GeneticScheduler` implements the standard two-part
+chromosome (topological task permutation + CPU assignment vector) so the
+trade-off can actually be measured against HDLTS.
+"""
+
+from repro.genetic.ga import GAConfig, GeneticScheduler
+
+__all__ = ["GAConfig", "GeneticScheduler"]

@@ -1,0 +1,207 @@
+"""A standard genetic algorithm for DAG scheduling.
+
+Chromosome: ``(order, mapping)`` where ``order`` is a precedence-valid
+task permutation (the scheduling list) and ``mapping[t]`` is the CPU of
+task ``t``.  Decoding walks the list and places each task eagerly on its
+mapped CPU (insertion-based), exactly like the list schedulers, so GA
+results are directly comparable.
+
+Operators keep chromosomes valid by construction:
+
+* order crossover: a cut point splits parent A's prefix; the suffix is
+  filled with the remaining tasks in parent B's relative order (both
+  parents topological => child topological);
+* order mutation: move one task to a random position within the window
+  allowed by its closest parent/child in the list;
+* mapping crossover: uniform; mapping mutation: reassign a random task;
+* seeding: one chromosome decodes HEFT's rank order with min-EFT
+  mapping, the rest are random -- the usual warm-start.
+
+Deterministic given the RNG; elitism preserves the incumbent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.common import precedence_safe_order
+from repro.core.base import Scheduler
+from repro.model.ranking import upward_rank
+from repro.model.task_graph import TaskGraph
+from repro.schedule.schedule import Schedule
+
+__all__ = ["GAConfig", "GeneticScheduler"]
+
+Chromosome = Tuple[Tuple[int, ...], Tuple[int, ...]]  # (order, mapping)
+
+
+@dataclass(frozen=True)
+class GAConfig:
+    """GA hyper-parameters (defaults sized for <=200-task graphs)."""
+
+    population: int = 40
+    generations: int = 60
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.3
+    elite: int = 2
+    tournament: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError("population must be >= 2")
+        if self.generations < 1:
+            raise ValueError("generations must be >= 1")
+        if not 0 <= self.crossover_rate <= 1:
+            raise ValueError("crossover_rate must lie in [0, 1]")
+        if not 0 <= self.mutation_rate <= 1:
+            raise ValueError("mutation_rate must lie in [0, 1]")
+        if not 0 <= self.elite < self.population:
+            raise ValueError("elite must lie in [0, population)")
+
+
+class GeneticScheduler(Scheduler):
+    """Two-part-chromosome GA over (list order, CPU mapping)."""
+
+    name = "GA"
+
+    def __init__(self, config: Optional[GAConfig] = None) -> None:
+        self.config = config or GAConfig()
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def decode(self, graph: TaskGraph, chromosome: Chromosome) -> Schedule:
+        """List-schedule the chromosome's order onto its CPU mapping."""
+        order, mapping = chromosome
+        schedule = Schedule(graph)
+        for task in order:
+            proc = mapping[task]
+            ready = schedule.ready_time(task, proc)
+            start = schedule.timelines[proc].earliest_start(
+                ready, graph.cost(task, proc), insertion=True
+            )
+            schedule.place(task, proc, start)
+        return schedule
+
+    def fitness(self, graph: TaskGraph, chromosome: Chromosome) -> float:
+        """Makespan of the decoded chromosome (lower is fitter)."""
+        return self.decode(graph, chromosome).makespan
+
+    # ------------------------------------------------------------------
+    # operators
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _random_topological_order(
+        graph: TaskGraph, rng: np.random.Generator
+    ) -> Tuple[int, ...]:
+        indegree = [graph.in_degree(t) for t in graph.tasks()]
+        frontier = [t for t in graph.tasks() if indegree[t] == 0]
+        order: List[int] = []
+        while frontier:
+            i = int(rng.integers(len(frontier)))
+            task = frontier.pop(i)
+            order.append(task)
+            for succ in graph.successors(task):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    frontier.append(succ)
+        return tuple(order)
+
+    @staticmethod
+    def _order_crossover(
+        a: Tuple[int, ...], b: Tuple[int, ...], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
+        cut = int(rng.integers(1, len(a))) if len(a) > 1 else 1
+        head = a[:cut]
+        head_set = set(head)
+        tail = tuple(t for t in b if t not in head_set)
+        return head + tail
+
+    @staticmethod
+    def _order_mutation(
+        graph: TaskGraph, order: Tuple[int, ...], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
+        """Move one task within its precedence-legal window."""
+        if len(order) < 2:
+            return order
+        position = {t: i for i, t in enumerate(order)}
+        task = int(order[int(rng.integers(len(order)))])
+        lo = max(
+            (position[p] for p in graph.predecessors(task)), default=-1
+        )
+        hi = min(
+            (position[s] for s in graph.successors(task)), default=len(order)
+        )
+        if hi - lo <= 2:
+            return order  # no slack to move within
+        # after removal, parents keep indices < position (unchanged) and
+        # children shift down by one, so any insertion index in
+        # [lo + 1, hi - 1] stays after every parent and before every child
+        target = int(rng.integers(lo + 1, hi))
+        tasks = list(order)
+        tasks.remove(task)
+        tasks.insert(target, task)
+        return tuple(tasks)
+
+    # ------------------------------------------------------------------
+    def build_schedule(self, graph: TaskGraph) -> Schedule:
+        """Evolve the population and decode the fittest chromosome."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        n, p = graph.n_tasks, graph.n_procs
+
+        def random_chromosome() -> Chromosome:
+            order = self._random_topological_order(graph, rng)
+            mapping = tuple(int(x) for x in rng.integers(0, p, size=n))
+            return order, mapping
+
+        # seed with HEFT's order + per-task argmin-cost mapping
+        heft_order = tuple(
+            precedence_safe_order(graph, upward_rank(graph), descending=True)
+        )
+        greedy_map = tuple(
+            int(np.argmin(graph.cost_row(t))) for t in graph.tasks()
+        )
+        population: List[Chromosome] = [(heft_order, greedy_map)]
+        population += [random_chromosome() for _ in range(cfg.population - 1)]
+        scores = [self.fitness(graph, c) for c in population]
+
+        def tournament() -> Chromosome:
+            best_i = None
+            for _ in range(cfg.tournament):
+                i = int(rng.integers(cfg.population))
+                if best_i is None or scores[i] < scores[best_i]:
+                    best_i = i
+            return population[best_i]  # type: ignore[index]
+
+        for _ in range(cfg.generations):
+            ranked = sorted(range(cfg.population), key=lambda i: scores[i])
+            next_pop: List[Chromosome] = [
+                population[i] for i in ranked[: cfg.elite]
+            ]
+            while len(next_pop) < cfg.population:
+                mother, father = tournament(), tournament()
+                order, mapping = mother
+                if rng.random() < cfg.crossover_rate:
+                    order = self._order_crossover(mother[0], father[0], rng)
+                    mask = rng.random(n) < 0.5
+                    mapping = tuple(
+                        mother[1][t] if mask[t] else father[1][t]
+                        for t in range(n)
+                    )
+                if rng.random() < cfg.mutation_rate:
+                    order = self._order_mutation(graph, order, rng)
+                if rng.random() < cfg.mutation_rate:
+                    as_list = list(mapping)
+                    as_list[int(rng.integers(n))] = int(rng.integers(p))
+                    mapping = tuple(as_list)
+                next_pop.append((order, mapping))
+            population = next_pop
+            scores = [self.fitness(graph, c) for c in population]
+
+        best = population[int(np.argmin(scores))]
+        return self.decode(graph, best)

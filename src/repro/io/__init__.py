@@ -1,0 +1,30 @@
+"""Serialization: task graphs and schedules to/from JSON, DOT export.
+
+JSON is the interchange format (lossless round trip of a
+:class:`~repro.model.task_graph.TaskGraph` and of finished schedules);
+DOT export feeds Graphviz for workflow visualization.
+"""
+
+from repro.io.json_io import (
+    graph_to_dict,
+    graph_from_dict,
+    save_graph,
+    load_graph,
+    schedule_to_dict,
+    save_schedule,
+)
+from repro.io.dot import graph_to_dot, schedule_to_dot
+from repro.io.dax import load_dax, parse_dax
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+    "schedule_to_dict",
+    "save_schedule",
+    "graph_to_dot",
+    "schedule_to_dot",
+    "load_dax",
+    "parse_dax",
+]

@@ -1,0 +1,101 @@
+"""Pegasus DAX (v3) workflow import.
+
+The paper's Montage workload comes from Pegasus [25]; real Pegasus
+deployments describe workflows as DAX XML.  :func:`load_dax` parses the
+subset that matters for scheduling -- ``<job>`` runtimes, ``<uses>``
+file sizes and ``<child>/<parent>`` precedence -- into a
+:class:`~repro.model.platform.Workflow` (runtime becomes the
+instruction count at unit frequency; the data volume of an edge is the
+total size of files the parent writes and the child reads), which
+:func:`~repro.model.platform.compile_workflow` lowers onto any
+:class:`~repro.model.platform.Platform`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import xml.etree.ElementTree as ET
+from typing import Dict, Set, Union
+
+from repro.model.platform import Workflow
+
+__all__ = ["load_dax", "parse_dax"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _local(tag: str) -> str:
+    """Strip any XML namespace from a tag."""
+    return tag.rsplit("}", 1)[-1]
+
+
+def parse_dax(text: str) -> Workflow:
+    """Parse DAX XML text into a :class:`Workflow`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as err:
+        raise ValueError(f"not valid DAX XML: {err}") from None
+    if _local(root.tag) != "adag":
+        raise ValueError(f"expected <adag> root, got <{_local(root.tag)}>")
+
+    workflow = Workflow()
+    ids: Dict[str, int] = {}
+    outputs: Dict[str, Dict[str, float]] = {}  # job id -> {file: size}
+    inputs: Dict[str, Dict[str, float]] = {}
+
+    for element in root:
+        if _local(element.tag) != "job":
+            continue
+        job_id = element.get("id")
+        if job_id is None:
+            raise ValueError("job without id attribute")
+        if job_id in ids:
+            raise ValueError(f"duplicate job id {job_id!r}")
+        runtime = float(element.get("runtime", "1.0"))
+        if runtime < 0:
+            raise ValueError(f"job {job_id}: negative runtime")
+        name = element.get("name", job_id)
+        ids[job_id] = workflow.add_task(runtime, name=name)
+        outputs[job_id] = {}
+        inputs[job_id] = {}
+        for uses in element:
+            if _local(uses.tag) != "uses":
+                continue
+            file_name = uses.get("file") or uses.get("name")
+            if file_name is None:
+                continue
+            size = float(uses.get("size", "0"))
+            link = uses.get("link", "")
+            if link == "output":
+                outputs[job_id][file_name] = size
+            elif link == "input":
+                inputs[job_id][file_name] = size
+
+    seen_edges: Set[tuple] = set()
+    for element in root:
+        if _local(element.tag) != "child":
+            continue
+        child_ref = element.get("ref")
+        if child_ref not in ids:
+            raise ValueError(f"<child ref={child_ref!r}> references unknown job")
+        for parent in element:
+            if _local(parent.tag) != "parent":
+                continue
+            parent_ref = parent.get("ref")
+            if parent_ref not in ids:
+                raise ValueError(
+                    f"<parent ref={parent_ref!r}> references unknown job"
+                )
+            key = (parent_ref, child_ref)
+            if key in seen_edges:
+                continue
+            seen_edges.add(key)
+            shared = set(outputs[parent_ref]) & set(inputs[child_ref])
+            volume = sum(outputs[parent_ref][f] for f in shared)
+            workflow.add_edge(ids[parent_ref], ids[child_ref], volume)
+    return workflow
+
+
+def load_dax(path: PathLike) -> Workflow:
+    """Read a DAX file from disk."""
+    return parse_dax(pathlib.Path(path).read_text())

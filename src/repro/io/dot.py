@@ -1,0 +1,69 @@
+"""Graphviz DOT export for workflows and schedules.
+
+``graph_to_dot`` draws the DAG with per-CPU cost vectors on the nodes
+and communication costs on the edges (the Fig. 1 style); when a schedule
+is supplied, nodes are colored by the CPU they ran on, which makes
+mapping decisions visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.model.task_graph import TaskGraph
+from repro.schedule.schedule import Schedule
+
+__all__ = ["graph_to_dot", "schedule_to_dot"]
+
+# colorblind-safe CPU palette (cycled when p > 8)
+_PALETTE = [
+    "#88CCEE",
+    "#CC6677",
+    "#DDCC77",
+    "#117733",
+    "#332288",
+    "#AA4499",
+    "#44AA99",
+    "#999933",
+]
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r"\"") + '"'
+
+
+def graph_to_dot(
+    graph: TaskGraph,
+    schedule: Optional[Schedule] = None,
+    show_costs: bool = True,
+) -> str:
+    """Render the DAG as a DOT digraph string."""
+    lines: List[str] = [
+        "digraph workflow {",
+        "  rankdir=TB;",
+        '  node [shape=box, style="rounded,filled", fillcolor=white];',
+    ]
+    for task in graph.tasks():
+        label = graph.name(task)
+        if show_costs:
+            costs = ", ".join(f"{c:g}" for c in graph.cost_row(task))
+            label += f"\\n[{costs}]"
+        attrs = [f"label={_quote(label)}"]
+        if schedule is not None and schedule.is_scheduled(task):
+            assignment = schedule.assignment(task)
+            color = _PALETTE[assignment.proc % len(_PALETTE)]
+            attrs.append(f'fillcolor="{color}"')
+            attrs.append(
+                f"tooltip={_quote(f'P{assignment.proc + 1} [{assignment.start:g}, {assignment.finish:g})')}"
+            )
+        lines.append(f"  t{task} [{', '.join(attrs)}];")
+    for edge in graph.edges():
+        label = f' [label="{edge.cost:g}"]' if show_costs else ""
+        lines.append(f"  t{edge.src} -> t{edge.dst}{label};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schedule_to_dot(schedule: Schedule) -> str:
+    """Convenience: the schedule's graph colored by CPU assignment."""
+    return graph_to_dot(schedule.graph, schedule=schedule)

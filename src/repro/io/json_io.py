@@ -1,0 +1,111 @@
+"""Lossless JSON round trip for task graphs; schedule export.
+
+The on-disk format is versioned and deliberately boring::
+
+    {
+      "format": "repro-taskgraph",
+      "version": 1,
+      "n_procs": 3,
+      "tasks": [{"name": "T1", "costs": [14, 16, 9]}, ...],
+      "edges": [{"src": 0, "dst": 1, "cost": 18.0}, ...]
+    }
+
+Schedules serialize to a flat record list (one per placed copy) plus the
+makespan, which is what external plotting / Gantt tooling wants.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Union
+
+from repro.model.task_graph import TaskGraph
+from repro.schedule.schedule import Schedule
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+    "schedule_to_dict",
+    "save_schedule",
+]
+
+_FORMAT = "repro-taskgraph"
+_SCHEDULE_FORMAT = "repro-schedule"
+_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def graph_to_dict(graph: TaskGraph) -> Dict:
+    """Serialize a task graph to plain JSON-compatible data."""
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "n_procs": graph.n_procs,
+        "tasks": [
+            {"name": graph.name(t), "costs": [float(c) for c in graph.cost_row(t)]}
+            for t in graph.tasks()
+        ],
+        "edges": [
+            {"src": e.src, "dst": e.dst, "cost": e.cost} for e in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(data: Dict) -> TaskGraph:
+    """Rebuild a task graph from :func:`graph_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise ValueError(
+            f"not a {_FORMAT} document (format={data.get('format')!r})"
+        )
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    graph = TaskGraph(int(data["n_procs"]))
+    for task in data["tasks"]:
+        graph.add_task(task["costs"], name=task.get("name"))
+    for edge in data["edges"]:
+        graph.add_edge(int(edge["src"]), int(edge["dst"]), float(edge["cost"]))
+    return graph
+
+
+def save_graph(graph: TaskGraph, path: PathLike) -> None:
+    """Write a graph to a JSON file."""
+    pathlib.Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2))
+
+
+def load_graph(path: PathLike) -> TaskGraph:
+    """Read a graph from a JSON file."""
+    return graph_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict:
+    """Serialize a finished schedule (all copies, flat records)."""
+    records = []
+    for timeline in schedule.timelines:
+        for slot in timeline.slots():
+            records.append(
+                {
+                    "task": slot.task,
+                    "name": schedule.graph.name(slot.task),
+                    "proc": timeline.proc,
+                    "start": slot.start,
+                    "finish": slot.end,
+                    "duplicate": slot.duplicate,
+                }
+            )
+    records.sort(key=lambda r: (r["start"], r["proc"], r["task"]))
+    return {
+        "format": _SCHEDULE_FORMAT,
+        "version": _VERSION,
+        "n_procs": schedule.graph.n_procs,
+        "makespan": schedule.makespan,
+        "records": records,
+    }
+
+
+def save_schedule(schedule: Schedule, path: PathLike) -> None:
+    """Write a schedule to a JSON file."""
+    pathlib.Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))

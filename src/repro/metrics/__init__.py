@@ -1,0 +1,37 @@
+"""Comparison metrics of the paper's Section V-A.
+
+* :func:`slr` -- Scheduling Length Ratio (Eq. 10): makespan over the
+  critical-path lower bound;
+* :func:`speedup` -- Eq. 11: best single-CPU sequential time over makespan;
+* :func:`efficiency` -- Eq. 12: speedup per CPU;
+* critical-path lower bounds and aggregation helpers for averaged runs.
+"""
+
+from repro.metrics.critical_path import (
+    critical_path_min,
+    cp_min_lower_bound,
+    critical_path_mean,
+)
+from repro.metrics.metrics import (
+    slr,
+    speedup,
+    efficiency,
+    sequential_time,
+    evaluate,
+    MetricReport,
+)
+from repro.metrics.stats import RunningStats, summarize
+
+__all__ = [
+    "critical_path_min",
+    "critical_path_mean",
+    "cp_min_lower_bound",
+    "slr",
+    "speedup",
+    "efficiency",
+    "sequential_time",
+    "evaluate",
+    "MetricReport",
+    "RunningStats",
+    "summarize",
+]

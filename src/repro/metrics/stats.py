@@ -1,0 +1,105 @@
+"""Aggregation of metrics across replicated runs.
+
+The paper averages every figure's metric over up to 1000 randomized runs
+per parameter combination.  :class:`RunningStats` is a Welford
+accumulator so sweeps never hold all samples in memory; :func:`summarize`
+is the convenience wrapper for in-memory sample lists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["RunningStats", "summarize"]
+
+
+class RunningStats:
+    """Welford's online mean/variance accumulator."""
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one finite sample into the accumulator."""
+        if not math.isfinite(value):
+            raise ValueError(f"non-finite sample: {value}")
+        self.n += 1
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold every sample of an iterable."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        if self.n == 0:
+            raise ValueError("no samples")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); zero for a single sample."""
+        if self.n == 0:
+            raise ValueError("no samples")
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        return self.std / math.sqrt(self.n) if self.n else 0.0
+
+    @property
+    def min(self) -> float:
+        if self.n == 0:
+            raise ValueError("no samples")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        if self.n == 0:
+            raise ValueError("no samples")
+        return self._max
+
+    def confidence_interval(self, z: float = 1.96) -> tuple:
+        """Normal-approximation CI for the mean (default ~95%)."""
+        half = z * self.stderr
+        return (self.mean - half, self.mean + half)
+
+
+@dataclass(frozen=True)
+class Summary:
+    n: int
+    mean: float
+    std: float
+    stderr: float
+    min: float
+    max: float
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """One-shot summary of a sample list."""
+    stats = RunningStats()
+    stats.extend(values)
+    return Summary(
+        n=stats.n,
+        mean=stats.mean,
+        std=stats.std,
+        stderr=stats.stderr,
+        min=stats.min,
+        max=stats.max,
+    )

@@ -1,0 +1,49 @@
+"""Level decomposition of a task graph.
+
+The paper distributes the ``v`` tasks of a workflow over ``k`` precedence
+levels (Section III); tasks on the same level are independent and may run
+in parallel.  The level of a task is the length (in hops) of the longest
+path from any entry task -- the standard "as soon as possible" depth, which
+is also what PETS's level-sort phase uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.model.task_graph import TaskGraph
+
+__all__ = ["task_levels", "level_decomposition", "graph_height", "graph_width"]
+
+
+def task_levels(graph: TaskGraph) -> List[int]:
+    """Longest-hop-path depth of every task (entry tasks are level 0)."""
+    levels = [0] * graph.n_tasks
+    for task in graph.topological_order():
+        for succ in graph.successors(task):
+            if levels[task] + 1 > levels[succ]:
+                levels[succ] = levels[task] + 1
+    return levels
+
+
+def level_decomposition(graph: TaskGraph) -> List[Tuple[int, ...]]:
+    """Tasks grouped by level, in ascending level order."""
+    levels = task_levels(graph)
+    if not levels:
+        return []
+    buckets: Dict[int, List[int]] = {}
+    for task, level in enumerate(levels):
+        buckets.setdefault(level, []).append(task)
+    return [tuple(buckets[k]) for k in sorted(buckets)]
+
+
+def graph_height(graph: TaskGraph) -> int:
+    """Number of levels ``k`` of the workflow."""
+    levels = task_levels(graph)
+    return (max(levels) + 1) if levels else 0
+
+
+def graph_width(graph: TaskGraph) -> int:
+    """Maximum number of mutually independent tasks on one level."""
+    decomposition = level_decomposition(graph)
+    return max((len(level) for level in decomposition), default=0)

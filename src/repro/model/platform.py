@@ -1,0 +1,160 @@
+"""Physical platform / workflow descriptions (Definitions 1 and 2).
+
+The schedulers consume an abstract :class:`~repro.model.task_graph.TaskGraph`
+whose costs are already *times*.  This module provides the physical layer
+underneath it: a :class:`Platform` of CPUs with clock frequencies and a full
+crossbar of link bandwidths, plus a :class:`Workflow` expressed in
+*instructions* and *bytes*.  :func:`compile_workflow` divides instructions by
+frequency (Definition 1) and data volume by bandwidth (Definition 2) to
+produce the ``TaskGraph`` the heuristics operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.task_graph import TaskGraph
+
+__all__ = ["Platform", "Workflow", "compile_workflow"]
+
+
+class Platform:
+    """A fully connected heterogeneous computing environment.
+
+    Parameters
+    ----------
+    frequencies:
+        Clock frequency of each CPU (Hz, or any consistent rate unit).
+    bandwidth:
+        Either a scalar (uniform link bandwidth between every CPU pair)
+        or a full ``(p, p)`` symmetric matrix.  The diagonal is ignored:
+        same-CPU transfers are free (Definition 2).
+    """
+
+    def __init__(
+        self,
+        frequencies: Sequence[float],
+        bandwidth: float | np.ndarray = 1.0,
+    ) -> None:
+        freqs = np.asarray(frequencies, dtype=float)
+        if freqs.ndim != 1 or freqs.size == 0:
+            raise ValueError("frequencies must be a non-empty 1-D sequence")
+        if np.any(freqs <= 0):
+            raise ValueError("frequencies must be positive")
+        self._freqs = freqs
+        p = freqs.size
+        if np.isscalar(bandwidth):
+            if bandwidth <= 0:  # type: ignore[operator]
+                raise ValueError("bandwidth must be positive")
+            bw = np.full((p, p), float(bandwidth))  # type: ignore[arg-type]
+        else:
+            bw = np.asarray(bandwidth, dtype=float)
+            if bw.shape != (p, p):
+                raise ValueError(f"bandwidth matrix must be ({p}, {p})")
+            if not np.allclose(bw, bw.T):
+                raise ValueError("bandwidth matrix must be symmetric")
+            off_diag = bw[~np.eye(p, dtype=bool)]
+            if off_diag.size and np.any(off_diag <= 0):
+                raise ValueError("off-diagonal bandwidths must be positive")
+        np.fill_diagonal(bw, np.inf)  # same CPU: infinitely fast, cost 0
+        self._bw = bw
+
+    @property
+    def n_procs(self) -> int:
+        return self._freqs.size
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        view = self._freqs.view()
+        view.flags.writeable = False
+        return view
+
+    def frequency(self, proc: int) -> float:
+        """Clock frequency of one CPU."""
+        return float(self._freqs[proc])
+
+    def bandwidth(self, a: int, b: int) -> float:
+        """Link bandwidth between CPUs ``a`` and ``b`` (inf when a == b)."""
+        return float(self._bw[a, b])
+
+    def min_bandwidth(self) -> float:
+        """Slowest inter-CPU link -- the conservative rate used when a
+        data volume must be converted to a time before placement is known."""
+        p = self.n_procs
+        if p == 1:
+            return np.inf
+        return float(self._bw[~np.eye(p, dtype=bool)].min())
+
+    def mean_bandwidth(self) -> float:
+        """Average inter-CPU link bandwidth."""
+        p = self.n_procs
+        if p == 1:
+            return np.inf
+        return float(self._bw[~np.eye(p, dtype=bool)].mean())
+
+    @classmethod
+    def uniform(cls, n_procs: int, frequency: float = 1.0, bandwidth: float = 1.0) -> "Platform":
+        """A homogeneous platform -- useful as a degenerate test case."""
+        return cls([frequency] * n_procs, bandwidth)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Platform(n_procs={self.n_procs})"
+
+
+@dataclass
+class Workflow:
+    """A machine-independent workflow: instruction counts and data volumes."""
+
+    instructions: List[float] = field(default_factory=list)
+    names: List[str] = field(default_factory=list)
+    data: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def add_task(self, instructions: float, name: Optional[str] = None) -> int:
+        """Add a task by instruction count; returns its id."""
+        if instructions < 0:
+            raise ValueError("instruction count must be >= 0")
+        tid = len(self.instructions)
+        self.instructions.append(float(instructions))
+        self.names.append(name if name is not None else f"T{tid + 1}")
+        return tid
+
+    def add_edge(self, src: int, dst: int, data_volume: float) -> None:
+        """Add a dependency shipping ``data_volume`` bytes."""
+        n = len(self.instructions)
+        if not (0 <= src < n and 0 <= dst < n):
+            raise KeyError(f"unknown task in edge ({src}, {dst})")
+        if data_volume < 0:
+            raise ValueError("data volume must be >= 0")
+        if (src, dst) in self.data:
+            raise ValueError(f"duplicate edge ({src}, {dst})")
+        self.data[(src, dst)] = float(data_volume)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.instructions)
+
+
+def compile_workflow(workflow: Workflow, platform: Platform) -> TaskGraph:
+    """Lower a physical :class:`Workflow` onto a :class:`Platform`.
+
+    Execution time of task ``i`` on CPU ``p`` is
+    ``instructions[i] / frequency[p]`` (Definition 1).  Edge communication
+    cost is ``data / mean_bandwidth`` -- the paper assumes a fully
+    connected contention-free network, so the placement-independent edge
+    cost uses the mean inter-CPU bandwidth (the usual convention of HEFT
+    and its successors; for a uniform-bandwidth platform this is exact).
+    """
+    graph = TaskGraph(platform.n_procs)
+    freqs = platform.frequencies
+    for tid in range(workflow.n_tasks):
+        graph.add_task(
+            workflow.instructions[tid] / freqs, name=workflow.names[tid]
+        )
+    mean_bw = platform.mean_bandwidth()
+    for (src, dst), volume in workflow.data.items():
+        cost = 0.0 if np.isinf(mean_bw) else volume / mean_bw
+        graph.add_edge(src, dst, cost)
+    return graph

@@ -1,0 +1,109 @@
+"""Workload characterization: the DAG-shape metrics of this literature.
+
+Experiment write-ups in the HEFT/PEFT/HDLTS lineage describe workloads
+with a standard vocabulary -- realized CCR, parallelism, edge density,
+critical-path dominance.  :func:`graph_profile` computes all of it for
+any :class:`~repro.model.task_graph.TaskGraph`, so generated and
+real-world workloads can be compared on the same axes (and generator
+targets can be verified: the tests check that requested CCR/alpha/beta
+actually materialize).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.critical_path import cp_min_lower_bound
+from repro.model.levels import graph_height, graph_width
+from repro.model.task_graph import TaskGraph
+
+__all__ = ["GraphProfile", "graph_profile"]
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """Shape and cost statistics of one workload."""
+
+    n_tasks: int
+    n_edges: int
+    n_procs: int
+    height: int
+    width: int
+    #: mean out-degree over non-exit tasks (the generator's `density`)
+    density: float
+    #: realized communication-to-computation ratio
+    ccr: float
+    #: mean over tasks of (max - min) / mean cost -- realized `beta`-like spread
+    heterogeneity: float
+    mean_computation: float
+    mean_communication: float
+    #: min-cost critical path over total min-cost work: 1/n (fully
+    #: parallel) .. 1.0 (a pure chain); higher = more serial
+    serialism: float
+    #: mean level width over CPU count -- >1 means the platform can be kept busy
+    parallelism: float
+
+    def format(self) -> str:
+        """Aligned text block (used by ``repro generate``-style output)."""
+        return "\n".join(
+            [
+                f"tasks/edges/CPUs  {self.n_tasks} / {self.n_edges} / {self.n_procs}",
+                f"height x width    {self.height} x {self.width}",
+                f"density           {self.density:.2f} (mean out-degree)",
+                f"realized CCR      {self.ccr:.2f}",
+                f"heterogeneity     {self.heterogeneity:.2f} (mean cost spread)",
+                f"serialism         {self.serialism:.2f} (CP share of total work)",
+                f"parallelism       {self.parallelism:.2f} (mean width / CPUs)",
+            ]
+        )
+
+
+def graph_profile(graph: TaskGraph) -> GraphProfile:
+    """Compute the full shape/cost profile of a workload."""
+    if graph.n_tasks == 0:
+        raise ValueError("cannot profile an empty graph")
+    w = graph.cost_matrix()
+    means = w.mean(axis=1)
+    comm = np.array([e.cost for e in graph.edges()]) if graph.n_edges else np.zeros(0)
+
+    non_exit = [t for t in graph.tasks() if graph.out_degree(t) > 0]
+    density = (
+        float(np.mean([graph.out_degree(t) for t in non_exit]))
+        if non_exit
+        else 0.0
+    )
+    mean_comp = float(means.mean())
+    mean_comm = float(comm.mean()) if comm.size else 0.0
+    ccr = mean_comm / mean_comp if mean_comp > 0 else 0.0
+
+    nonzero = means > 1e-12
+    if nonzero.any():
+        spread = (w.max(axis=1) - w.min(axis=1))[nonzero] / means[nonzero]
+        heterogeneity = float(spread.mean())
+    else:
+        heterogeneity = 0.0
+
+    total_min_work = float(w.min(axis=1).sum())
+    serialism = (
+        cp_min_lower_bound(graph) / total_min_work if total_min_work > 0 else 1.0
+    )
+
+    height = graph_height(graph)
+    parallelism = (graph.n_tasks / height) / graph.n_procs if height else 0.0
+
+    return GraphProfile(
+        n_tasks=graph.n_tasks,
+        n_edges=graph.n_edges,
+        n_procs=graph.n_procs,
+        height=height,
+        width=graph_width(graph),
+        density=density,
+        ccr=ccr,
+        heterogeneity=heterogeneity,
+        mean_computation=mean_comp,
+        mean_communication=mean_comm,
+        serialism=serialism,
+        parallelism=parallelism,
+    )

@@ -1,0 +1,95 @@
+"""Structural validation of task graphs.
+
+Schedulers assume a well-formed problem instance: a DAG (acyclic), every
+cost finite and non-negative, and -- after normalization -- a unique entry
+and exit.  ``validate_task_graph`` checks all of it and reports *every*
+violation at once, which makes generator bugs much easier to diagnose than
+a fail-fast assertion would.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.model.task_graph import TaskGraph
+
+__all__ = ["ValidationError", "validate_task_graph", "is_connected_to_entry"]
+
+
+class ValidationError(ValueError):
+    """Raised when a task graph violates the model's structural contract."""
+
+    def __init__(self, problems: List[str]) -> None:
+        self.problems = list(problems)
+        super().__init__("; ".join(problems))
+
+
+def _is_acyclic(graph: TaskGraph) -> bool:
+    try:
+        graph.topological_order()
+        return True
+    except ValueError:
+        return False
+
+
+def is_connected_to_entry(graph: TaskGraph) -> bool:
+    """True when every task is reachable from some entry task."""
+    if graph.n_tasks == 0:
+        return True
+    seen = [False] * graph.n_tasks
+    stack = list(graph.entry_tasks())
+    for t in stack:
+        seen[t] = True
+    while stack:
+        t = stack.pop()
+        for s in graph.successors(t):
+            if not seen[s]:
+                seen[s] = True
+                stack.append(s)
+    return all(seen)
+
+
+def validate_task_graph(
+    graph: TaskGraph,
+    require_single_entry: bool = False,
+    require_single_exit: bool = False,
+    require_connected: bool = True,
+) -> None:
+    """Raise :class:`ValidationError` listing every structural problem."""
+    problems: List[str] = []
+    if graph.n_tasks == 0:
+        raise ValidationError(["graph has no tasks"])
+
+    if not _is_acyclic(graph):
+        problems.append("graph contains a cycle")
+
+    w = graph.cost_matrix()
+    if not np.all(np.isfinite(w)):
+        problems.append("non-finite computation cost")
+    if np.any(w < 0):
+        problems.append("negative computation cost")
+
+    for edge in graph.edges():
+        if edge.cost < 0 or not np.isfinite(edge.cost):
+            problems.append(
+                f"edge ({edge.src}, {edge.dst}) has invalid cost {edge.cost}"
+            )
+
+    entries = graph.entry_tasks()
+    exits = graph.exit_tasks()
+    if not entries and _is_acyclic(graph):
+        problems.append("graph has no entry task")
+    if not exits and _is_acyclic(graph):
+        problems.append("graph has no exit task")
+    if require_single_entry and len(entries) != 1:
+        problems.append(f"expected a single entry task, found {len(entries)}")
+    if require_single_exit and len(exits) != 1:
+        problems.append(f"expected a single exit task, found {len(exits)}")
+
+    if require_connected and _is_acyclic(graph) and not is_connected_to_entry(graph):
+        problems.append("some tasks are unreachable from the entry tasks")
+
+    if problems:
+        raise ValidationError(problems)

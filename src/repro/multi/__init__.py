@@ -1,0 +1,17 @@
+"""Multi-workflow (multi-tenant) scheduling extension.
+
+An HCE rarely runs a single workflow: the paper's intro motivates
+shared platforms built from diverse devices.  This package composes
+several workflows into one schedulable DAG and evaluates per-tenant
+quality:
+
+* :func:`compose` -- merge k task graphs under a zero-cost pseudo
+  entry/exit, keeping the task-id mapping per tenant;
+* :func:`tenant_report` -- per-workflow makespan inside the shared
+  schedule, slowdown versus running alone on the same platform, and the
+  unfairness spread.
+"""
+
+from repro.multi.compose import Composite, compose, tenant_report, TenantReport
+
+__all__ = ["Composite", "compose", "tenant_report", "TenantReport"]

@@ -1,0 +1,117 @@
+"""Composition of several workflows into one schedulable DAG.
+
+Composition follows the paper's own multi-entry recipe (Section III):
+the tenant graphs are placed side by side and a zero-cost pseudo entry
+and exit stitch them into a single-entry/single-exit DAG, so any
+scheduler in the library runs unmodified.  The :class:`Composite` keeps
+the id translation, letting per-tenant metrics be read back out of the
+shared schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import Scheduler
+from repro.model.task_graph import TaskGraph
+from repro.schedule.schedule import Schedule
+
+__all__ = ["Composite", "compose", "TenantReport", "tenant_report"]
+
+
+@dataclass
+class Composite:
+    """A merged multi-tenant graph with id bookkeeping."""
+
+    graph: TaskGraph
+    #: per tenant: original task id -> composite task id
+    mappings: List[Dict[int, int]]
+    tenants: List[TaskGraph]
+    entry: int
+    exit: int
+
+    def tenant_tasks(self, tenant: int) -> List[int]:
+        """Composite task ids belonging to one tenant."""
+        return list(self.mappings[tenant].values())
+
+
+def compose(tenants: Sequence[TaskGraph]) -> Composite:
+    """Merge workflows sharing one platform into a single DAG."""
+    if not tenants:
+        raise ValueError("need at least one workflow")
+    n_procs = tenants[0].n_procs
+    for graph in tenants[1:]:
+        if graph.n_procs != n_procs:
+            raise ValueError("all workflows must target the same platform")
+
+    merged = TaskGraph(n_procs)
+    mappings: List[Dict[int, int]] = []
+    for index, graph in enumerate(tenants):
+        mapping: Dict[int, int] = {}
+        for task in graph.tasks():
+            mapping[task] = merged.add_task(
+                graph.cost_row(task), name=f"w{index}:{graph.name(task)}"
+            )
+        for edge in graph.edges():
+            merged.add_edge(mapping[edge.src], mapping[edge.dst], edge.cost)
+        mappings.append(mapping)
+
+    entry = merged.add_task(np.zeros(n_procs), name="pseudo_entry")
+    exit_task = merged.add_task(np.zeros(n_procs), name="pseudo_exit")
+    for index, graph in enumerate(tenants):
+        for task in graph.entry_tasks():
+            merged.add_edge(entry, mappings[index][task], 0.0)
+        for task in graph.exit_tasks():
+            merged.add_edge(mappings[index][task], exit_task, 0.0)
+    return Composite(
+        graph=merged,
+        mappings=mappings,
+        tenants=list(tenants),
+        entry=entry,
+        exit=exit_task,
+    )
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """One tenant's outcome inside a shared schedule."""
+
+    tenant: int
+    makespan: float  # finish of the tenant's last task in the shared run
+    solo_makespan: float  # same scheduler, platform to itself
+    slowdown: float  # makespan / solo_makespan
+
+
+def tenant_report(
+    composite: Composite,
+    schedule: Schedule,
+    scheduler: Scheduler,
+) -> Tuple[List[TenantReport], float]:
+    """Per-tenant makespans and slowdowns, plus the unfairness spread.
+
+    ``scheduler`` is re-run on each tenant alone to obtain the solo
+    baseline (same algorithm, platform empty).  Returns
+    ``(reports, unfairness)`` with unfairness = max slowdown / min
+    slowdown (1.0 = perfectly fair sharing).
+    """
+    reports: List[TenantReport] = []
+    for index, tenant in enumerate(composite.tenants):
+        finish = max(
+            schedule.finish_of(composite.mappings[index][task])
+            for task in tenant.tasks()
+        )
+        solo = scheduler.run(tenant).makespan
+        reports.append(
+            TenantReport(
+                tenant=index,
+                makespan=finish,
+                solo_makespan=solo,
+                slowdown=finish / solo if solo > 0 else float("inf"),
+            )
+        )
+    slowdowns = [r.slowdown for r in reports]
+    unfairness = max(slowdowns) / min(slowdowns) if min(slowdowns) > 0 else float("inf")
+    return reports, unfairness

@@ -1,0 +1,34 @@
+"""Schedule substrate: timelines, schedules, validation, simulation.
+
+Everything a list scheduler needs to *commit* decisions lives here:
+
+* :class:`ProcessorTimeline` -- one CPU's occupied intervals, with both
+  append (``Avail``, Definition 3) and insertion-based free-slot search;
+* :class:`Schedule` -- the full mapping of tasks (and entry-task
+  duplicates) to CPUs and time intervals, with placement-aware data-ready
+  queries (Definitions 4-7);
+* :func:`validate_schedule` -- independent feasibility checking;
+* :class:`ScheduleSimulator` -- discrete-event re-execution of a schedule,
+  optionally with perturbed execution times (dynamic extension).
+"""
+
+from repro.schedule.timeline import ProcessorTimeline, Slot
+from repro.schedule.schedule import Assignment, Schedule
+from repro.schedule.validation import ScheduleError, validate_schedule
+from repro.schedule.simulator import ScheduleSimulator, SimulationResult
+from repro.schedule.gantt import render_gantt
+from repro.schedule.contention import ContentionSimulator, ContentionResult
+
+__all__ = [
+    "ProcessorTimeline",
+    "Slot",
+    "Assignment",
+    "Schedule",
+    "ScheduleError",
+    "validate_schedule",
+    "ScheduleSimulator",
+    "SimulationResult",
+    "render_gantt",
+    "ContentionSimulator",
+    "ContentionResult",
+]

@@ -1,0 +1,177 @@
+"""Contention-aware re-execution of schedules (extension).
+
+Section III assumes "all the computational resources are fully connected
+and there is no network contention".  Every scheduler in this library
+(like HEFT and its whole family) relies on that: a task may receive any
+number of transfers simultaneously and a CPU may send while computing.
+
+:class:`ContentionSimulator` re-executes a schedule under a stricter
+platform: each CPU has **one NIC**, and a NIC carries **one transfer at
+a time** (both at the sender and at the receiver; an intra-CPU transfer
+is still free).  Transfers are issued in a deterministic order (by
+analytic data-need time) and each occupies its edge's communication cost
+on both endpoints' NICs.  The realized makespan is therefore an upper
+bound on the contention-free one, and the inflation measures how much a
+schedule *depends* on the paper's assumption.
+
+Computation order per CPU is preserved from the schedule; data for a
+task is available when all its incoming transfers have completed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.model.task_graph import TaskGraph
+from repro.schedule.schedule import Schedule
+
+__all__ = ["ContentionSimulator", "ContentionResult"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One realized network transfer."""
+
+    src_task: int
+    dst_task: int
+    src_proc: int
+    dst_proc: int
+    start: float
+    finish: float
+
+
+@dataclass
+class ContentionResult:
+    """Realized execution under single-NIC contention."""
+
+    makespan: float
+    finish_times: Dict[int, float]
+    start_times: Dict[int, float]
+    transfers: List[TransferRecord]
+
+    @property
+    def total_transfer_time(self) -> float:
+        return sum(t.finish - t.start for t in self.transfers)
+
+    def inflation(self, contention_free_makespan: float) -> float:
+        """Relative makespan increase vs the contention-free execution."""
+        if contention_free_makespan <= 0:
+            return 0.0
+        return self.makespan / contention_free_makespan - 1.0
+
+
+class ContentionSimulator:
+    """Replay a schedule with serialized per-CPU NICs."""
+
+    def __init__(self, graph: TaskGraph) -> None:
+        self.graph = graph
+
+    def run(self, schedule: Schedule) -> ContentionResult:
+        """Execute the schedule's decisions under NIC contention.
+
+        Uses the *primary* copy of every parent (duplicates still serve
+        their own CPU for free, since a local read needs no NIC).
+        """
+        graph = self.graph
+        position = {t: i for i, t in enumerate(graph.topological_order())}
+        queues: List[List[Tuple[int, bool]]] = []
+        for timeline in schedule.timelines:
+            # (start, end, topo position): zero-duration tasks sharing an
+            # instant must keep dependency order on the queue
+            slots = sorted(
+                timeline.slots(),
+                key=lambda s: (s.start, s.end, position[s.task]),
+            )
+            queues.append([(s.task, s.duplicate) for s in slots])
+
+        nic_free = [0.0] * graph.n_procs  # next instant each NIC is idle
+        cpu_clock = [0.0] * graph.n_procs
+        copy_finish: Dict[int, List[Tuple[int, float]]] = {}
+        arrived: Dict[Tuple[int, int], float] = {}  # (parent, child) -> time
+        start_times: Dict[int, float] = {}
+        finish_times: Dict[int, float] = {}
+        transfers: List[TransferRecord] = []
+        heads = [0] * graph.n_procs
+        total = sum(len(q) for q in queues)
+        done = 0
+
+        def data_time(parent: int, child: int, proc: int) -> Optional[float]:
+            """Arrival of the edge's data on ``proc``, scheduling the
+            transfer on first use; None when the parent has no copy yet."""
+            copies = copy_finish.get(parent)
+            if not copies:
+                return None
+            # a local copy makes the transfer unnecessary
+            local = [fin for cproc, fin in copies if cproc == proc]
+            if local:
+                return min(local)
+            key = (parent, child)
+            if key in arrived:
+                return arrived[key]
+            comm = graph.comm_cost(parent, child)
+            src_proc, src_fin = min(copies, key=lambda c: c[1])
+            if comm <= 0:
+                arrived[key] = src_fin
+                return src_fin
+            start = max(src_fin, nic_free[src_proc], nic_free[proc])
+            finish = start + comm
+            nic_free[src_proc] = finish
+            nic_free[proc] = finish
+            arrived[key] = finish
+            transfers.append(
+                TransferRecord(parent, child, src_proc, proc, start, finish)
+            )
+            return finish
+
+        while done < total:
+            # commit the head task with the earliest feasible start; data
+            # transfers are booked lazily when a head is evaluated, so
+            # evaluation order matters -- we probe heads in ascending
+            # (cpu clock) order for determinism.
+            best_proc, best_start = -1, float("inf")
+            for proc in sorted(
+                range(graph.n_procs), key=lambda p: (cpu_clock[p], p)
+            ):
+                if heads[proc] >= len(queues[proc]):
+                    continue
+                task, _ = queues[proc][heads[proc]]
+                ready = 0.0
+                feasible = True
+                for parent in graph.predecessors(task):
+                    t = data_time(parent, task, proc)
+                    if t is None:
+                        feasible = False
+                        break
+                    ready = max(ready, t)
+                if not feasible:
+                    continue
+                start = max(cpu_clock[proc], ready)
+                if start < best_start:
+                    best_start, best_proc = start, proc
+            if best_proc < 0:
+                stuck = [
+                    queues[p][heads[p]][0]
+                    for p in range(graph.n_procs)
+                    if heads[p] < len(queues[p])
+                ]
+                raise RuntimeError(
+                    f"contention replay deadlock; blocked heads: {stuck}"
+                )
+            proc = best_proc
+            task, is_dup = queues[proc][heads[proc]]
+            finish = best_start + graph.cost(task, proc)
+            cpu_clock[proc] = finish
+            copy_finish.setdefault(task, []).append((proc, finish))
+            if not is_dup:
+                start_times[task] = best_start
+                finish_times[task] = finish
+            heads[proc] += 1
+            done += 1
+
+        return ContentionResult(
+            makespan=max(finish_times.values(), default=0.0),
+            finish_times=finish_times,
+            start_times=start_times,
+            transfers=transfers,
+        )

@@ -1,0 +1,50 @@
+"""ASCII Gantt-chart rendering of a schedule.
+
+Purely a human-inspection aid (examples and CLI use it); the renderer has
+no influence on scheduling.  Example output for the paper's Fig. 1 graph::
+
+    P1 |----[T1']--[T3]-[T7]..............................
+    P2 |------[T1']---[T4]......[T2]--[T9]--[T8]...[T10]..
+    P3 |--[T1]---[T6]........[T5].........................
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.schedule.schedule import Schedule
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(schedule: Schedule, width: int = 78) -> str:
+    """Render the schedule as one text row per CPU.
+
+    Each occupied interval is drawn as ``[name]`` stretched to scale;
+    duplicates are marked with a trailing apostrophe.  ``width`` is the
+    number of character columns representing the makespan.
+    """
+    span = schedule.makespan
+    if span <= 0:
+        return "\n".join(f"P{t.proc + 1} | (idle)" for t in schedule.timelines)
+    scale = width / span
+    lines: List[str] = []
+    label_width = max(len(f"P{t.proc + 1}") for t in schedule.timelines)
+    for timeline in schedule.timelines:
+        row = ["."] * (width + 1)
+        for slot in sorted(timeline.slots(), key=lambda s: s.start):
+            a = int(round(slot.start * scale))
+            b = max(a + 1, int(round(slot.end * scale)))
+            b = min(b, len(row))
+            for i in range(a, b):
+                row[i] = "-"
+            name = schedule.graph.name(slot.task) + ("'" if slot.duplicate else "")
+            text = f"[{name}]"
+            if len(text) <= b - a:
+                mid = a + (b - a - len(text)) // 2
+                row[mid : mid + len(text)] = list(text)
+        label = f"P{timeline.proc + 1}".ljust(label_width)
+        lines.append(f"{label} |{''.join(row)}")
+    footer = f"{'':{label_width}} 0{'':{max(0, width - 12)}}t={span:.2f}"
+    lines.append(footer)
+    return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""The schedule container: task -> (CPU, interval) plus duplicates.
+
+A :class:`Schedule` owns one :class:`~repro.schedule.timeline.ProcessorTimeline`
+per CPU and records, for every task, its *primary* assignment and any
+duplicate copies (the paper duplicates only the entry task, but the container
+is general).  Data-availability queries (Definition 5) automatically pick the
+cheapest copy of a parent's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.model.task_graph import TaskGraph
+from repro.schedule.timeline import ProcessorTimeline
+
+__all__ = ["Assignment", "Schedule"]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A task copy bound to a CPU over ``[start, finish)``."""
+
+    task: int
+    proc: int
+    start: float
+    finish: float
+    duplicate: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+class Schedule:
+    """Mutable schedule under construction, then a queryable result."""
+
+    def __init__(self, graph: TaskGraph) -> None:
+        self.graph = graph
+        self.timelines: List[ProcessorTimeline] = [
+            ProcessorTimeline(p) for p in graph.procs()
+        ]
+        self._primary: Dict[int, Assignment] = {}
+        self._duplicates: Dict[int, List[Assignment]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        task: int,
+        proc: int,
+        start: float,
+        duration: Optional[float] = None,
+        duplicate: bool = False,
+    ) -> Assignment:
+        """Commit ``task`` to ``proc`` at ``start``.
+
+        ``duration`` defaults to ``W(task, proc)``.  A task gets exactly
+        one primary copy; extra copies must be flagged ``duplicate``.
+        """
+        if duration is None:
+            duration = self.graph.cost(task, proc)
+        if not duplicate and task in self._primary:
+            raise ValueError(f"task {task} already has a primary assignment")
+        self.timelines[proc].reserve(task, start, duration, duplicate)
+        assignment = Assignment(task, proc, start, start + duration, duplicate)
+        if duplicate:
+            self._duplicates.setdefault(task, []).append(assignment)
+        else:
+            self._primary[task] = assignment
+        return assignment
+
+    def unplace(self, task: int) -> None:
+        """Remove the primary copy of ``task`` (rescheduling support)."""
+        assignment = self._primary.pop(task, None)
+        if assignment is None:
+            raise KeyError(f"task {task} has no primary assignment")
+        self.timelines[assignment.proc].remove(task, duplicate=False)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_scheduled(self, task: int) -> bool:
+        """True when the task has a primary copy."""
+        return task in self._primary
+
+    @property
+    def n_scheduled(self) -> int:
+        return len(self._primary)
+
+    def is_complete(self) -> bool:
+        """True when every task has a primary copy."""
+        return len(self._primary) == self.graph.n_tasks
+
+    def assignment(self, task: int) -> Assignment:
+        """The task's primary assignment."""
+        try:
+            return self._primary[task]
+        except KeyError:
+            raise KeyError(f"task {task} is not scheduled") from None
+
+    def assignments(self) -> Iterator[Assignment]:
+        """Iterate all primary assignments."""
+        return iter(self._primary.values())
+
+    def duplicates(self, task: Optional[int] = None) -> Tuple[Assignment, ...]:
+        """Duplicate copies (of one task, or of all tasks)."""
+        if task is None:
+            return tuple(a for copies in self._duplicates.values() for a in copies)
+        return tuple(self._duplicates.get(task, ()))
+
+    def copies(self, task: int) -> Tuple[Assignment, ...]:
+        """All copies of a task: the primary plus any duplicates."""
+        primary = self._primary.get(task)
+        dups = self._duplicates.get(task, [])
+        return tuple(([primary] if primary else []) + dups)
+
+    def proc_of(self, task: int) -> int:
+        """CPU of the primary copy."""
+        return self.assignment(task).proc
+
+    def start_of(self, task: int) -> float:
+        """Start time of the primary copy."""
+        return self.assignment(task).start
+
+    def finish_of(self, task: int) -> float:
+        """Actual finish time, Definition 4 (primary copy)."""
+        return self.assignment(task).finish
+
+    def arrival_time(self, parent: int, child: int, proc: int) -> float:
+        """Earliest arrival of the edge ``parent -> child`` data on ``proc``.
+
+        Considers every scheduled copy of the parent: a copy on ``proc``
+        delivers at its finish time; a remote copy at finish + edge cost.
+        """
+        comm = self.graph.comm_cost(parent, child)
+        best = float("inf")
+        for copy in self.copies(parent):
+            cost = 0.0 if copy.proc == proc else comm
+            arrival = copy.finish + cost
+            if arrival < best:
+                best = arrival
+        if best == float("inf"):
+            raise ValueError(f"parent {parent} of {child} is not scheduled")
+        return best
+
+    def ready_time(self, task: int, proc: int) -> float:
+        """Definition 5: when all the task's inputs are present on ``proc``."""
+        best = 0.0
+        for parent in self.graph.predecessors(task):
+            arrival = self.arrival_time(parent, task, proc)
+            if arrival > best:
+                best = arrival
+        return best
+
+    @property
+    def makespan(self) -> float:
+        """Definition 9: the finish time of the latest primary copy."""
+        if not self._primary:
+            return 0.0
+        return max(a.finish for a in self._primary.values())
+
+    def utilization(self) -> List[float]:
+        """Per-CPU busy fraction of the makespan (load-balance metric)."""
+        span = self.makespan
+        if span <= 0:
+            return [0.0] * len(self.timelines)
+        return [t.busy_time() / span for t in self.timelines]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Schedule(scheduled={len(self._primary)}/{self.graph.n_tasks}, "
+            f"makespan={self.makespan:.2f})"
+        )

@@ -1,0 +1,86 @@
+"""Independent feasibility checking of a finished schedule.
+
+Every scheduler in the library is cross-checked by this validator (and by
+the event simulator): a schedule is feasible iff
+
+1. every task has exactly one primary copy with the correct duration,
+2. no two copies overlap on any CPU,
+3. every copy (primary or duplicate) starts no earlier than its inputs
+   can arrive, choosing the cheapest copy of each parent (Definition 5).
+
+The checker collects *all* violations rather than stopping at the first.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.model.task_graph import TaskGraph
+from repro.schedule.schedule import Schedule
+
+__all__ = ["ScheduleError", "validate_schedule"]
+
+_EPS = 1e-6
+
+
+class ScheduleError(ValueError):
+    """Raised when a schedule violates feasibility."""
+
+    def __init__(self, problems: List[str]) -> None:
+        self.problems = list(problems)
+        super().__init__("; ".join(problems) if problems else "infeasible schedule")
+
+
+def validate_schedule(graph: TaskGraph, schedule: Schedule) -> None:
+    """Raise :class:`ScheduleError` listing every feasibility violation."""
+    problems: List[str] = []
+
+    # 1. completeness and durations -----------------------------------
+    for task in graph.tasks():
+        if not schedule.is_scheduled(task):
+            problems.append(f"task {task} is not scheduled")
+            continue
+        for copy in schedule.copies(task):
+            expected = graph.cost(task, copy.proc)
+            if abs(copy.duration - expected) > _EPS:
+                problems.append(
+                    f"task {task} on CPU {copy.proc} runs {copy.duration:.6f}, "
+                    f"expected W={expected:.6f}"
+                )
+            if copy.start < -_EPS:
+                problems.append(f"task {task} starts before time 0")
+
+    # 2. no overlap on any CPU (empty intervals occupy nothing) --------
+    for timeline in schedule.timelines:
+        slots = sorted(
+            (s for s in timeline.slots() if s.end - s.start > _EPS),
+            key=lambda s: s.start,
+        )
+        for a, b in zip(slots, slots[1:]):
+            if a.end > b.start + _EPS:
+                problems.append(
+                    f"CPU {timeline.proc}: task {a.task} [{a.start:.3f}, {a.end:.3f}) "
+                    f"overlaps task {b.task} [{b.start:.3f}, {b.end:.3f})"
+                )
+
+    # 3. precedence + communication -----------------------------------
+    for task in graph.tasks():
+        if not schedule.is_scheduled(task):
+            continue
+        for copy in schedule.copies(task):
+            for parent in graph.predecessors(task):
+                if not schedule.is_scheduled(parent):
+                    continue  # already reported as unscheduled
+                arrival = schedule.arrival_time(parent, task, copy.proc)
+                if copy.start < arrival - _EPS:
+                    problems.append(
+                        f"task {task} starts at {copy.start:.6f} on CPU "
+                        f"{copy.proc} before data from parent {parent} "
+                        f"arrives at {arrival:.6f}"
+                    )
+
+    # duplicates of tasks with parents must respect them too; duplicates
+    # of the entry task trivially satisfy the loop above (no parents).
+
+    if problems:
+        raise ScheduleError(problems)

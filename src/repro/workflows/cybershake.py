@@ -1,0 +1,101 @@
+"""CyberShake workflow (Pegasus) -- extension workload.
+
+SCEC's probabilistic seismic-hazard pipeline, the canonical *wide and
+shallow* Pegasus shape:
+
+    ExtractSGT x sites
+        -> SeismogramSynthesis x (sites * variations)  (fan-out per site)
+    every SeismogramSynthesis -> ZipSeis (join)
+    every SeismogramSynthesis -> PeakValCalc (1:1) -> ZipPSA (join)
+
+Total tasks: ``sites * (1 + 2 * variations) + 2``.  Massive independent
+fan-out with two global joins -- the opposite extreme to Epigenomics'
+chains, completing the structural spectrum of the extension workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workflows.topology import Topology
+
+__all__ = ["cybershake_topology", "cybershake_workflow", "cybershake_task_count"]
+
+
+def cybershake_task_count(sites: int, variations: int) -> int:
+    """Total tasks: ``sites * (1 + 2 * variations) + 2``."""
+    if sites < 1 or variations < 1:
+        raise ValueError("sites and variations must be >= 1")
+    return sites * (1 + 2 * variations) + 2
+
+
+def cybershake_topology(sites: int = 4, variations: int = 3) -> Topology:
+    """Build the CyberShake structure."""
+    if sites < 1 or variations < 1:
+        raise ValueError("sites and variations must be >= 1")
+    names: List[str] = []
+    edges: List[Tuple[int, int]] = []
+    next_id = 0
+
+    extract = []
+    for s in range(sites):
+        extract.append(next_id)
+        names.append(f"ExtractSGT.{s}")
+        next_id += 1
+
+    synthesis = []
+    for s in range(sites):
+        for v in range(variations):
+            synthesis.append(next_id)
+            names.append(f"SeismogramSynthesis.{s}.{v}")
+            edges.append((extract[s], next_id))
+            next_id += 1
+
+    peaks = []
+    for i, synth in enumerate(synthesis):
+        peaks.append(next_id)
+        names.append(f"PeakValCalc.{i}")
+        edges.append((synth, next_id))
+        next_id += 1
+
+    zipseis = next_id
+    names.append("ZipSeis")
+    next_id += 1
+    for synth in synthesis:
+        edges.append((synth, zipseis))
+
+    zippsa = next_id
+    names.append("ZipPSA")
+    next_id += 1
+    for peak in peaks:
+        edges.append((peak, zippsa))
+
+    assert next_id == cybershake_task_count(sites, variations)
+    return Topology(
+        n_tasks=next_id,
+        edges=edges,
+        names=names,
+        label=f"cybershake[{sites}x{variations}]",
+    )
+
+
+def cybershake_workflow(
+    sites: int,
+    variations: int,
+    n_procs: int,
+    rng=None,
+    ccr: float = 1.0,
+    beta: float = 1.0,
+    w_dag: float = 50.0,
+):
+    """Convenience: build the topology and realize costs in one call."""
+    from repro.workflows.topology import realize_topology
+
+    return realize_topology(
+        cybershake_topology(sites, variations),
+        n_procs,
+        rng=rng,
+        ccr=ccr,
+        beta=beta,
+        w_dag=w_dag,
+    )

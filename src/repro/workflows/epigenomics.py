@@ -1,0 +1,82 @@
+"""Epigenomics workflow (Pegasus) -- extension workload.
+
+The USC Epigenome Center's genome-methylation pipeline, a standard
+Pegasus benchmark shape: a splitter fans a read set out into ``lanes``
+independent four-stage chains that re-converge into a short serial tail:
+
+    fastQSplit -> [filterContams -> sol2sanger -> fastq2bfq -> map] x lanes
+               -> mapMerge -> maqIndex -> pileup
+
+Total tasks: ``4 * lanes + 4``.  Long parallel chains with a serial
+tail make it the structural opposite of Montage's wide-join shape --
+a useful probe for schedulers that favour chains (clustering, HDLTS).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workflows.topology import Topology
+
+__all__ = ["epigenomics_topology", "epigenomics_workflow", "epigenomics_task_count"]
+
+_STAGES = ("filterContams", "sol2sanger", "fastq2bfq", "map")
+
+
+def epigenomics_task_count(lanes: int) -> int:
+    """Total tasks: ``4 * lanes + 4``."""
+    if lanes < 1:
+        raise ValueError("lanes must be >= 1")
+    return 4 * lanes + 4
+
+
+def epigenomics_topology(lanes: int = 4) -> Topology:
+    """Build the Epigenomics structure with ``lanes`` parallel chains."""
+    if lanes < 1:
+        raise ValueError("lanes must be >= 1")
+    names: List[str] = ["fastQSplit"]
+    edges: List[Tuple[int, int]] = []
+    split = 0
+    next_id = 1
+    chain_ends = []
+    for lane in range(lanes):
+        prev = split
+        for stage in _STAGES:
+            names.append(f"{stage}.{lane}")
+            edges.append((prev, next_id))
+            prev = next_id
+            next_id += 1
+        chain_ends.append(prev)
+    merge = next_id
+    names.append("mapMerge")
+    next_id += 1
+    for end in chain_ends:
+        edges.append((end, merge))
+    index = next_id
+    names.append("maqIndex")
+    edges.append((merge, index))
+    next_id += 1
+    pileup = next_id
+    names.append("pileup")
+    edges.append((index, pileup))
+    next_id += 1
+    assert next_id == epigenomics_task_count(lanes)
+    return Topology(
+        n_tasks=next_id, edges=edges, names=names, label=f"epigenomics[{lanes}]"
+    )
+
+
+def epigenomics_workflow(
+    lanes: int,
+    n_procs: int,
+    rng=None,
+    ccr: float = 1.0,
+    beta: float = 1.0,
+    w_dag: float = 50.0,
+):
+    """Convenience: build the topology and realize costs in one call."""
+    from repro.workflows.topology import realize_topology
+
+    return realize_topology(
+        epigenomics_topology(lanes), n_procs, rng=rng, ccr=ccr, beta=beta, w_dag=w_dag
+    )

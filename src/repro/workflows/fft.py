@@ -1,0 +1,92 @@
+"""Fast Fourier Transform application workflows (Fig. 5).
+
+The FFT task graph for ``m`` input points (``m`` a power of two) has two
+parts, exactly as the paper describes:
+
+* a **recursive** part -- the divide phase, a complete binary tree with
+  ``2 (m - 1) + 1`` tasks (the root is the workflow entry);
+* a **butterfly** part -- ``log2(m)`` stages of ``m`` tasks each
+  (``m * log2(m)`` tasks), with the classic exchange pattern: the task at
+  position ``i`` of stage ``s`` consumes positions ``i`` and
+  ``i XOR 2**s`` of the previous stage.
+
+For m = 4 this yields the paper's 15 tasks; for m = 32, 223 tasks.
+The last butterfly stage has ``m`` exit tasks -- schedulers normalize the
+graph with a pseudo exit, as the paper's evaluation does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workflows.topology import Topology
+
+__all__ = ["fft_topology", "fft_workflow", "fft_task_count"]
+
+
+def _check_points(m: int) -> int:
+    if m < 2 or (m & (m - 1)) != 0:
+        raise ValueError(f"input points must be a power of two >= 2, got {m}")
+    return m.bit_length() - 1  # log2(m)
+
+
+def fft_task_count(m: int) -> int:
+    """Total tasks for ``m`` input points: ``2(m-1) + 1 + m log2(m)``."""
+    stages = _check_points(m)
+    return 2 * (m - 1) + 1 + m * stages
+
+
+def fft_topology(m: int) -> Topology:
+    """Build the FFT task-graph structure for ``m`` input points."""
+    stages = _check_points(m)
+    edges: List[Tuple[int, int]] = []
+    names: List[str] = []
+
+    # recursive (divide) part: complete binary tree, root first.
+    # level l (0-based) holds 2**l nodes; ids assigned level by level.
+    tree_ids: List[List[int]] = []
+    next_id = 0
+    for level in range(stages + 1):
+        row = []
+        for i in range(2**level):
+            row.append(next_id)
+            names.append(f"R{level}.{i}")
+            next_id += 1
+        tree_ids.append(row)
+    for level in range(stages):
+        for i, parent in enumerate(tree_ids[level]):
+            edges.append((parent, tree_ids[level + 1][2 * i]))
+            edges.append((parent, tree_ids[level + 1][2 * i + 1]))
+
+    # butterfly part: ``stages`` rows of ``m`` tasks.
+    prev_row = tree_ids[stages]  # the m tree leaves feed stage 0
+    for stage in range(stages):
+        row = []
+        for i in range(m):
+            row.append(next_id)
+            names.append(f"B{stage}.{i}")
+            next_id += 1
+        for i in range(m):
+            edges.append((prev_row[i], row[i]))
+            edges.append((prev_row[i ^ (1 << stage)], row[i]))
+        prev_row = row
+
+    return Topology(
+        n_tasks=next_id, edges=edges, names=names, label=f"fft[{m}]"
+    )
+
+
+def fft_workflow(
+    m: int,
+    n_procs: int,
+    rng=None,
+    ccr: float = 1.0,
+    beta: float = 1.0,
+    w_dag: float = 50.0,
+):
+    """Convenience: build the topology and realize costs in one call."""
+    from repro.workflows.topology import realize_topology
+
+    return realize_topology(
+        fft_topology(m), n_procs, rng=rng, ccr=ccr, beta=beta, w_dag=w_dag
+    )

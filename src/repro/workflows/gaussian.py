@@ -1,0 +1,88 @@
+"""Gaussian-elimination workflow (extension workload).
+
+Not part of the paper's evaluation, but the standard third structured
+workload of this literature (HEFT, PEFT and SDBATS all use it), so it
+rounds out the real-world suite and gives the examples a long-critical-
+path, low-parallelism counterpoint to FFT's bushy shape.
+
+For matrix size ``m`` the elimination DAG has one pivot task ``P_k`` and
+``m - k`` update tasks ``U_{k,j}`` per step ``k = 1 .. m-1``:
+
+    P_k -> U_{k,j}           (the pivot row feeds every update)
+    U_{k,k+1} -> P_{k+1}     (the next pivot waits for its column)
+    U_{k,j} -> U_{k+1,j}     (j > k+1: updates chain down the column)
+
+Total tasks: ``(m - 1) + m (m - 1) / 2``  (e.g. m=5 -> 14 tasks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.workflows.topology import Topology
+
+__all__ = [
+    "gaussian_elimination_topology",
+    "gaussian_elimination_workflow",
+    "gaussian_task_count",
+]
+
+
+def gaussian_task_count(m: int) -> int:
+    """Tasks in the elimination DAG of an ``m x m`` matrix."""
+    if m < 2:
+        raise ValueError("matrix size must be >= 2")
+    return (m - 1) + m * (m - 1) // 2
+
+
+def gaussian_elimination_topology(m: int) -> Topology:
+    """Build the Gaussian-elimination DAG for matrix size ``m``."""
+    if m < 2:
+        raise ValueError("matrix size must be >= 2")
+    names: List[str] = []
+    edges: List[Tuple[int, int]] = []
+    pivot: Dict[int, int] = {}
+    update: Dict[Tuple[int, int], int] = {}
+    next_id = 0
+    for k in range(1, m):
+        pivot[k] = next_id
+        names.append(f"P{k}")
+        next_id += 1
+        for j in range(k + 1, m + 1):
+            update[(k, j)] = next_id
+            names.append(f"U{k},{j}")
+            next_id += 1
+
+    for k in range(1, m):
+        for j in range(k + 1, m + 1):
+            edges.append((pivot[k], update[(k, j)]))
+        if k + 1 < m:
+            edges.append((update[(k, k + 1)], pivot[k + 1]))
+            for j in range(k + 2, m + 1):
+                edges.append((update[(k, j)], update[(k + 1, j)]))
+
+    assert next_id == gaussian_task_count(m)
+    return Topology(
+        n_tasks=next_id, edges=edges, names=names, label=f"gaussian[{m}]"
+    )
+
+
+def gaussian_elimination_workflow(
+    m: int,
+    n_procs: int,
+    rng=None,
+    ccr: float = 1.0,
+    beta: float = 1.0,
+    w_dag: float = 50.0,
+):
+    """Convenience: build the topology and realize costs in one call."""
+    from repro.workflows.topology import realize_topology
+
+    return realize_topology(
+        gaussian_elimination_topology(m),
+        n_procs,
+        rng=rng,
+        ccr=ccr,
+        beta=beta,
+        w_dag=w_dag,
+    )

@@ -1,0 +1,109 @@
+"""Topology + cost realization shared by every real-world workflow.
+
+The paper's real-world experiments keep a *fixed structure* (FFT, Montage,
+Molecular Dynamics) and vary the cost parameters: CCR, heterogeneity
+``beta``, mean computation ``W_dag`` and the CPU count (Sections V-C.1-3).
+A :class:`Topology` captures just the structure; :func:`realize_topology`
+draws per-CPU computation costs with Eq. (13) and edge communication costs
+with Eq. (14) -- the same cost model the synthetic generator uses, so the
+sweep axes mean the same thing for every workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.task_graph import TaskGraph
+
+__all__ = ["Topology", "realize_topology", "draw_costs"]
+
+
+@dataclass
+class Topology:
+    """A bare DAG structure: task names and precedence edges."""
+
+    n_tasks: int
+    edges: List[Tuple[int, int]] = field(default_factory=list)
+    names: Optional[List[str]] = None
+    label: str = "topology"
+
+    def __post_init__(self) -> None:
+        if self.n_tasks < 1:
+            raise ValueError("topology needs at least one task")
+        seen = set()
+        for src, dst in self.edges:
+            if not (0 <= src < self.n_tasks and 0 <= dst < self.n_tasks):
+                raise ValueError(f"edge ({src}, {dst}) out of range")
+            if src == dst:
+                raise ValueError(f"self-loop on task {src}")
+            if (src, dst) in seen:
+                raise ValueError(f"duplicate edge ({src}, {dst})")
+            seen.add((src, dst))
+        if self.names is not None and len(self.names) != self.n_tasks:
+            raise ValueError("names length must equal n_tasks")
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+
+def draw_costs(
+    n_tasks: int,
+    n_procs: int,
+    rng: np.random.Generator,
+    w_dag: float = 50.0,
+    beta: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw the computation-cost matrix of Eq. (13).
+
+    Each task's average cost ``w_i`` is uniform on ``[0, 2 * w_dag]``;
+    its per-CPU cost is uniform on ``[w_i (1 - beta/2), w_i (1 + beta/2)]``.
+    Returns ``(mean_costs, W)`` where ``W`` has shape ``(n_tasks, n_procs)``.
+    """
+    if w_dag <= 0:
+        raise ValueError("w_dag must be positive")
+    if not 0 <= beta <= 2:
+        raise ValueError("beta must lie in [0, 2] so costs stay non-negative")
+    mean_costs = rng.uniform(0.0, 2.0 * w_dag, size=n_tasks)
+    low = mean_costs * (1.0 - beta / 2.0)
+    high = mean_costs * (1.0 + beta / 2.0)
+    w = rng.uniform(low[:, None], high[:, None], size=(n_tasks, n_procs))
+    return mean_costs, w
+
+
+def realize_topology(
+    topology: Topology,
+    n_procs: int,
+    rng: Optional[np.random.Generator] = None,
+    ccr: float = 1.0,
+    beta: float = 1.0,
+    w_dag: float = 50.0,
+    randomize_comm: bool = False,
+) -> TaskGraph:
+    """Assign costs to a topology.
+
+    Communication costs follow Eq. (14): ``comm(i, j) = w_i * CCR`` with
+    ``w_i`` the source task's average computation cost.  With
+    ``randomize_comm=True`` the cost is drawn uniform on
+    ``[0, 2 * CCR * w_i]`` instead (same mean, randomized -- an optional
+    variant documented in DESIGN.md).
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    if ccr < 0:
+        raise ValueError("ccr must be >= 0")
+    mean_costs, w = draw_costs(topology.n_tasks, n_procs, rng, w_dag, beta)
+    graph = TaskGraph(n_procs)
+    for tid in range(topology.n_tasks):
+        name = topology.names[tid] if topology.names else None
+        graph.add_task(w[tid], name=name)
+    for src, dst in topology.edges:
+        if randomize_comm:
+            cost = float(rng.uniform(0.0, 2.0 * ccr * mean_costs[src]))
+        else:
+            cost = float(ccr * mean_costs[src])
+        graph.add_edge(src, dst, cost)
+    return graph

@@ -1,0 +1,120 @@
+"""Unit tests for schedule diagnostics."""
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    bottleneck_chain,
+    communication_volume,
+    diagnose,
+    load_imbalance,
+)
+from repro.core import HDLTS
+from repro.schedule.schedule import Schedule
+from tests.conftest import make_random_graph
+
+
+class TestCommunicationVolume:
+    def test_all_on_one_cpu_pays_nothing(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)
+        schedule.place(1, 0, 2.0)
+        schedule.place(2, 0, 5.0)
+        schedule.place(3, 0, 9.0)
+        paid, total = communication_volume(diamond, schedule)
+        assert paid == 0.0
+        assert total == pytest.approx(5 + 1 + 2 + 3)
+
+    def test_cross_cpu_edges_counted(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)   # A on P1
+        schedule.place(1, 1, 7.0)   # B on P2: edge A->B (5) paid
+        schedule.place(2, 0, 2.0)   # C on P1: free
+        schedule.place(3, 0, 12.0)  # D on P1: edge B->D (2) paid
+        paid, _ = communication_volume(diamond, schedule)
+        assert paid == pytest.approx(5 + 2)
+
+    def test_duplicate_copy_avoids_payment(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)
+        schedule.place(0, 1, 0.0, duplicate=True)  # copy of A on P2
+        schedule.place(1, 1, 4.0)   # B on P2 reads the local copy: free
+        schedule.place(2, 0, 2.0)
+        schedule.place(3, 0, 12.0)
+        paid, _ = communication_volume(diamond, schedule)
+        assert paid == pytest.approx(2)  # only B->D crosses
+
+
+class TestLoadImbalance:
+    def test_perfect_balance(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)          # busy 2 on P1
+        schedule.place(1, 0, 2.0)          # +3 -> 5
+        schedule.place(2, 1, 3.0)          # busy 4 on P2
+        schedule.place(3, 1, 7.0, duration=1.0)  # +1 -> 5
+        assert load_imbalance(schedule) == pytest.approx(1.0)
+
+    def test_empty_schedule(self, diamond):
+        assert load_imbalance(Schedule(diamond)) == 1.0
+
+    def test_skewed(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)
+        schedule.place(1, 0, 2.0)
+        schedule.place(2, 0, 5.0)
+        schedule.place(3, 0, 9.0)
+        # P1 does everything, P2 idle: max/mean = 2
+        assert load_imbalance(schedule) == pytest.approx(2.0)
+
+
+class TestBottleneckChain:
+    def test_fig1_chain_reaches_time_zero(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        chain = bottleneck_chain(fig1, schedule)
+        assert chain[0][0] == 9  # T10 finishes last
+        last_task, last_reason = chain[-1]
+        assert last_reason == "start"
+        assert schedule.assignment(last_task).start == pytest.approx(0.0)
+
+    def test_chain_is_connected(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        chain = bottleneck_chain(fig1, schedule)
+        for (child, reason), (parent, _) in zip(chain, chain[1:]):
+            if reason == "data":
+                assert fig1.has_edge(parent, child)
+            else:  # cpu: consecutive on the same CPU
+                assert schedule.proc_of(parent) == schedule.proc_of(child) or (
+                    any(
+                        c.proc == schedule.proc_of(child)
+                        for c in schedule.copies(parent)
+                    )
+                )
+
+    def test_incomplete_schedule_rejected(self, fig1):
+        with pytest.raises(ValueError, match="incomplete"):
+            bottleneck_chain(fig1, Schedule(fig1))
+
+    def test_random_graphs_terminate(self):
+        for seed in range(4):
+            graph = make_random_graph(seed=seed, v=60, ccr=3.0)
+            schedule = HDLTS().run(graph).schedule
+            chain = bottleneck_chain(graph, schedule)
+            assert 1 <= len(chain) <= graph.n_tasks + 2
+
+
+class TestDiagnose:
+    def test_fields_consistent(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        report = diagnose(fig1, schedule)
+        assert report.makespan == pytest.approx(73.0)
+        assert len(report.busy_time) == 3
+        assert 0.0 <= report.idle_fraction < 1.0
+        assert report.load_imbalance >= 1.0
+        assert report.n_duplicates == 2
+        assert 0.0 <= report.comm_locality <= 1.0
+
+    def test_format_is_readable(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        text = diagnose(fig1, schedule).format(fig1)
+        assert "makespan" in text
+        assert "bottleneck chain" in text
+        assert "T10" in text

@@ -1,0 +1,77 @@
+"""Unit tests for the level-wise Min-Min / Max-Min batch heuristics."""
+
+import pytest
+
+from repro.baselines.batch import LevelMaxMin, LevelMinMin
+from repro.model.levels import task_levels
+from repro.schedule.validation import validate_schedule
+from tests.conftest import make_random_graph
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("cls", [LevelMinMin, LevelMaxMin])
+    def test_fig1_feasible(self, cls, fig1):
+        result = cls().run(fig1)
+        validate_schedule(fig1, result.schedule)
+        assert result.schedule.is_complete()
+
+    @pytest.mark.parametrize("cls", [LevelMinMin, LevelMaxMin])
+    def test_random_graphs_feasible(self, cls):
+        for seed in range(3):
+            graph = make_random_graph(seed=seed, v=50, ccr=2.0)
+            validate_schedule(graph, cls().run(graph).schedule)
+
+    @pytest.mark.parametrize("cls", [LevelMinMin, LevelMaxMin])
+    def test_single_task(self, cls, single_task):
+        assert cls().run(single_task).makespan == 3.0
+
+
+class TestSemantics:
+    def test_minmin_and_maxmin_differ(self, fig1):
+        assert LevelMinMin().run(fig1).makespan != LevelMaxMin().run(fig1).makespan
+
+    def test_levels_complete_in_order(self, fig1):
+        """Level l+1 tasks never start before every level-l task that
+        feeds them finished -- follows from precedence, but the batch
+        structure additionally means no level-l+1 task is *committed*
+        before all of level l (spot-check via start times per level)."""
+        schedule = LevelMinMin().run(fig1).schedule
+        levels = task_levels(fig1)
+        for task in fig1.tasks():
+            for parent in fig1.predecessors(task):
+                assert levels[parent] < levels[task]
+                assert (
+                    schedule.start_of(task)
+                    >= schedule.finish_of(parent) - 1e-9
+                    or schedule.proc_of(task) != schedule.proc_of(parent)
+                )
+
+    def test_minmin_commits_smallest_first_within_level(self):
+        """On an independent batch (one level), Min-Min's first commit
+        is the globally smallest completion time."""
+        from repro.model.task_graph import TaskGraph
+        from repro.schedule.schedule import Schedule
+
+        graph = TaskGraph(2)
+        graph.add_task([9, 9])
+        small = graph.add_task([1, 1])
+        graph.add_task([5, 5])
+        schedule = LevelMinMin().run(graph).schedule
+        # the small task starts at time 0 (committed first)
+        assert schedule.start_of(small) == 0.0
+
+    def test_maxmin_commits_largest_first_within_level(self):
+        from repro.model.task_graph import TaskGraph
+
+        graph = TaskGraph(2)
+        big = graph.add_task([9, 9])
+        graph.add_task([1, 1])
+        graph.add_task([5, 5])
+        schedule = LevelMaxMin().run(graph).schedule
+        assert schedule.start_of(big) == 0.0
+
+    def test_registry_names(self, fig1):
+        from repro.baselines.registry import make_scheduler
+
+        assert make_scheduler("MinMin").run(fig1).schedule.is_complete()
+        assert make_scheduler("MaxMin").run(fig1).schedule.is_complete()

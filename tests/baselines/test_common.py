@@ -1,0 +1,100 @@
+"""Unit tests for the shared EFT machinery."""
+
+import pytest
+
+from repro.baselines.common import (
+    est_eft,
+    eft_vector,
+    place_min_eft,
+    precedence_safe_order,
+)
+from repro.model.ranking import upward_rank
+from repro.schedule.schedule import Schedule
+
+
+class TestEstEft:
+    def test_entry_on_empty_platform(self, fig1):
+        schedule = Schedule(fig1)
+        start, finish = est_eft(schedule, 0, 2)
+        assert (start, finish) == (0.0, 9.0)
+
+    def test_eft_vector_matches_scalar(self, fig1):
+        schedule = Schedule(fig1)
+        schedule.place(0, 2, 0.0)
+        vec = eft_vector(schedule, 5)
+        for proc in fig1.procs():
+            assert vec[proc] == est_eft(schedule, 5, proc)[1]
+
+    def test_insertion_flag_passed_through(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 10.0, duration=5.0, duplicate=True)  # block [10,15)
+        # a 2-unit task ready at 0 fits in the leading hole with insertion
+        start_ins, _ = est_eft(schedule, 0, 0, insertion=True)
+        start_app, _ = est_eft(schedule, 0, 0, insertion=False)
+        assert start_ins == 0.0
+        assert start_app == 15.0
+
+
+class TestPlaceMinEft:
+    def test_picks_global_min(self, fig1):
+        schedule = Schedule(fig1)
+        assignment = place_min_eft(schedule, 0)
+        assert assignment.proc == 2  # W row (14, 16, 9)
+        assert assignment.finish == 9.0
+
+    def test_restricted_proc_set(self, fig1):
+        schedule = Schedule(fig1)
+        assignment = place_min_eft(schedule, 0, procs=[0, 1])
+        assert assignment.proc == 0
+
+    def test_empty_proc_set_rejected(self, fig1):
+        with pytest.raises(ValueError, match="no candidate"):
+            place_min_eft(Schedule(fig1), 0, procs=[])
+
+    def test_custom_objective(self, fig1):
+        schedule = Schedule(fig1)
+        # objective that penalizes P3 heavily -> picks P1 (14 < 16)
+        assignment = place_min_eft(
+            schedule, 0, objective=lambda p, eft: eft + (1000 if p == 2 else 0)
+        )
+        assert assignment.proc == 0
+
+    def test_tie_breaks_to_lowest_cpu(self):
+        from repro.model.task_graph import TaskGraph
+
+        graph = TaskGraph(3)
+        graph.add_task([5, 5, 5])
+        schedule = Schedule(graph)
+        assert place_min_eft(schedule, 0).proc == 0
+
+
+class TestPrecedenceSafeOrder:
+    def test_respects_priority(self, fig1):
+        ranks = upward_rank(fig1)
+        order = precedence_safe_order(fig1, ranks)
+        assert order[0] == 0  # entry has the highest upward rank
+        assert order[-1] == 9  # exit the lowest
+
+    def test_ties_resolved_topologically(self):
+        from repro.model.task_graph import TaskGraph
+
+        graph = TaskGraph(1)
+        a, b = graph.add_task([0]), graph.add_task([0])
+        graph.add_edge(a, b, 0.0)  # both rank 0: tie
+        order = precedence_safe_order(graph, [0.0, 0.0])
+        assert order == [a, b]
+
+    def test_parents_always_before_children_under_upward_rank(self):
+        from tests.conftest import make_random_graph
+
+        graph = make_random_graph(seed=17, v=60)
+        ranks = upward_rank(graph)
+        order = precedence_safe_order(graph, ranks)
+        position = {t: i for i, t in enumerate(order)}
+        for edge in graph.edges():
+            assert position[edge.src] < position[edge.dst]
+
+    def test_ascending_option(self, fig1):
+        ranks = upward_rank(fig1)
+        ascending = precedence_safe_order(fig1, ranks, descending=False)
+        assert ascending[0] == 9

@@ -1,0 +1,69 @@
+"""Unit tests for CPOP."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CPOP
+from repro.model.ranking import downward_rank, upward_rank
+from repro.schedule.validation import validate_schedule
+from tests.conftest import make_random_graph
+
+
+def test_canonical_fig1_makespan(fig1):
+    """Topcuoglu's published CPOP makespan on this graph is 86."""
+    assert CPOP().run(fig1).makespan == pytest.approx(86.0)
+
+
+def test_fig1_schedule_feasible(fig1):
+    validate_schedule(fig1, CPOP().run(fig1).schedule)
+
+
+def test_fig1_critical_path(fig1):
+    """The published critical path of the Fig. 1 graph is T1-T2-T9-T10."""
+    priority = upward_rank(fig1) + downward_rank(fig1)
+    path = CPOP().critical_path(fig1, priority)
+    assert path == [0, 1, 8, 9]
+
+
+def test_critical_path_tasks_share_a_cpu(fig1):
+    scheduler = CPOP()
+    schedule = scheduler.run(fig1).schedule
+    priority = upward_rank(fig1) + downward_rank(fig1)
+    path = scheduler.critical_path(fig1, priority)
+    procs = {schedule.proc_of(t) for t in path}
+    assert len(procs) == 1
+
+
+def test_cp_cpu_minimizes_cp_computation(fig1):
+    scheduler = CPOP()
+    schedule = scheduler.run(fig1).schedule
+    priority = upward_rank(fig1) + downward_rank(fig1)
+    path = scheduler.critical_path(fig1, priority)
+    cp_proc = schedule.proc_of(path[0])
+    w = fig1.cost_matrix()
+    totals = w[path].sum(axis=0)
+    assert totals[cp_proc] == pytest.approx(totals.min())
+
+
+def test_random_graphs_feasible():
+    for seed in range(4):
+        graph = make_random_graph(seed=seed, v=50, ccr=2.0)
+        result = CPOP().run(graph)
+        validate_schedule(graph, result.schedule)
+        assert result.schedule.is_complete()
+
+
+def test_multi_exit_normalized_automatically():
+    from repro.model.task_graph import TaskGraph
+
+    graph = TaskGraph(2)
+    a = graph.add_task([1, 2])
+    b, c = graph.add_task([3, 1]), graph.add_task([2, 2])
+    graph.add_edge(a, b, 1.0)
+    graph.add_edge(a, c, 1.0)
+    result = CPOP().run(graph)  # CPOP requires a single exit: auto-pseudo
+    assert result.schedule.is_complete()
+
+
+def test_single_task(single_task):
+    assert CPOP().run(single_task).makespan == 3.0

@@ -1,0 +1,56 @@
+"""Unit tests for HEFT against the canonical published schedule."""
+
+import pytest
+
+from repro.baselines import HEFT
+from repro.schedule.validation import validate_schedule
+from tests.conftest import make_random_graph
+
+
+def test_canonical_fig1_makespan(fig1):
+    """Topcuoglu's published HEFT makespan on this graph is 80."""
+    assert HEFT().run(fig1).makespan == pytest.approx(80.0)
+
+
+def test_fig1_schedule_feasible(fig1):
+    validate_schedule(fig1, HEFT().run(fig1).schedule)
+
+
+def test_rank_descending_schedule_order(fig1):
+    """T1 is scheduled first; the entry lands before every child."""
+    schedule = HEFT().run(fig1).schedule
+    entry_start = schedule.start_of(0)
+    for child in fig1.successors(0):
+        assert schedule.start_of(child) >= entry_start
+
+
+def test_insertion_helps_or_ties():
+    """Insertion-based HEFT never loses to the append variant on the
+    same priority order (the hole is only used when it helps)."""
+    for seed in range(6):
+        graph = make_random_graph(seed=seed, v=60, ccr=3.0)
+        with_ins = HEFT(insertion=True).run(graph).makespan
+        without = HEFT(insertion=False).run(graph).makespan
+        assert with_ins <= without + 1e-9
+
+
+def test_no_duplicates(fig1):
+    assert not HEFT().run(fig1).schedule.duplicates()
+
+
+def test_single_task(single_task):
+    result = HEFT().run(single_task)
+    assert result.makespan == 3.0
+
+
+def test_single_cpu_serializes(chain):
+    graph = make_random_graph(seed=7, v=25, n_procs=1)
+    result = HEFT().run(graph)
+    assert result.makespan == pytest.approx(float(graph.cost_matrix().sum()))
+
+
+def test_homogeneous_platform():
+    """beta=0: all CPUs identical; HEFT must still be feasible/complete."""
+    graph = make_random_graph(seed=8, v=50, beta=0.0)
+    result = HEFT().run(graph)
+    validate_schedule(graph, result.schedule)

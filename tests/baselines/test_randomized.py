@@ -1,0 +1,46 @@
+"""Unit tests for the random-scheduler floor."""
+
+import pytest
+
+from repro.baselines.randomized import RandomScheduler
+from repro.schedule.validation import validate_schedule
+from tests.conftest import make_random_graph
+
+
+def test_feasible_on_fig1(fig1):
+    result = RandomScheduler().run(fig1)
+    validate_schedule(fig1, result.schedule)
+    assert result.schedule.is_complete()
+
+
+def test_deterministic_given_seed(fig1):
+    assert (
+        RandomScheduler(seed=7).run(fig1).makespan
+        == RandomScheduler(seed=7).run(fig1).makespan
+    )
+
+
+def test_seeds_differ(fig1):
+    makespans = {RandomScheduler(seed=s).run(fig1).makespan for s in range(8)}
+    assert len(makespans) > 1
+
+
+def test_every_real_heuristic_beats_the_floor_on_average():
+    from repro.baselines.registry import make_scheduler
+    from repro.metrics.metrics import slr
+
+    heuristics = ("HDLTS", "HEFT", "PETS", "PEFT", "SDBATS", "DLS")
+    totals = {name: 0.0 for name in (*heuristics, "RAND")}
+    reps = 10
+    for seed in range(reps):
+        graph = make_random_graph(seed=seed, v=50, ccr=2.0)
+        for name in totals:
+            totals[name] += slr(graph, make_scheduler(name).run(graph).makespan)
+    for name in heuristics:
+        assert totals[name] < 0.9 * totals["RAND"], name
+
+
+def test_random_graphs_feasible():
+    for seed in range(3):
+        graph = make_random_graph(seed=seed, v=40)
+        validate_schedule(graph, RandomScheduler(seed=seed).run(graph).schedule)

@@ -1,0 +1,63 @@
+"""Unit tests for the scheduler registry."""
+
+import pytest
+
+from repro.baselines.registry import (
+    PAPER_SET,
+    SCHEDULER_FACTORIES,
+    make_scheduler,
+    paper_schedulers,
+    scheduler_names,
+)
+from repro.core import HDLTS, PriorityRule
+
+
+def test_all_names_instantiate():
+    for name in scheduler_names():
+        scheduler = make_scheduler(name)
+        assert hasattr(scheduler, "build_schedule")
+
+
+def test_unknown_name_raises_with_known_list():
+    with pytest.raises(KeyError, match="known:"):
+        make_scheduler("NOPE")
+
+
+def test_paper_set_matches_evaluation_section():
+    assert PAPER_SET == ("HDLTS", "HEFT", "PETS", "PEFT", "SDBATS")
+
+
+def test_paper_schedulers_order_and_types():
+    names = [type(s).__name__ for s in paper_schedulers()]
+    assert names == ["HDLTS", "HEFT", "PETS", "PEFT", "SDBATS"]
+
+
+def test_paper_schedulers_with_cpop():
+    schedulers = paper_schedulers(include_cpop=True)
+    assert any(type(s).__name__ == "CPOP" for s in schedulers)
+    assert len(schedulers) == 6
+
+
+def test_ablation_variants_configured():
+    nodup = make_scheduler("HDLTS-nodup")
+    assert isinstance(nodup, HDLTS) and not nodup.duplicate_entry
+    ins = make_scheduler("HDLTS-insertion")
+    assert isinstance(ins, HDLTS) and ins.use_insertion
+    greedy = make_scheduler("HDLTS-greedy")
+    assert greedy.priority is PriorityRule.MIN_EFT_FIRST
+    noins = make_scheduler("HEFT-noinsertion")
+    assert not noins.insertion
+    rpt = make_scheduler("PETS-rpt")
+    assert rpt.variant == "rpt"
+
+
+def test_factories_produce_fresh_instances():
+    a, b = make_scheduler("HDLTS"), make_scheduler("HDLTS")
+    assert a is not b
+
+
+def test_every_registered_scheduler_completes_fig1(fig1):
+    for name in SCHEDULER_FACTORIES:
+        result = make_scheduler(name).run(fig1)
+        assert result.schedule.is_complete(), name
+        assert result.makespan > 0

@@ -1,0 +1,56 @@
+"""Unit tests for SDBATS."""
+
+import pytest
+
+from repro.baselines import SDBATS
+from repro.schedule.validation import validate_schedule
+from tests.conftest import make_random_graph
+
+
+def test_fig1_makespan_matches_published(fig1):
+    """The HDLTS paper quotes SDBATS = 74 on the Fig. 1 graph."""
+    assert SDBATS().run(fig1).makespan == pytest.approx(74.0)
+
+
+def test_fig1_schedule_feasible(fig1):
+    validate_schedule(fig1, SDBATS().run(fig1).schedule)
+
+
+def test_entry_duplicated_on_every_other_cpu(fig1):
+    schedule = SDBATS().run(fig1).schedule
+    copies = schedule.copies(0)
+    assert len(copies) == fig1.n_procs
+    assert {c.proc for c in copies} == set(fig1.procs())
+    assert sum(1 for c in copies if not c.duplicate) == 1
+
+
+def test_duplication_can_be_disabled(fig1):
+    schedule = SDBATS(duplicate_entry=False).run(fig1).schedule
+    assert not schedule.duplicates()
+    validate_schedule(fig1, schedule)
+
+
+def test_pseudo_entry_not_duplicated():
+    """Zero-cost pseudo entries deliver data instantly: no copies."""
+    graph = make_random_graph(seed=5, v=60, alpha=2.0)
+    entry = graph.entry_task
+    if graph.cost_row(entry).max() == 0:
+        schedule = SDBATS().run(graph).schedule
+        assert not schedule.duplicates(entry)
+
+
+def test_random_graphs_feasible():
+    for seed in range(4):
+        graph = make_random_graph(seed=seed, v=50, ccr=2.0)
+        validate_schedule(graph, SDBATS().run(graph).schedule)
+
+
+def test_single_task(single_task):
+    result = SDBATS().run(single_task)
+    assert result.makespan == 3.0
+
+
+def test_single_cpu(chain):
+    graph = make_random_graph(seed=6, v=25, n_procs=1)
+    result = SDBATS().run(graph)
+    assert result.makespan == pytest.approx(float(graph.cost_matrix().sum()))

@@ -1,0 +1,63 @@
+"""Shared fixtures: canonical graphs and deterministic RNG streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.task_graph import TaskGraph
+from repro.workflows.paper_example import paper_example_graph
+
+
+@pytest.fixture
+def fig1() -> TaskGraph:
+    """The paper's Fig. 1 graph (10 tasks, 3 CPUs)."""
+    return paper_example_graph()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def diamond() -> TaskGraph:
+    """A -> (B, C) -> D on 2 CPUs; the smallest interesting DAG."""
+    graph = TaskGraph(2)
+    a = graph.add_task([2, 4], name="A")
+    b = graph.add_task([3, 1], name="B")
+    c = graph.add_task([4, 4], name="C")
+    d = graph.add_task([2, 2], name="D")
+    graph.add_edge(a, b, 5.0)
+    graph.add_edge(a, c, 1.0)
+    graph.add_edge(b, d, 2.0)
+    graph.add_edge(c, d, 3.0)
+    return graph
+
+
+@pytest.fixture
+def chain() -> TaskGraph:
+    """A 4-task chain on 3 CPUs with nontrivial comm costs."""
+    graph = TaskGraph(3)
+    prev = graph.add_task([5, 6, 7], name="C0")
+    for i, costs in enumerate(([3, 2, 9], [4, 4, 4], [1, 8, 2]), start=1):
+        task = graph.add_task(costs, name=f"C{i}")
+        graph.add_edge(prev, task, 2.0 * i)
+        prev = task
+    return graph
+
+
+@pytest.fixture
+def single_task() -> TaskGraph:
+    graph = TaskGraph(2)
+    graph.add_task([3, 5], name="only")
+    return graph
+
+
+def make_random_graph(seed: int = 0, v: int = 60, **overrides) -> TaskGraph:
+    """Helper used by many tests: a normalized random instance."""
+    from repro.generator import GeneratorConfig, generate_random_graph
+
+    config = GeneratorConfig(v=v, **overrides)
+    graph = generate_random_graph(config, np.random.default_rng(seed))
+    return graph.normalized()

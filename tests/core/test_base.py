@@ -1,0 +1,75 @@
+"""Unit tests for the Scheduler base class and SchedulingResult."""
+
+import pytest
+
+from repro.core import HDLTS, Scheduler, SchedulingResult
+from repro.model.task_graph import TaskGraph
+from repro.schedule.schedule import Schedule
+
+
+class _OneCpu(Scheduler):
+    """Minimal scheduler used to exercise the base-class contract."""
+
+    name = "one-cpu"
+
+    def build_schedule(self, graph):
+        schedule = Schedule(graph)
+        for task in graph.topological_order():
+            ready = schedule.ready_time(task, 0)
+            start = schedule.timelines[0].earliest_start(
+                ready, graph.cost(task, 0)
+            )
+            schedule.place(task, 0, start)
+        return schedule
+
+
+def test_run_wraps_result(fig1):
+    result = _OneCpu().run(fig1)
+    assert isinstance(result, SchedulingResult)
+    assert result.scheduler == "one-cpu"
+    assert result.wall_time >= 0
+    assert result.trace is None
+    assert result.n_duplicates == 0
+    assert result.extras == {}
+
+
+def test_call_is_run(fig1):
+    assert _OneCpu()(fig1).makespan == _OneCpu().run(fig1).makespan
+
+
+def test_prepare_normalizes_multi_entry():
+    graph = TaskGraph(2)
+    a, b = graph.add_task([1, 1]), graph.add_task([1, 1])
+    c = graph.add_task([1, 1])
+    graph.add_edge(a, c, 1.0)
+    graph.add_edge(b, c, 1.0)
+    prepared = _OneCpu().prepare(graph)
+    assert len(prepared.entry_tasks()) == 1
+    assert prepared.n_tasks == 4
+
+
+def test_prepare_leaves_normal_graph_alone(fig1):
+    assert _OneCpu().prepare(fig1) is fig1
+
+
+def test_prepare_respects_exit_requirement():
+    class NeedsExit(_OneCpu):
+        requires_single_exit = True
+
+    graph = TaskGraph(1)
+    a = graph.add_task([1])
+    graph.add_edge(a, graph.add_task([1]), 1.0)
+    graph.add_edge(a, graph.add_task([1]), 1.0)
+    assert _OneCpu().prepare(graph) is graph  # only entry required
+    prepared = NeedsExit().prepare(graph)
+    assert len(prepared.exit_tasks()) == 1
+
+
+def test_makespan_property(fig1):
+    result = HDLTS().run(fig1)
+    assert result.makespan == result.schedule.makespan
+
+
+def test_abstract_scheduler_cannot_instantiate():
+    with pytest.raises(TypeError):
+        Scheduler()

@@ -1,0 +1,81 @@
+"""Unit tests for the Independent Task Queue."""
+
+import pytest
+
+from repro.core.itq import IndependentTaskQueue
+from repro.model.task_graph import TaskGraph
+
+
+def test_initial_ready_set_is_entry_tasks(fig1):
+    itq = IndependentTaskQueue(fig1)
+    assert itq.ready_tasks() == [0]
+    assert len(itq) == 1
+    assert 0 in itq
+
+
+def test_completion_releases_children(fig1):
+    itq = IndependentTaskQueue(fig1)
+    released = itq.complete(0)
+    assert sorted(released) == [1, 2, 3, 4, 5]
+    assert itq.ready_tasks() == [1, 2, 3, 4, 5]
+
+
+def test_child_released_only_after_all_parents(fig1):
+    itq = IndependentTaskQueue(fig1)
+    itq.complete(0)
+    # T8 (id 7) needs T2, T4, T6 (ids 1, 3, 5)
+    assert itq.complete(1) == []
+    assert itq.complete(3) == []
+    assert itq.complete(5) == [7]
+
+
+def test_completing_non_ready_task_rejected(fig1):
+    itq = IndependentTaskQueue(fig1)
+    with pytest.raises(ValueError, match="not independent"):
+        itq.complete(9)
+
+
+def test_completing_twice_rejected(fig1):
+    itq = IndependentTaskQueue(fig1)
+    itq.complete(0)
+    with pytest.raises(ValueError, match="not independent"):
+        itq.complete(0)
+
+
+def test_full_drain_visits_every_task(fig1):
+    itq = IndependentTaskQueue(fig1)
+    visited = []
+    while itq:
+        task = itq.ready_tasks()[0]
+        visited.append(task)
+        itq.complete(task)
+    assert sorted(visited) == list(fig1.tasks())
+    assert itq.all_mapped()
+    assert itq.n_completed == fig1.n_tasks
+
+
+def test_drain_order_is_topological(fig1):
+    itq = IndependentTaskQueue(fig1)
+    position = {}
+    step = 0
+    while itq:
+        task = itq.ready_tasks()[-1]  # arbitrary pick
+        position[task] = step
+        itq.complete(task)
+        step += 1
+    for edge in fig1.edges():
+        assert position[edge.src] < position[edge.dst]
+
+
+def test_iteration_is_sorted(fig1):
+    itq = IndependentTaskQueue(fig1)
+    itq.complete(0)
+    assert list(itq) == sorted(itq.ready_tasks())
+
+
+def test_parallel_tasks_all_ready_immediately():
+    graph = TaskGraph(1)
+    for _ in range(4):
+        graph.add_task([1])
+    itq = IndependentTaskQueue(graph)
+    assert itq.ready_tasks() == [0, 1, 2, 3]

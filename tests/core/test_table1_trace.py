@@ -1,0 +1,87 @@
+"""Golden test: the paper's Table I, cell by cell.
+
+The paper prints penalty values truncated to one decimal (e.g. 5.69 ->
+5.6), so PV comparisons use a 0.11 absolute tolerance; selections, CPU
+choices and EFT rows are integers and must match exactly.
+
+Known paper typo (documented in DESIGN.md): the step-1 PV of the entry
+task is printed as 7.0 but the sample std of (14, 16, 9) is 3.6; the
+entry is alone in the ITQ at step 1, so the schedule is unaffected.  We
+assert our computed 3.6 there.
+"""
+
+import pytest
+
+from repro.experiments.table1 import table1_trace
+
+#: (ready tasks, penalty values, selected, (EFT P1, P2, P3), chosen proc)
+#: -- transcribed from the paper's Table I; tasks are 1-based names.
+_TABLE_I = [
+    (("T1",), (3.6,), "T1", (14, 16, 9), 3),
+    (
+        ("T2", "T3", "T4", "T5", "T6"),
+        (4.6, 2.0, 1.5, 5.1, 7.0),
+        "T6",
+        (27, 32, 18),
+        3,
+    ),
+    (("T2", "T3", "T4", "T5"), (4.9, 6.1, 5.6, 1.5), "T3", (25, 29, 37), 1),
+    (("T2", "T4", "T5", "T7"), (1.5, 7.3, 4.9, 16.8), "T7", (32, 63, 59), 1),
+    (("T2", "T4", "T5"), (5.5, 10.5, 8.9), "T4", (45, 24, 35), 2),
+    (("T2", "T5"), (4.7, 8.0), "T5", (44, 37, 28), 3),
+    (("T2",), (1.5,), "T2", (45, 43, 46), 2),
+    (("T8", "T9"), (11.0, 13.3), "T9", (77, 55, 79), 2),
+    (("T8",), (5.5,), "T8", (67, 66, 76), 2),
+    (("T10",), (13.2,), "T10", (98, 73, 93), 2),
+]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return table1_trace()
+
+
+def test_ten_steps(trace):
+    assert len(trace) == 10
+
+
+@pytest.mark.parametrize("step", range(10))
+def test_ready_sets_match(trace, step):
+    ready, _, _, _, _ = _TABLE_I[step]
+    names = tuple(f"T{t + 1}" for t in trace[step].ready_tasks)
+    assert names == ready
+
+
+@pytest.mark.parametrize("step", range(10))
+def test_penalty_values_match(trace, step):
+    _, pvs, _, _, _ = _TABLE_I[step]
+    # the paper truncates to one decimal; allow 0.11 absolute slack
+    assert trace[step].priorities == pytest.approx(pvs, abs=0.11)
+
+
+@pytest.mark.parametrize("step", range(10))
+def test_selected_task_matches(trace, step):
+    _, _, selected, _, _ = _TABLE_I[step]
+    assert f"T{trace[step].selected + 1}" == selected
+
+
+@pytest.mark.parametrize("step", range(10))
+def test_eft_rows_match_exactly(trace, step):
+    _, _, _, eft, _ = _TABLE_I[step]
+    assert trace[step].eft == pytest.approx(eft)
+
+
+@pytest.mark.parametrize("step", range(10))
+def test_chosen_cpu_matches(trace, step):
+    _, _, _, _, proc = _TABLE_I[step]
+    assert trace[step].chosen_proc + 1 == proc
+
+
+def test_final_makespan_73(trace):
+    assert trace[-1].finish == pytest.approx(73.0)
+
+
+def test_duplications_happen_at_steps_3_and_5(trace):
+    """T3 -> P1 materializes the dup on P1; T4 -> P2 on P2."""
+    dup_steps = {s.step: s.duplicated_on for s in trace if s.duplicated_on}
+    assert dup_steps == {3: (0,), 5: (1,)}

@@ -1,0 +1,50 @@
+"""Unit tests for trace records and Table-I-style formatting."""
+
+import pytest
+
+from repro.core import HDLTS
+from repro.core.trace import TraceStep, format_trace
+
+
+@pytest.fixture
+def trace(fig1):
+    return HDLTS(record_trace=True).run(fig1).trace
+
+
+def test_trace_off_by_default(fig1):
+    assert HDLTS().run(fig1).trace is None
+
+
+def test_steps_are_numbered_from_one(trace):
+    assert [s.step for s in trace] == list(range(1, 11))
+
+
+def test_priority_of_lookup(trace):
+    step2 = trace[1]
+    assert step2.priority_of(5) == step2.priorities[step2.ready_tasks.index(5)]
+    with pytest.raises(ValueError):
+        step2.priority_of(9)  # T10 not ready at step 2
+
+
+def test_format_contains_header_and_all_rows(trace):
+    text = format_trace(trace)
+    assert "Step" in text and "Penalty Values" in text
+    assert "EFT P1" in text and "EFT P3" in text
+    assert len(text.splitlines()) == 2 + len(trace)
+
+
+def test_format_custom_names(trace):
+    names = {t: f"task{t}" for t in range(10)}
+    text = format_trace(trace, names=names)
+    assert "task0" in text
+    assert "T1 " not in text
+
+
+def test_format_precision(trace):
+    text = format_trace(trace, precision=3)
+    assert "7.095" in text  # step-2 PV of T6 with three decimals
+
+
+def test_tracestep_is_immutable(trace):
+    with pytest.raises(AttributeError):
+        trace[0].step = 99

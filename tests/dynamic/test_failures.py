@@ -1,0 +1,36 @@
+"""Unit tests for the fail-stop failure model."""
+
+import pytest
+
+from repro.dynamic.failures import FailStop, failure_times
+
+
+def test_valid_failure():
+    f = FailStop(proc=1, at_time=50.0)
+    assert f.proc == 1 and f.at_time == 50.0
+
+
+def test_invalid_values_rejected():
+    with pytest.raises(ValueError):
+        FailStop(proc=-1, at_time=1.0)
+    with pytest.raises(ValueError):
+        FailStop(proc=0, at_time=-1.0)
+
+
+def test_failure_times_table():
+    table = failure_times([FailStop(0, 10.0), FailStop(2, 5.0)], n_procs=3)
+    assert table == {0: 10.0, 2: 5.0}
+
+
+def test_earliest_failure_wins():
+    table = failure_times([FailStop(0, 10.0), FailStop(0, 3.0)], n_procs=2)
+    assert table == {0: 3.0}
+
+
+def test_none_means_empty():
+    assert failure_times(None, n_procs=4) == {}
+
+
+def test_out_of_range_proc_rejected():
+    with pytest.raises(ValueError, match="platform has"):
+        failure_times([FailStop(5, 1.0)], n_procs=2)

@@ -1,0 +1,61 @@
+"""Unit tests for execution-time perturbation models."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.noise import exact_durations, gaussian_noise, uniform_noise
+
+
+def test_exact_matches_w(fig1):
+    fn = exact_durations(fig1)
+    assert fn(0, 2) == 9.0
+    assert fn(9, 1) == 7.0
+
+
+class TestGaussian:
+    def test_memoization(self, fig1, rng):
+        fn = gaussian_noise(fig1, 0.5, rng)
+        assert fn(3, 1) == fn(3, 1)  # repeated queries identical
+
+    def test_zero_sigma_is_exact(self, fig1, rng):
+        fn = gaussian_noise(fig1, 0.0, rng)
+        for task in fig1.tasks():
+            assert fn(task, 0) == fig1.cost(task, 0)
+
+    def test_positive_durations(self, fig1):
+        fn = gaussian_noise(fig1, 2.0, np.random.default_rng(0))
+        for task in fig1.tasks():
+            for proc in fig1.procs():
+                assert fn(task, proc) > 0
+
+    def test_mean_near_estimate(self, fig1):
+        rng = np.random.default_rng(1)
+        fn = gaussian_noise(fig1, 0.2, rng)
+        draws = [fn(0, 0) for _ in range(1)] + [
+            gaussian_noise(fig1, 0.2, np.random.default_rng(i))(0, 0)
+            for i in range(300)
+        ]
+        assert np.mean(draws) == pytest.approx(14.0, rel=0.1)
+
+    def test_negative_sigma_rejected(self, fig1, rng):
+        with pytest.raises(ValueError):
+            gaussian_noise(fig1, -0.1, rng)
+
+
+class TestUniform:
+    def test_bounds(self, fig1):
+        fn = uniform_noise(fig1, 0.3, np.random.default_rng(0))
+        for task in fig1.tasks():
+            for proc in fig1.procs():
+                w = fig1.cost(task, proc)
+                assert 0.7 * w <= fn(task, proc) <= 1.3 * w
+
+    def test_invalid_spread_rejected(self, fig1, rng):
+        with pytest.raises(ValueError):
+            uniform_noise(fig1, 1.0, rng)
+        with pytest.raises(ValueError):
+            uniform_noise(fig1, -0.5, rng)
+
+    def test_memoization(self, fig1, rng):
+        fn = uniform_noise(fig1, 0.3, rng)
+        assert fn(5, 2) == fn(5, 2)

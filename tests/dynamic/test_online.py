@@ -1,0 +1,154 @@
+"""Unit tests for OnlineHDLTS (the dynamic extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import HDLTS
+from repro.dynamic.failures import FailStop
+from repro.dynamic.noise import gaussian_noise
+from repro.dynamic.online import (
+    AllProcessorsFailed,
+    OnlineHDLTS,
+    replay_static,
+)
+from tests.conftest import make_random_graph
+
+
+class TestExactDurations:
+    def test_matches_offline_hdlts_on_fig1(self, fig1):
+        result = OnlineHDLTS().execute(fig1)
+        assert result.makespan == pytest.approx(73.0)
+        assert result.n_lost == 0
+        assert result.dead_procs == ()
+
+    def test_all_tasks_complete(self, fig1):
+        result = OnlineHDLTS().execute(fig1)
+        assert set(result.finish_times) == set(fig1.tasks())
+
+    def test_precedence_respected_in_realized_times(self):
+        graph = make_random_graph(seed=3, v=60, ccr=2.0)
+        result = OnlineHDLTS().execute(graph)
+        for edge in graph.edges():
+            src_finish = result.finish_times[edge.src]
+            dst_start = result.finish_times[edge.dst] - graph.cost(
+                edge.dst, result.proc_of[edge.dst]
+            )
+            comm = (
+                0.0
+                if result.proc_of[edge.src] == result.proc_of[edge.dst]
+                else edge.cost
+            )
+            # the dst may read a *duplicate* of an entry parent, which
+            # can legally beat src_finish + comm
+            if edge.src != graph.entry_task:
+                assert dst_start >= src_finish + comm - 1e-6
+
+    def test_multi_entry_normalized(self):
+        from repro.model.task_graph import TaskGraph
+
+        graph = TaskGraph(2)
+        a, b = graph.add_task([1, 2]), graph.add_task([2, 1])
+        c = graph.add_task([1, 1])
+        graph.add_edge(a, c, 1.0)
+        graph.add_edge(b, c, 1.0)
+        result = OnlineHDLTS().execute(graph)
+        assert len(result.finish_times) == 4  # + pseudo entry
+
+
+class TestNoise:
+    def test_realized_makespan_differs_from_estimate(self, fig1):
+        noise = gaussian_noise(fig1, 0.4, np.random.default_rng(3))
+        result = OnlineHDLTS().execute(fig1, noise)
+        assert result.makespan != pytest.approx(73.0)
+        assert result.makespan > 0
+
+    def test_replay_static_exact_equals_offline(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        replayed = replay_static(fig1, schedule)
+        assert replayed.makespan == pytest.approx(73.0)
+
+    def test_replay_and_online_use_same_realizations(self, fig1):
+        """Memoized noise: both arms see identical (task, proc) draws."""
+        rng = np.random.default_rng(5)
+        noise = gaussian_noise(fig1, 0.3, rng)
+        a = OnlineHDLTS().execute(fig1, noise).makespan
+        b = OnlineHDLTS().execute(fig1, noise).makespan
+        assert a == pytest.approx(b)
+
+
+class TestFailures:
+    def test_survives_single_failure(self, fig1):
+        result = OnlineHDLTS().execute(
+            fig1, failures=[FailStop(proc=2, at_time=20.0)]
+        )
+        assert set(result.finish_times) == set(fig1.tasks())
+        assert 2 in result.dead_procs
+        # nothing may finish on the dead CPU after its failure
+        for record in result.records:
+            if record.proc == 2 and not record.lost:
+                assert record.finish <= 20.0 + 1e-9
+
+    def test_lost_work_is_counted(self, fig1):
+        result = OnlineHDLTS().execute(
+            fig1, failures=[FailStop(proc=2, at_time=5.0)]
+        )
+        assert result.n_lost >= 1
+
+    def test_failure_at_zero_excludes_cpu_entirely(self, fig1):
+        result = OnlineHDLTS().execute(
+            fig1, failures=[FailStop(proc=0, at_time=0.0)]
+        )
+        assert all(proc != 0 for proc in result.proc_of.values())
+
+    def test_all_failures_raise(self, fig1):
+        failures = [FailStop(p, 1.0) for p in range(3)]
+        with pytest.raises(AllProcessorsFailed):
+            OnlineHDLTS().execute(fig1, failures=failures)
+
+    def test_makespan_degrades_gracefully(self):
+        graph = make_random_graph(seed=9, v=80, n_procs=4)
+        healthy = OnlineHDLTS().execute(graph).makespan
+        crashed = OnlineHDLTS().execute(
+            graph, failures=[FailStop(proc=0, at_time=healthy * 0.2)]
+        )
+        assert crashed.makespan < 4 * healthy  # bounded degradation
+        assert set(crashed.finish_times) == set(graph.tasks())
+
+    def test_duplication_can_be_disabled(self, fig1):
+        result = OnlineHDLTS(duplicate_entry=False).execute(fig1)
+        assert all(not r.duplicate for r in result.records)
+
+
+class TestRobustness:
+    def test_reports_are_consistent(self):
+        from repro.dynamic.robustness import robustness_report
+        from repro.generator import GeneratorConfig, generate_random_graph
+
+        def make(rng):
+            return generate_random_graph(GeneratorConfig(v=40, n_procs=3), rng)
+
+        static, online = robustness_report(make, sigma=0.4, reps=8, seed=1)
+        for report in (static, online):
+            assert report.n == 8
+            assert report.mean <= report.p95 <= report.worst + 1e-9
+            assert 0 < report.robustness <= 1.0 + 1e-9
+        assert static.arm == "static" and online.arm == "online"
+
+    def test_zero_noise_arms_agree(self):
+        from repro.dynamic.robustness import robustness_report
+        from repro.generator import GeneratorConfig, generate_random_graph
+
+        def make(rng):
+            return generate_random_graph(GeneratorConfig(v=30, n_procs=3), rng)
+
+        static, online = robustness_report(make, sigma=0.0, reps=4, seed=2)
+        assert static.mean == pytest.approx(online.mean)
+        assert static.std == pytest.approx(online.std)
+
+    def test_invalid_args(self):
+        from repro.dynamic.robustness import robustness_report
+
+        with pytest.raises(ValueError):
+            robustness_report(lambda rng: None, sigma=0.1, reps=1)
+        with pytest.raises(ValueError):
+            robustness_report(lambda rng: None, sigma=-1.0, reps=5)

@@ -1,0 +1,147 @@
+"""Unit tests for the energy model and slack reclamation."""
+
+import pytest
+
+from repro.core import HDLTS
+from repro.baselines import HEFT, SDBATS
+from repro.energy.model import EnergyModel
+from repro.energy.slack import reclaim_slack, task_slack
+from repro.schedule.schedule import Schedule
+from tests.conftest import make_random_graph
+
+
+class TestEnergyModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(0)
+        with pytest.raises(ValueError):
+            EnergyModel(2, busy_power=[1.0])  # wrong arity
+        with pytest.raises(ValueError):
+            EnergyModel(2, busy_power=-1.0)
+        with pytest.raises(ValueError):
+            EnergyModel(2, busy_power=1.0, idle_power=2.0)  # idle > busy
+
+    def test_hand_computed_energy(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)   # busy 2 on P1
+        schedule.place(1, 0, 2.0)   # busy 3 -> P1 busy 5
+        schedule.place(2, 1, 3.0)   # busy 4 on P2
+        schedule.place(3, 1, 7.0)   # busy 2 -> P2 busy 6; makespan 9
+        model = EnergyModel(2, busy_power=10.0, idle_power=1.0)
+        report = model.energy(schedule)
+        assert report.makespan == 9.0
+        assert report.busy_energy == pytest.approx((5 + 6) * 10)
+        assert report.idle_energy == pytest.approx((4 + 3) * 1)
+        assert report.total == pytest.approx(110 + 7)
+        assert report.duplication_energy == 0.0
+
+    def test_per_cpu_powers(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)
+        schedule.place(1, 0, 2.0)
+        schedule.place(2, 0, 5.0)
+        schedule.place(3, 0, 9.0)  # P1 busy 11, makespan 11; P2 idle 11
+        model = EnergyModel(2, busy_power=[10.0, 20.0], idle_power=[1.0, 2.0])
+        report = model.energy(schedule)
+        assert report.busy_energy == pytest.approx(11 * 10)
+        assert report.idle_energy == pytest.approx(0 * 1 + 11 * 2)
+
+    def test_duplication_energy_isolated(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        model = EnergyModel(3)
+        report = model.energy(schedule)
+        # duplicates: T1 on P1 (14) and P2 (16) at busy power 10
+        assert report.duplication_energy == pytest.approx((14 + 16) * 10)
+        assert 0 < report.duplication_overhead < 0.3
+
+    def test_duplication_costs_energy_but_saves_time(self, fig1):
+        """The paper's Section II-B trade-off, quantified."""
+        model = EnergyModel(3)
+        with_dup = HDLTS().run(fig1)
+        without = HDLTS(duplicate_entry=False).run(fig1)
+        assert with_dup.makespan <= without.makespan
+        busy_with = model.energy(with_dup.schedule).busy_energy
+        busy_without = model.energy(without.schedule).busy_energy
+        assert busy_with > busy_without
+
+    def test_wrong_platform_rejected(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        with pytest.raises(ValueError, match="CPUs"):
+            EnergyModel(5).energy(schedule)
+
+
+class TestSlack:
+    def test_critical_tasks_have_zero_slack(self, fig1):
+        from repro.analysis.diagnostics import bottleneck_chain
+
+        schedule = HDLTS().run(fig1).schedule
+        slack = task_slack(fig1, schedule)
+        chain = bottleneck_chain(fig1, schedule)
+        # data-bound links of the realized critical chain have no slack
+        for (child, reason), (parent, _) in zip(chain, chain[1:]):
+            if reason == "data" and schedule.proc_of(parent) == schedule.proc_of(child):
+                assert slack[parent] == pytest.approx(0.0, abs=1e-6)
+
+    def test_exit_task_slack_zero(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        slack = task_slack(fig1, schedule)
+        assert slack[9] == pytest.approx(0.0)
+
+    def test_incomplete_schedule_rejected(self, fig1):
+        with pytest.raises(ValueError, match="incomplete"):
+            task_slack(fig1, Schedule(fig1))
+
+    def test_slack_nonnegative(self):
+        graph = make_random_graph(seed=3, v=50, ccr=2.0)
+        schedule = HEFT().run(graph).schedule
+        assert all(s >= 0 for s in task_slack(graph, schedule).values())
+
+
+class TestReclaim:
+    def test_makespan_preserved(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        stretched, scales = reclaim_slack(fig1, schedule)
+        assert stretched.makespan == pytest.approx(schedule.makespan)
+        assert all(s >= 1.0 for s in scales.values())
+
+    def test_no_overlaps_after_stretching(self):
+        """Stretched slots must still be mutually disjoint (the Schedule
+        container enforces it on place; a violation would raise)."""
+        for seed in range(4):
+            graph = make_random_graph(seed=seed, v=40, ccr=2.0)
+            schedule = SDBATS().run(graph).schedule
+            stretched, _ = reclaim_slack(graph, schedule)
+            assert stretched.is_complete()
+
+    def test_children_still_receive_data_in_time(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        stretched, _ = reclaim_slack(fig1, schedule)
+        for task in fig1.tasks():
+            for child in fig1.successors(task):
+                arrival = stretched.arrival_time(
+                    task, child, stretched.proc_of(child)
+                )
+                assert arrival <= stretched.start_of(child) + 1e-6
+
+    def test_energy_reduced_at_same_makespan(self):
+        graph = make_random_graph(seed=7, v=60, ccr=2.0)
+        schedule = HEFT().run(graph).schedule
+        model = EnergyModel(graph.n_procs)
+        baseline = model.energy(schedule)
+        stretched, scales = reclaim_slack(graph, schedule)
+        saved = model.energy_with_frequencies(stretched, scales)
+        assert saved.makespan == pytest.approx(baseline.makespan)
+        assert saved.total < baseline.total
+
+    def test_max_scale_cap_respected(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        _, scales = reclaim_slack(fig1, schedule, max_scale=1.5)
+        assert all(s <= 1.5 + 1e-12 for s in scales.values())
+        with pytest.raises(ValueError):
+            reclaim_slack(fig1, schedule, max_scale=0.5)
+
+    def test_duplicates_not_scaled(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        stretched, scales = reclaim_slack(fig1, schedule)
+        for dup in stretched.duplicates():
+            assert (dup.task, dup.proc) not in scales

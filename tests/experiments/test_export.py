@@ -1,0 +1,46 @@
+"""Unit tests for CSV export."""
+
+import csv
+import io
+
+from repro.experiments.export import grid_to_csv, sweep_to_csv
+from repro.experiments.grid import run_grid
+from repro.experiments.harness import run_sweep
+from tests.experiments.test_grid import _SMALL_GRID
+from tests.experiments.test_harness import tiny_sweep
+
+
+def test_sweep_csv_shape():
+    result = run_sweep(tiny_sweep(), reps=2, seed=0)
+    text = sweep_to_csv(result)
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == ["figure", "CCR", "scheduler", "metric", "mean", "std", "n"]
+    assert len(rows) == 1 + 2 * 2  # header + 2 x-values * 2 schedulers
+    assert all(row[3] == "slr" for row in rows[1:])
+    assert all(row[6] == "2" for row in rows[1:])
+
+
+def test_sweep_csv_writes_file(tmp_path):
+    result = run_sweep(tiny_sweep(), reps=1, seed=0)
+    path = tmp_path / "sweep.csv"
+    text = sweep_to_csv(result, path)
+    assert path.read_text() == text
+
+
+def test_grid_csv_contains_overall_and_marginals(tmp_path):
+    result = run_grid(grid=_SMALL_GRID, sample=None, reps=1, schedulers=("HEFT",))
+    path = tmp_path / "grid.csv"
+    text = grid_to_csv(result, path)
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0][0] == "axis"
+    axes = {row[0] for row in rows[1:]}
+    assert "overall" in axes and "ccr" in axes and "v" in axes
+    assert path.exists()
+
+
+def test_csv_values_match_result():
+    result = run_sweep(tiny_sweep(), reps=3, seed=1)
+    rows = list(csv.reader(io.StringIO(sweep_to_csv(result))))[1:]
+    for row in rows:
+        x = float(row[1])
+        assert float(row[4]) == round(result.stats[x][row[2]].mean, 6)

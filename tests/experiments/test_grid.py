@@ -1,0 +1,93 @@
+"""Unit tests for the Table II factorial grid runner."""
+
+import pytest
+
+from repro.experiments.grid import format_marginals, run_grid
+
+_SMALL_GRID = {
+    "v": (20, 40),
+    "alpha": (1.0,),
+    "density": (2,),
+    "ccr": (1.0, 3.0),
+    "n_procs": (3,),
+    "w_dag": (50,),
+    "beta": (1.0,),
+}
+
+
+class TestRunGrid:
+    def test_full_small_grid(self):
+        result = run_grid(
+            grid=_SMALL_GRID, sample=None, reps=2, schedulers=("HDLTS", "HEFT")
+        )
+        assert result.n_configs == 4  # 2 x 2
+        # each config x 2 reps lands in overall
+        assert result.overall["HDLTS"].n == 8
+        # marginals partition: v=20 bucket holds half the samples
+        assert result.marginals["v"][20]["HDLTS"].n == 4
+
+    def test_sampling_caps_config_count(self):
+        result = run_grid(grid=_SMALL_GRID, sample=2, reps=1, schedulers=("HEFT",))
+        assert result.n_configs == 2
+
+    def test_deterministic(self):
+        a = run_grid(grid=_SMALL_GRID, sample=3, reps=1, seed=5, schedulers=("HEFT",))
+        b = run_grid(grid=_SMALL_GRID, sample=3, reps=1, seed=5, schedulers=("HEFT",))
+        assert a.overall["HEFT"].mean == b.overall["HEFT"].mean
+
+    def test_max_tasks_filters_sizes(self):
+        result = run_grid(
+            grid=dict(_SMALL_GRID, v=(20, 40, 100_000)),
+            sample=None,
+            reps=1,
+            schedulers=("HEFT",),
+            max_tasks=50,
+        )
+        assert set(result.marginals["v"]) == {20, 40}
+
+    def test_max_tasks_too_small_rejected(self):
+        with pytest.raises(ValueError, match="max_tasks"):
+            run_grid(grid=_SMALL_GRID, max_tasks=5)
+
+    def test_invalid_metric_rejected(self):
+        with pytest.raises(ValueError):
+            run_grid(metric="bogus", grid=_SMALL_GRID)
+
+    def test_invalid_reps_rejected(self):
+        with pytest.raises(ValueError):
+            run_grid(grid=_SMALL_GRID, reps=0)
+
+    def test_winner_is_lowest_slr(self):
+        result = run_grid(
+            grid=_SMALL_GRID, sample=None, reps=1, schedulers=("HDLTS", "HEFT")
+        )
+        winner = result.winner()
+        loser = "HEFT" if winner == "HDLTS" else "HDLTS"
+        assert result.overall[winner].mean <= result.overall[loser].mean
+
+    def test_efficiency_metric(self):
+        result = run_grid(
+            metric="efficiency",
+            grid=_SMALL_GRID,
+            sample=2,
+            reps=1,
+            schedulers=("HEFT",),
+        )
+        assert 0 < result.overall["HEFT"].mean <= 1.0 + 1e-9
+
+
+class TestFormat:
+    def test_marginal_tables_render(self):
+        result = run_grid(
+            grid=_SMALL_GRID, sample=None, reps=1, schedulers=("HDLTS", "HEFT")
+        )
+        text = format_marginals(result, axes=["ccr", "v"])
+        assert "overall winner" in text
+        assert "ccr" in text and "3.0" in text
+        assert "HDLTS" in text
+
+    def test_all_axes_by_default(self):
+        result = run_grid(grid=_SMALL_GRID, sample=2, reps=1, schedulers=("HEFT",))
+        text = format_marginals(result)
+        for axis in _SMALL_GRID:
+            assert axis in text

@@ -1,0 +1,109 @@
+"""Unit tests for the sweep harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import SweepDefinition, run_single_point, run_sweep
+from repro.generator.parameters import GeneratorConfig
+from repro.generator.random_dag import generate_random_graph
+
+
+def tiny_sweep(metric="slr", schedulers=("HDLTS", "HEFT")) -> SweepDefinition:
+    """Two-point, two-scheduler sweep used across the experiment tests."""
+    def make(ccr, rng):
+        return generate_random_graph(
+            GeneratorConfig(v=20, ccr=float(ccr), n_procs=3), rng
+        )
+
+    return SweepDefinition(
+        key="tiny",
+        title="tiny test sweep",
+        x_label="CCR",
+        x_values=(1.0, 3.0),
+        metric=metric,
+        make_graph=make,
+        schedulers=schedulers,
+    )
+
+
+class TestDefinition:
+    def test_invalid_metric_rejected(self):
+        with pytest.raises(ValueError, match="metric"):
+            tiny_sweep(metric="bogus")
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(ValueError, match="x value"):
+            SweepDefinition(
+                key="x",
+                title="x",
+                x_label="x",
+                x_values=(),
+                metric="slr",
+                make_graph=lambda x, rng: None,
+            )
+
+
+class TestRun:
+    def test_deterministic_for_seed(self):
+        a = run_sweep(tiny_sweep(), reps=3, seed=42)
+        b = run_sweep(tiny_sweep(), reps=3, seed=42)
+        assert a.series("HDLTS") == b.series("HDLTS")
+
+    def test_different_seeds_differ(self):
+        a = run_sweep(tiny_sweep(), reps=3, seed=1)
+        b = run_sweep(tiny_sweep(), reps=3, seed=2)
+        assert a.series("HDLTS") != b.series("HDLTS")
+
+    def test_counts_and_keys(self):
+        result = run_sweep(tiny_sweep(), reps=4, seed=0)
+        assert set(result.stats) == {1.0, 3.0}
+        for x in (1.0, 3.0):
+            assert set(result.stats[x]) == {"HDLTS", "HEFT"}
+            assert all(acc.n == 4 for acc in result.stats[x].values())
+
+    def test_validate_flag(self):
+        run_sweep(tiny_sweep(), reps=2, seed=0, validate=True)
+
+    def test_reps_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_sweep(tiny_sweep(), reps=0)
+
+    def test_progress_callback_called(self):
+        messages = []
+        run_sweep(tiny_sweep(), reps=1, seed=0, progress=messages.append)
+        assert len(messages) == 2  # one per x point
+
+    def test_as_rows_flat_records(self):
+        result = run_sweep(tiny_sweep(), reps=2, seed=0)
+        rows = result.as_rows()
+        assert len(rows) == 4  # 2 x-values * 2 schedulers
+        assert {"x", "scheduler", "mean", "std", "n"} <= set(rows[0])
+
+    def test_ablation_variant_names_coexist(self):
+        """Registry names keep HDLTS ablation variants distinct."""
+        sweep = tiny_sweep(schedulers=("HDLTS", "HDLTS-nodup"))
+        result = run_sweep(sweep, reps=2, seed=0)
+        assert set(result.stats[1.0]) == {"HDLTS", "HDLTS-nodup"}
+
+    def test_single_point_runs_standalone(self):
+        stats = run_single_point(tiny_sweep(), 1.0, reps=2, seed=0)
+        assert stats["HDLTS"].n == 2
+
+    def test_single_point_matches_sweep(self):
+        sweep = run_sweep(tiny_sweep(), reps=3, seed=9)
+        point = run_single_point(
+            tiny_sweep(), 3.0, reps=3, seed=9, x_index=1
+        )
+        assert point["HDLTS"].mean == sweep.stats[3.0]["HDLTS"].mean
+
+    def test_slr_values_at_least_one(self):
+        result = run_sweep(tiny_sweep(), reps=3, seed=0)
+        for x in result.definition.x_values:
+            for acc in result.stats[x].values():
+                assert acc.min >= 1.0 - 1e-9
+
+    def test_efficiency_values_in_unit_interval(self):
+        result = run_sweep(tiny_sweep(metric="efficiency"), reps=3, seed=0)
+        for x in result.definition.x_values:
+            for acc in result.stats[x].values():
+                assert 0.0 < acc.max <= 1.0 + 1e-9

@@ -1,0 +1,51 @@
+"""Unit tests for the process-parallel sweep runner."""
+
+import pytest
+
+from repro.experiments.harness import run_sweep
+from repro.experiments.parallel import run_sweep_parallel
+from tests.experiments.test_harness import tiny_sweep
+
+
+def test_parallel_matches_serial_bit_for_bit():
+    serial = run_sweep(tiny_sweep(), reps=6, seed=3)
+    parallel = run_sweep_parallel(tiny_sweep(), reps=6, seed=3, workers=3, chunk_size=2)
+    for x in serial.definition.x_values:
+        for name in serial.definition.schedulers:
+            assert parallel.stats[x][name].mean == serial.stats[x][name].mean
+            assert parallel.stats[x][name].std == pytest.approx(
+                serial.stats[x][name].std
+            )
+            assert parallel.stats[x][name].n == serial.stats[x][name].n
+
+
+def test_single_worker_falls_back_to_serial():
+    result = run_sweep_parallel(tiny_sweep(), reps=2, seed=0, workers=1)
+    assert all(
+        result.stats[x]["HDLTS"].n == 2 for x in result.definition.x_values
+    )
+
+
+def test_chunk_size_does_not_change_results():
+    a = run_sweep_parallel(tiny_sweep(), reps=5, seed=1, workers=2, chunk_size=1)
+    b = run_sweep_parallel(tiny_sweep(), reps=5, seed=1, workers=2, chunk_size=4)
+    assert a.series("HDLTS") == b.series("HDLTS")
+
+
+def test_figure_definitions_survive_forking():
+    """Closures in figure factories must work through fork inheritance."""
+    from repro.experiments import get_figure
+
+    result = run_sweep_parallel(get_figure("fig13"), reps=2, seed=0, workers=2)
+    assert result.stats[1.0]["HDLTS"].n == 2
+
+
+def test_invalid_args_rejected():
+    with pytest.raises(ValueError):
+        run_sweep_parallel(tiny_sweep(), reps=0)
+    with pytest.raises(ValueError):
+        run_sweep_parallel(tiny_sweep(), reps=1, workers=0)
+
+
+def test_validate_flag_propagates():
+    run_sweep_parallel(tiny_sweep(), reps=2, seed=0, workers=2, validate=True)

@@ -1,0 +1,70 @@
+"""Unit tests for text report rendering."""
+
+from repro.experiments.harness import run_sweep
+from repro.experiments.report import (
+    format_makespans,
+    format_sweep,
+    format_table,
+    winners,
+)
+from tests.experiments.test_harness import tiny_sweep
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert len(set(len(line) for line in lines)) == 1  # rectangular
+
+
+def test_format_sweep_contains_everything():
+    result = run_sweep(tiny_sweep(), reps=2, seed=0)
+    text = format_sweep(result)
+    assert "tiny test sweep" in text
+    assert "HDLTS" in text and "HEFT" in text
+    assert "1.0" in text and "3.0" in text
+    assert "best" in text
+
+
+def test_format_sweep_precision():
+    result = run_sweep(tiny_sweep(), reps=2, seed=0)
+    text = format_sweep(result, precision=1)
+    # with one decimal there should be no 4-decimal numbers
+    assert not any(
+        len(token.split(".")[-1]) == 4
+        for token in text.split()
+        if "." in token and token.replace(".", "").isdigit()
+    )
+
+
+def test_winners_lower_is_better_for_slr():
+    result = run_sweep(tiny_sweep(), reps=3, seed=0)
+    best = winners(result)
+    for x, name in best.items():
+        stats = result.stats[x]
+        assert stats[name].mean == min(acc.mean for acc in stats.values())
+
+
+def test_winners_higher_is_better_for_efficiency():
+    result = run_sweep(tiny_sweep(metric="efficiency"), reps=3, seed=0)
+    best = winners(result)
+    for x, name in best.items():
+        stats = result.stats[x]
+        assert stats[name].mean == max(acc.mean for acc in stats.values())
+
+
+def test_format_makespans_deltas():
+    text = format_makespans({"HEFT": 80.0, "X": 5.0}, {"HEFT": 80.0})
+    assert "+0" in text
+    assert "X" in text  # unknown algorithms render without a paper column
+
+
+def test_winners_for_makespan_metric_prefers_lower():
+    from repro.experiments.harness import run_sweep
+
+    sweep = tiny_sweep(metric="makespan")
+    result = run_sweep(sweep, reps=2, seed=0)
+    best = winners(result)
+    for x, name in best.items():
+        stats = result.stats[x]
+        assert stats[name].mean == min(acc.mean for acc in stats.values())

@@ -1,0 +1,61 @@
+"""Unit tests for paired scheduler significance testing."""
+
+import pytest
+
+from repro.experiments.significance import compare_schedulers
+from repro.generator.parameters import GeneratorConfig
+from repro.generator.random_dag import generate_random_graph
+
+
+def _factory(**overrides):
+    config = GeneratorConfig(v=40, n_procs=3, **overrides)
+
+    def make(rng):
+        return generate_random_graph(config, rng)
+
+    return make
+
+
+def test_self_comparison_is_a_tie():
+    result = compare_schedulers(_factory(), "HEFT", "HEFT", reps=6)
+    assert result.mean_diff == 0.0
+    assert result.p_value == 1.0
+    assert result.ties == 6
+    assert not result.significant
+
+
+def test_known_gap_is_significant():
+    """HEFT vs the clustering strawman: a large, real gap."""
+    result = compare_schedulers(_factory(ccr=2.0), "HEFT", "LC", reps=12)
+    assert result.mean_diff < 0  # HEFT lower SLR
+    assert result.significant
+    assert result.wins_a > result.wins_b
+
+
+def test_ci_brackets_mean():
+    result = compare_schedulers(_factory(), "HDLTS", "HEFT", reps=10)
+    assert result.ci_low <= result.mean_diff <= result.ci_high
+    assert result.n == 10
+    assert result.wins_a + result.wins_b + result.ties == 10
+
+
+def test_format_is_readable():
+    result = compare_schedulers(_factory(), "HDLTS", "HEFT", reps=6)
+    text = result.format()
+    assert "HDLTS vs HEFT" in text and "p=" in text
+
+
+def test_too_few_reps_rejected():
+    with pytest.raises(ValueError):
+        compare_schedulers(_factory(), "HDLTS", "HEFT", reps=2)
+
+
+def test_custom_metric():
+    result = compare_schedulers(
+        _factory(),
+        "HDLTS",
+        "HEFT",
+        reps=6,
+        metric=lambda graph, makespan: makespan,
+    )
+    assert result.mean_a > 0 and result.mean_b > 0

@@ -1,0 +1,46 @@
+"""Tests for the Table I / Fig. 1 experiment wrappers.
+
+(The cell-by-cell golden trace test lives in
+``tests/core/test_table1_trace.py``; this file covers the experiment
+entry points and the in-text makespan claims.)
+"""
+
+import pytest
+
+from repro.experiments.table1 import (
+    PAPER_FIG1_MAKESPANS,
+    fig1_makespans,
+    table1_trace,
+)
+
+
+def test_trace_has_ten_steps_and_ends_at_73():
+    trace = table1_trace()
+    assert len(trace) == 10
+    assert trace[-1].finish == pytest.approx(73.0)
+
+
+def test_exact_published_makespans():
+    """HDLTS, HEFT and SDBATS reproduce the published values exactly."""
+    measured = fig1_makespans()
+    assert measured["HDLTS"] == pytest.approx(73.0)
+    assert measured["HEFT"] == pytest.approx(80.0)
+    assert measured["SDBATS"] == pytest.approx(74.0)
+
+
+def test_all_published_makespans_within_two_units():
+    """PETS/PEFT differ by at most one unit (tie-break interpretation)."""
+    measured = fig1_makespans()
+    for name, published in PAPER_FIG1_MAKESPANS.items():
+        assert abs(measured[name] - published) <= 2.0, name
+
+
+def test_hdlts_beats_every_baseline_on_fig1():
+    measured = fig1_makespans()
+    assert measured["HDLTS"] == min(measured.values())
+
+
+def test_custom_scheduler_subset():
+    measured = fig1_makespans(["HEFT", "CPOP"])
+    assert set(measured) == {"HEFT", "CPOP"}
+    assert measured["CPOP"] == pytest.approx(86.0)

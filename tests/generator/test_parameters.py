@@ -1,0 +1,86 @@
+"""Unit tests for Table II parameter handling."""
+
+import pytest
+
+from repro.generator.parameters import TABLE_II, GeneratorConfig, iter_table_ii
+
+
+class TestConfig:
+    def test_defaults_are_midrange(self):
+        cfg = GeneratorConfig()
+        assert cfg.v == 100 and cfg.n_procs == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"v": 0},
+            {"alpha": 0},
+            {"alpha": -1.0},
+            {"density": 0},
+            {"ccr": -0.5},
+            {"n_procs": 0},
+            {"w_dag": 0},
+            {"beta": 2.5},
+            {"beta": -0.1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GeneratorConfig(**kwargs)
+
+    def test_with_updates_functionally(self):
+        cfg = GeneratorConfig()
+        new = cfg.with_(ccr=4.0)
+        assert new.ccr == 4.0 and cfg.ccr == 1.0
+        assert new.v == cfg.v
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            GeneratorConfig().v = 7
+
+
+class TestTableII:
+    def test_published_grid_verbatim(self):
+        assert TABLE_II["v"] == (100, 200, 300, 400, 500, 1000, 5000, 10000)
+        assert TABLE_II["alpha"] == (0.5, 1.0, 1.5, 2.0, 2.5)
+        assert TABLE_II["density"] == (1, 2, 3, 4, 5)
+        assert TABLE_II["ccr"] == (1.0, 2.0, 3.0, 4.0, 5.0)
+        assert TABLE_II["n_procs"] == (2, 4, 6, 8, 10)
+        assert TABLE_II["w_dag"] == (50, 60, 70, 80, 90, 100)
+        assert TABLE_II["beta"] == (0.4, 0.8, 1.2, 1.6, 2.0)
+
+    def test_full_grid_size(self):
+        """The paper quotes '125K unique graphs'; the literal Table II
+        cross product is 8*5*5*5*5*6*5 = 150,000 (the 125K figure assumes
+        five W_dag values -- the table lists six).  We keep the table
+        verbatim and note the arithmetic discrepancy here."""
+        total = 1
+        for values in TABLE_II.values():
+            total *= len(values)
+        assert total == 150_000
+
+    def test_iter_respects_overrides(self):
+        configs = list(
+            iter_table_ii(
+                {
+                    "v": (100,),
+                    "alpha": (1.0,),
+                    "density": (3,),
+                    "ccr": (1.0, 5.0),
+                    "n_procs": (4,),
+                    "w_dag": (50,),
+                    "beta": (1.2,),
+                }
+            )
+        )
+        assert len(configs) == 2
+        assert {c.ccr for c in configs} == {1.0, 5.0}
+        assert all(c.v == 100 for c in configs)
+
+    def test_iter_rejects_unknown_axis(self):
+        with pytest.raises(KeyError, match="unknown Table II axes"):
+            next(iter_table_ii({"bogus": (1,)}))
+
+    def test_iter_yields_valid_configs(self):
+        for config in iter_table_ii({k: v[:1] for k, v in TABLE_II.items()}):
+            assert isinstance(config, GeneratorConfig)

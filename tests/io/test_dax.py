@@ -1,0 +1,111 @@
+"""Unit tests for the Pegasus DAX importer."""
+
+import pytest
+
+from repro.io.dax import load_dax, parse_dax
+from repro.model.platform import Platform, compile_workflow
+
+_DIAMOND_DAX = """<?xml version="1.0" encoding="UTF-8"?>
+<adag xmlns="http://pegasus.isi.edu/schema/DAX" version="3.6" name="diamond">
+  <job id="ID0001" name="preprocess" runtime="10.0">
+    <uses file="f.a" link="input" size="1000"/>
+    <uses file="f.b1" link="output" size="2000"/>
+    <uses file="f.b2" link="output" size="3000"/>
+  </job>
+  <job id="ID0002" name="findrange1" runtime="20.0">
+    <uses file="f.b1" link="input" size="2000"/>
+    <uses file="f.c1" link="output" size="500"/>
+  </job>
+  <job id="ID0003" name="findrange2" runtime="30.0">
+    <uses file="f.b2" link="input" size="3000"/>
+    <uses file="f.c2" link="output" size="700"/>
+  </job>
+  <job id="ID0004" name="analyze" runtime="5.0">
+    <uses file="f.c1" link="input" size="500"/>
+    <uses file="f.c2" link="input" size="700"/>
+    <uses file="f.d" link="output" size="100"/>
+  </job>
+  <child ref="ID0002"><parent ref="ID0001"/></child>
+  <child ref="ID0003"><parent ref="ID0001"/></child>
+  <child ref="ID0004">
+    <parent ref="ID0002"/>
+    <parent ref="ID0003"/>
+  </child>
+</adag>
+"""
+
+
+class TestParse:
+    def test_jobs_and_names(self):
+        workflow = parse_dax(_DIAMOND_DAX)
+        assert workflow.n_tasks == 4
+        assert workflow.names == [
+            "preprocess",
+            "findrange1",
+            "findrange2",
+            "analyze",
+        ]
+        assert workflow.instructions == [10.0, 20.0, 30.0, 5.0]
+
+    def test_edges_and_volumes(self):
+        workflow = parse_dax(_DIAMOND_DAX)
+        assert workflow.data[(0, 1)] == 2000.0  # f.b1
+        assert workflow.data[(0, 2)] == 3000.0  # f.b2
+        assert workflow.data[(1, 3)] == 500.0  # f.c1
+        assert workflow.data[(2, 3)] == 700.0  # f.c2
+        assert len(workflow.data) == 4
+
+    def test_namespaced_and_plain_xml_both_parse(self):
+        plain = _DIAMOND_DAX.replace(
+            ' xmlns="http://pegasus.isi.edu/schema/DAX"', ""
+        )
+        assert parse_dax(plain).n_tasks == 4
+
+    def test_invalid_xml_rejected(self):
+        with pytest.raises(ValueError, match="not valid DAX"):
+            parse_dax("this is not xml")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ValueError, match="adag"):
+            parse_dax("<workflow/>")
+
+    def test_unknown_refs_rejected(self):
+        bad = _DIAMOND_DAX.replace('ref="ID0002"', 'ref="NOPE"', 1)
+        with pytest.raises(ValueError, match="unknown job"):
+            parse_dax(bad)
+
+    def test_duplicate_job_id_rejected(self):
+        bad = _DIAMOND_DAX.replace('id="ID0002"', 'id="ID0001"')
+        with pytest.raises(ValueError, match="duplicate job id"):
+            parse_dax(bad)
+
+    def test_edge_without_shared_files_has_zero_volume(self):
+        dax = """<adag name="x">
+          <job id="A" runtime="1"/>
+          <job id="B" runtime="1"/>
+          <child ref="B"><parent ref="A"/></child>
+        </adag>"""
+        workflow = parse_dax(dax)
+        assert workflow.data[(0, 1)] == 0.0
+
+
+class TestEndToEnd:
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "diamond.dax"
+        path.write_text(_DIAMOND_DAX)
+        workflow = load_dax(path)
+        assert workflow.n_tasks == 4
+
+    def test_compile_and_schedule(self):
+        from repro.core import HDLTS
+        from repro.schedule.validation import validate_schedule
+
+        workflow = parse_dax(_DIAMOND_DAX)
+        platform = Platform([1.0, 2.0], bandwidth=1000.0)
+        graph = compile_workflow(workflow, platform)
+        # runtime / frequency: preprocess on the 2 GHz CPU takes 5
+        assert graph.cost(0, 1) == pytest.approx(5.0)
+        # 2000 bytes over 1000 B/s links -> 2.0 time units
+        assert graph.comm_cost(0, 1) == pytest.approx(2.0)
+        result = HDLTS().run(graph)
+        validate_schedule(graph, result.schedule)

@@ -1,0 +1,64 @@
+"""Unit tests for DOT export."""
+
+from repro.core import HDLTS
+from repro.io.dot import graph_to_dot, schedule_to_dot
+
+
+def test_nodes_and_edges_present(fig1):
+    dot = graph_to_dot(fig1)
+    assert dot.startswith("digraph workflow {")
+    assert dot.rstrip().endswith("}")
+    for task in fig1.tasks():
+        assert f"t{task} [" in dot
+    assert "t0 -> t1" in dot
+
+
+def test_costs_on_labels(fig1):
+    dot = graph_to_dot(fig1)
+    assert "[14, 16, 9]" in dot
+    assert 'label="18"' in dot
+
+
+def test_costs_can_be_hidden(fig1):
+    dot = graph_to_dot(fig1, show_costs=False)
+    assert "[14, 16, 9]" not in dot
+    assert 'label="18"' not in dot
+
+
+def test_schedule_coloring(fig1):
+    schedule = HDLTS().run(fig1).schedule
+    dot = schedule_to_dot(schedule)
+    assert "fillcolor=\"#" in dot
+    assert "tooltip=" in dot
+
+
+def test_quotes_escaped():
+    from repro.model.task_graph import TaskGraph
+
+    graph = TaskGraph(1)
+    graph.add_task([1], name='say "hi"')
+    dot = graph_to_dot(graph)
+    assert r"\"hi\"" in dot
+
+
+def test_parses_with_networkx(fig1):
+    """pydot isn't installed, so check structural line counts instead."""
+    dot = graph_to_dot(fig1)
+    node_lines = [l for l in dot.splitlines() if l.strip().startswith("t") and "->" not in l]
+    edge_lines = [l for l in dot.splitlines() if "->" in l]
+    assert len(node_lines) == fig1.n_tasks
+    assert len(edge_lines) == fig1.n_edges
+
+
+def test_palette_cycles_beyond_eight_cpus():
+    from repro.model.task_graph import TaskGraph
+    from repro.schedule.schedule import Schedule
+
+    graph = TaskGraph(10)
+    tasks = [graph.add_task([1.0] * 10) for _ in range(10)]
+    schedule = Schedule(graph)
+    for i, task in enumerate(tasks):
+        schedule.place(task, i, 0.0)
+    dot = schedule_to_dot(schedule)
+    # CPUs 0 and 8 share a palette slot (8 colors cycled over 10 CPUs)
+    assert dot.count("#88CCEE") >= 2

@@ -1,0 +1,85 @@
+"""Unit tests for JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import HDLTS
+from repro.io.json_io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+    save_schedule,
+    schedule_to_dict,
+)
+
+
+class TestGraphRoundTrip:
+    def test_fig1_round_trip(self, fig1):
+        restored = graph_from_dict(graph_to_dict(fig1))
+        assert restored.n_tasks == fig1.n_tasks
+        assert restored.n_procs == fig1.n_procs
+        assert np.allclose(restored.cost_matrix(), fig1.cost_matrix())
+        assert sorted(map(tuple, restored.edges())) == sorted(
+            map(tuple, fig1.edges())
+        )
+        assert restored.name(0) == "T1"
+
+    def test_round_trip_preserves_schedules(self, fig1):
+        restored = graph_from_dict(graph_to_dict(fig1))
+        assert HDLTS().run(restored).makespan == HDLTS().run(fig1).makespan
+
+    def test_file_round_trip(self, fig1, tmp_path):
+        path = tmp_path / "graph.json"
+        save_graph(fig1, path)
+        restored = load_graph(path)
+        assert np.allclose(restored.cost_matrix(), fig1.cost_matrix())
+
+    def test_random_graph_round_trip(self):
+        from tests.conftest import make_random_graph
+
+        graph = make_random_graph(seed=3, v=50)
+        restored = graph_from_dict(graph_to_dict(graph))
+        assert restored.n_edges == graph.n_edges
+
+    def test_document_is_valid_json(self, fig1, tmp_path):
+        path = tmp_path / "graph.json"
+        save_graph(fig1, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-taskgraph"
+        assert data["version"] == 1
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a repro-taskgraph"):
+            graph_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self, fig1):
+        data = graph_to_dict(fig1)
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            graph_from_dict(data)
+
+
+class TestScheduleExport:
+    def test_records_cover_all_copies(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        data = schedule_to_dict(schedule)
+        assert data["makespan"] == 73.0
+        # 10 primaries + 2 entry duplicates
+        assert len(data["records"]) == 12
+        dups = [r for r in data["records"] if r["duplicate"]]
+        assert len(dups) == 2 and all(r["name"] == "T1" for r in dups)
+
+    def test_records_sorted_by_start(self, fig1):
+        records = schedule_to_dict(HDLTS().run(fig1).schedule)["records"]
+        starts = [r["start"] for r in records]
+        assert starts == sorted(starts)
+
+    def test_save_schedule_file(self, fig1, tmp_path):
+        path = tmp_path / "schedule.json"
+        save_schedule(HDLTS().run(fig1).schedule, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-schedule"
+        assert data["n_procs"] == 3

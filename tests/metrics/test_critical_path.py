@@ -1,0 +1,70 @@
+"""Unit tests for critical-path lower bounds."""
+
+import pytest
+
+from repro.metrics.critical_path import (
+    cp_min_lower_bound,
+    critical_path_mean,
+    critical_path_min,
+)
+from repro.model.task_graph import TaskGraph
+from tests.conftest import make_random_graph
+
+
+def test_fig1_cp_min(fig1):
+    """Minimum-cost chain of the Fig. 1 graph.
+
+    With node weights min_p W: (9, 13, 11, 8, 10, 9, 7, 5, 12, 7) the
+    longest chain is T1-T2-T9-T10 = 9 + 13 + 12 + 7 = 41.
+    """
+    length, path = critical_path_min(fig1)
+    assert length == pytest.approx(41.0)
+    assert path == [0, 1, 8, 9]
+
+
+def test_bound_is_a_true_lower_bound(fig1):
+    """Every scheduler's makespan dominates the CP_MIN bound."""
+    from repro.baselines.registry import SCHEDULER_FACTORIES
+
+    bound = cp_min_lower_bound(fig1)
+    for name, factory in SCHEDULER_FACTORIES.items():
+        assert factory().run(fig1).makespan >= bound - 1e-9, name
+
+
+def test_bound_on_random_graphs():
+    from repro.core import HDLTS
+
+    for seed in range(5):
+        graph = make_random_graph(seed=seed, v=60, ccr=3.0)
+        assert HDLTS().run(graph).makespan >= cp_min_lower_bound(graph) - 1e-9
+
+
+def test_mean_cp_includes_communication(fig1):
+    """The mean-cost CP of Fig. 1 (Topcuoglu): T1-T2/T4-..., length with
+    comm included must exceed the comm-free min bound."""
+    mean_len, mean_path = critical_path_mean(fig1)
+    assert mean_len > cp_min_lower_bound(fig1)
+    assert mean_path[0] == 0 and mean_path[-1] == 9
+
+
+def test_single_task_graph():
+    graph = TaskGraph(2)
+    graph.add_task([4, 6])
+    length, path = critical_path_min(graph)
+    assert length == 4.0
+    assert path == [0]
+
+
+def test_chain_graph(chain):
+    length, path = critical_path_min(chain)
+    assert path == [0, 1, 2, 3]
+    assert length == pytest.approx(5 + 2 + 4 + 1)
+
+
+def test_parallel_tasks_pick_heaviest():
+    graph = TaskGraph(1)
+    graph.add_task([3])
+    graph.add_task([10])
+    graph.add_task([5])
+    length, path = critical_path_min(graph)
+    assert length == 10.0 and path == [1]

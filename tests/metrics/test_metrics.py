@@ -1,0 +1,86 @@
+"""Unit tests for SLR / speedup / efficiency (Eqs. 10-12)."""
+
+import pytest
+
+from repro.core import HDLTS
+from repro.metrics.metrics import (
+    MetricReport,
+    efficiency,
+    evaluate,
+    sequential_time,
+    slr,
+    speedup,
+)
+from repro.model.task_graph import TaskGraph
+from tests.conftest import make_random_graph
+
+
+class TestSequentialTime:
+    def test_fig1_best_single_cpu(self, fig1):
+        # column sums: P1 = 127, P2 = 130, P3 = 133 -> 127 on P1
+        assert sequential_time(fig1) == pytest.approx(127.0)
+
+    def test_empty_graph(self):
+        assert sequential_time(TaskGraph(2)) == 0.0
+
+
+class TestSLR:
+    def test_fig1_hdlts(self, fig1):
+        assert slr(fig1, 73.0) == pytest.approx(73.0 / 41.0)
+
+    def test_always_at_least_one(self):
+        for seed in range(5):
+            graph = make_random_graph(seed=seed, v=50, ccr=2.0)
+            makespan = HDLTS().run(graph).makespan
+            assert slr(graph, makespan) >= 1.0 - 1e-9
+
+    def test_negative_makespan_rejected(self, fig1):
+        with pytest.raises(ValueError):
+            slr(fig1, -1.0)
+
+    def test_zero_bound_graph_rejected(self):
+        graph = TaskGraph(2)
+        graph.add_task([0, 0])
+        with pytest.raises(ValueError, match="undefined"):
+            slr(graph, 1.0)
+
+
+class TestSpeedupEfficiency:
+    def test_fig1_hdlts_speedup(self, fig1):
+        assert speedup(fig1, 73.0) == pytest.approx(127.0 / 73.0)
+
+    def test_efficiency_is_speedup_per_cpu(self, fig1):
+        assert efficiency(fig1, 73.0) == pytest.approx(
+            speedup(fig1, 73.0) / 3.0
+        )
+
+    def test_single_cpu_efficiency_is_one(self):
+        graph = make_random_graph(seed=4, v=30, n_procs=1)
+        makespan = HDLTS().run(graph).makespan
+        assert efficiency(graph, makespan) == pytest.approx(1.0)
+
+    def test_speedup_bounded_by_cpu_count(self):
+        """Speedup can never exceed p (work conservation)."""
+        for seed in range(4):
+            graph = make_random_graph(seed=seed, v=60)
+            makespan = HDLTS().run(graph).makespan
+            assert speedup(graph, makespan) <= graph.n_procs + 1e-9
+
+    def test_zero_makespan_rejected(self, fig1):
+        with pytest.raises(ValueError):
+            speedup(fig1, 0.0)
+
+
+class TestEvaluate:
+    def test_report_consistency(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        report = evaluate(fig1, schedule)
+        assert isinstance(report, MetricReport)
+        assert report.makespan == pytest.approx(73.0)
+        assert report.slr == pytest.approx(slr(fig1, 73.0))
+        assert report.efficiency == pytest.approx(report.speedup / 3.0)
+
+    def test_as_dict(self, fig1):
+        report = evaluate(fig1, HDLTS().run(fig1).schedule)
+        d = report.as_dict()
+        assert set(d) == {"makespan", "slr", "speedup", "efficiency"}

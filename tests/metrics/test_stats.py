@@ -1,0 +1,78 @@
+"""Unit tests for the Welford accumulator and summaries."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import RunningStats, summarize
+
+
+class TestRunningStats:
+    def test_matches_numpy(self, rng):
+        samples = rng.normal(10.0, 3.0, size=500)
+        stats = RunningStats()
+        stats.extend(samples)
+        assert stats.n == 500
+        assert stats.mean == pytest.approx(samples.mean())
+        assert stats.std == pytest.approx(samples.std(ddof=1))
+        assert stats.min == samples.min()
+        assert stats.max == samples.max()
+
+    def test_single_sample(self):
+        stats = RunningStats()
+        stats.add(7.0)
+        assert stats.mean == 7.0
+        assert stats.variance == 0.0
+        assert stats.stderr == 0.0
+
+    def test_empty_raises(self):
+        stats = RunningStats()
+        with pytest.raises(ValueError, match="no samples"):
+            stats.mean
+        with pytest.raises(ValueError):
+            stats.variance
+        with pytest.raises(ValueError):
+            stats.min
+
+    def test_nonfinite_rejected(self):
+        stats = RunningStats()
+        with pytest.raises(ValueError):
+            stats.add(float("nan"))
+        with pytest.raises(ValueError):
+            stats.add(float("inf"))
+
+    def test_stderr_shrinks_with_n(self, rng):
+        small, large = RunningStats(), RunningStats()
+        small.extend(rng.normal(size=10))
+        large.extend(rng.normal(size=1000))
+        assert large.stderr < small.stderr
+
+    def test_confidence_interval_contains_mean(self, rng):
+        stats = RunningStats()
+        stats.extend(rng.normal(5.0, 1.0, size=100))
+        low, high = stats.confidence_interval()
+        assert low < stats.mean < high
+        assert high - low == pytest.approx(2 * 1.96 * stats.stderr)
+
+    def test_numerical_stability_large_offset(self):
+        """Welford survives a huge common offset (naive sums would not)."""
+        stats = RunningStats()
+        base = 1e12
+        for value in (base + 1, base + 2, base + 3):
+            stats.add(value)
+        assert stats.variance == pytest.approx(1.0)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.n == 3
+        assert summary.mean == 2.0
+        assert summary.std == pytest.approx(1.0)
+        assert summary.min == 1.0 and summary.max == 3.0
+        assert summary.stderr == pytest.approx(1.0 / math.sqrt(3))
+
+    def test_generator_input(self):
+        summary = summarize(float(x) for x in range(10))
+        assert summary.n == 10

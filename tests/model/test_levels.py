@@ -1,0 +1,71 @@
+"""Unit tests for level decomposition."""
+
+from repro.model.levels import (
+    graph_height,
+    graph_width,
+    level_decomposition,
+    task_levels,
+)
+from repro.model.task_graph import TaskGraph
+
+
+def test_fig1_levels(fig1):
+    levels = task_levels(fig1)
+    assert levels[0] == 0  # entry
+    assert all(levels[t] == 1 for t in range(1, 6))  # T2..T6
+    assert levels[6] == 2  # T7 (child of T3)
+    assert levels[7] == 2 and levels[8] == 2  # T8, T9
+    assert levels[9] == 3  # exit
+
+
+def test_fig1_height_width(fig1):
+    assert graph_height(fig1) == 4
+    assert graph_width(fig1) == 5
+
+
+def test_level_is_longest_path_not_shortest():
+    """A task reachable by both a short and a long path sits deep."""
+    graph = TaskGraph(1)
+    a, b, c, d = (graph.add_task([1]) for _ in range(4))
+    graph.add_edge(a, d, 1.0)  # short path: level would be 1
+    graph.add_edge(a, b, 1.0)
+    graph.add_edge(b, c, 1.0)
+    graph.add_edge(c, d, 1.0)  # long path forces level 3
+    assert task_levels(graph)[d] == 3
+
+
+def test_level_decomposition_partitions_all_tasks(diamond):
+    decomposition = level_decomposition(diamond)
+    flat = [t for level in decomposition for t in level]
+    assert sorted(flat) == list(diamond.tasks())
+    assert decomposition == [(0,), (1, 2), (3,)]
+
+
+def test_tasks_in_a_level_are_independent(fig1):
+    """No edge may connect two tasks of the same level."""
+    for level in level_decomposition(fig1):
+        for a in level:
+            for b in level:
+                assert not fig1.has_edge(a, b)
+
+
+def test_empty_graph():
+    graph = TaskGraph(2)
+    assert level_decomposition(graph) == []
+    assert graph_height(graph) == 0
+    assert graph_width(graph) == 0
+
+
+def test_single_task():
+    graph = TaskGraph(1)
+    graph.add_task([1])
+    assert graph_height(graph) == 1
+    assert graph_width(graph) == 1
+
+
+def test_parallel_tasks_no_edges():
+    graph = TaskGraph(1)
+    for _ in range(5):
+        graph.add_task([1])
+    assert graph_height(graph) == 1
+    assert graph_width(graph) == 5

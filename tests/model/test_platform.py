@@ -1,0 +1,131 @@
+"""Unit tests for the physical platform / workflow layer."""
+
+import numpy as np
+import pytest
+
+from repro.model.platform import Platform, Workflow, compile_workflow
+
+
+class TestPlatform:
+    def test_scalar_bandwidth(self):
+        platform = Platform([1e9, 2e9], bandwidth=100.0)
+        assert platform.n_procs == 2
+        assert platform.bandwidth(0, 1) == 100.0
+        assert platform.bandwidth(0, 0) == np.inf  # same CPU is free
+
+    def test_matrix_bandwidth(self):
+        bw = np.array([[0.0, 10.0], [10.0, 0.0]])
+        platform = Platform([1.0, 1.0], bandwidth=bw)
+        assert platform.bandwidth(0, 1) == 10.0
+
+    def test_asymmetric_matrix_rejected(self):
+        bw = np.array([[0.0, 10.0], [20.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            Platform([1.0, 1.0], bandwidth=bw)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Platform([1.0, 1.0], bandwidth=0.0)
+        bw = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(ValueError):
+            Platform([1.0, 1.0], bandwidth=bw)
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Platform([1.0, 0.0])
+
+    def test_empty_frequencies_rejected(self):
+        with pytest.raises(ValueError):
+            Platform([])
+
+    def test_min_mean_bandwidth(self):
+        bw = np.array(
+            [[0.0, 10.0, 30.0], [10.0, 0.0, 20.0], [30.0, 20.0, 0.0]]
+        )
+        platform = Platform([1, 1, 1], bandwidth=bw)
+        assert platform.min_bandwidth() == 10.0
+        assert platform.mean_bandwidth() == pytest.approx(20.0)
+
+    def test_single_cpu_bandwidth_is_inf(self):
+        platform = Platform([2.0])
+        assert platform.min_bandwidth() == np.inf
+        assert platform.mean_bandwidth() == np.inf
+
+    def test_uniform_factory(self):
+        platform = Platform.uniform(4, frequency=2.0)
+        assert platform.n_procs == 4
+        assert platform.frequency(3) == 2.0
+
+    def test_frequencies_view_readonly(self):
+        platform = Platform([1.0, 2.0])
+        with pytest.raises(ValueError):
+            platform.frequencies[0] = 9.0
+
+
+class TestWorkflow:
+    def test_add_task_and_edge(self):
+        wf = Workflow()
+        a = wf.add_task(100.0, name="a")
+        b = wf.add_task(200.0)
+        wf.add_edge(a, b, 50.0)
+        assert wf.n_tasks == 2
+        assert wf.names == ["a", "T2"]
+        assert wf.data[(a, b)] == 50.0
+
+    def test_rejects_negative_instructions(self):
+        with pytest.raises(ValueError):
+            Workflow().add_task(-1.0)
+
+    def test_rejects_unknown_edge_endpoint(self):
+        wf = Workflow()
+        wf.add_task(1.0)
+        with pytest.raises(KeyError):
+            wf.add_edge(0, 7, 1.0)
+
+    def test_rejects_duplicate_edge(self):
+        wf = Workflow()
+        a, b = wf.add_task(1.0), wf.add_task(1.0)
+        wf.add_edge(a, b, 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            wf.add_edge(a, b, 2.0)
+
+
+class TestCompile:
+    def test_definition_1_division(self):
+        """Execution time = instructions / frequency."""
+        wf = Workflow()
+        wf.add_task(100.0)
+        platform = Platform([10.0, 50.0], bandwidth=1.0)
+        graph = compile_workflow(wf, platform)
+        assert graph.cost(0, 0) == pytest.approx(10.0)
+        assert graph.cost(0, 1) == pytest.approx(2.0)
+
+    def test_definition_2_division(self):
+        """Communication time = data volume / bandwidth."""
+        wf = Workflow()
+        a, b = wf.add_task(1.0), wf.add_task(1.0)
+        wf.add_edge(a, b, 300.0)
+        platform = Platform([1.0, 1.0], bandwidth=100.0)
+        graph = compile_workflow(wf, platform)
+        assert graph.comm_cost(a, b) == pytest.approx(3.0)
+
+    def test_single_cpu_comm_is_free(self):
+        wf = Workflow()
+        a, b = wf.add_task(1.0), wf.add_task(1.0)
+        wf.add_edge(a, b, 300.0)
+        graph = compile_workflow(wf, Platform([1.0]))
+        assert graph.comm_cost(a, b) == 0.0
+
+    def test_compiled_graph_is_schedulable(self):
+        from repro.core import HDLTS
+
+        wf = Workflow()
+        a = wf.add_task(10.0)
+        b = wf.add_task(20.0)
+        c = wf.add_task(30.0)
+        wf.add_edge(a, b, 5.0)
+        wf.add_edge(a, c, 5.0)
+        graph = compile_workflow(wf, Platform([1.0, 2.0], bandwidth=10.0))
+        result = HDLTS().run(graph)
+        assert result.schedule.is_complete()
+        assert result.makespan > 0

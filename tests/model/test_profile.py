@@ -1,0 +1,58 @@
+"""Unit tests for workload profiling."""
+
+import numpy as np
+import pytest
+
+from repro.model.profile import graph_profile
+from repro.model.task_graph import TaskGraph
+from tests.conftest import make_random_graph
+
+
+def test_fig1_profile(fig1):
+    profile = graph_profile(fig1)
+    assert profile.n_tasks == 10 and profile.n_edges == 15
+    assert profile.height == 4 and profile.width == 5
+    # T1 fans out to 5, T2..T6 have 1-2 children, T7..T9 have 1
+    assert profile.density == pytest.approx(15 / 9)
+    assert profile.mean_computation == pytest.approx(
+        fig1.cost_matrix().mean()
+    )
+    assert 0 < profile.serialism < 1
+    assert profile.parallelism == pytest.approx((10 / 4) / 3)
+
+
+def test_generator_targets_materialize():
+    """Requested CCR shows up in the realized profile."""
+    for ccr in (1.0, 4.0):
+        graph = make_random_graph(seed=1, v=300, ccr=ccr)
+        profile = graph_profile(graph)
+        assert profile.ccr == pytest.approx(ccr, rel=0.3)
+
+
+def test_beta_materializes_as_heterogeneity():
+    lo = graph_profile(make_random_graph(seed=2, v=200, beta=0.4))
+    hi = graph_profile(make_random_graph(seed=2, v=200, beta=2.0))
+    assert hi.heterogeneity > 2 * lo.heterogeneity
+
+
+def test_chain_is_fully_serial(chain):
+    assert graph_profile(chain).serialism == pytest.approx(1.0)
+
+
+def test_independent_tasks_minimally_serial():
+    graph = TaskGraph(2)
+    for _ in range(10):
+        graph.add_task([4.0, 4.0])
+    profile = graph_profile(graph)
+    assert profile.serialism == pytest.approx(0.1)
+    assert profile.height == 1 and profile.width == 10
+
+
+def test_empty_graph_rejected():
+    with pytest.raises(ValueError):
+        graph_profile(TaskGraph(2))
+
+
+def test_format_renders(fig1):
+    text = graph_profile(fig1).format()
+    assert "realized CCR" in text and "serialism" in text

@@ -1,0 +1,100 @@
+"""Unit tests for rank functions against published values."""
+
+import numpy as np
+import pytest
+
+from repro.model.attributes import std_execution_times
+from repro.model.ranking import (
+    downward_rank,
+    oct_rank,
+    optimistic_cost_table,
+    upward_rank,
+)
+from repro.model.task_graph import TaskGraph
+
+#: canonical HEFT upward ranks for the Fig. 1 graph (Topcuoglu, TPDS 2002)
+_PUBLISHED_RANK_U = [
+    108.000,
+    77.000,
+    80.000,
+    80.000,
+    69.000,
+    63.333,
+    42.667,
+    35.667,
+    44.333,
+    14.667,
+]
+
+
+class TestUpwardRank:
+    def test_published_fig1_values(self, fig1):
+        ranks = upward_rank(fig1)
+        assert ranks == pytest.approx(_PUBLISHED_RANK_U, abs=1e-3)
+
+    def test_exit_rank_is_own_weight(self, fig1):
+        ranks = upward_rank(fig1)
+        assert ranks[9] == pytest.approx(fig1.cost_row(9).mean())
+
+    def test_monotone_along_edges(self, fig1):
+        ranks = upward_rank(fig1)
+        for edge in fig1.edges():
+            assert ranks[edge.src] >= ranks[edge.dst]
+
+    def test_custom_weights(self, fig1):
+        """SDBATS variant: std weights still monotone along edges."""
+        ranks = upward_rank(fig1, std_execution_times(fig1))
+        for edge in fig1.edges():
+            assert ranks[edge.src] >= ranks[edge.dst]
+
+    def test_rejects_wrong_weight_shape(self, fig1):
+        with pytest.raises(ValueError, match="shape"):
+            upward_rank(fig1, np.zeros(3))
+
+
+class TestDownwardRank:
+    def test_entry_rank_is_zero(self, fig1):
+        assert downward_rank(fig1)[0] == 0.0
+
+    def test_chain_accumulates(self, chain):
+        ranks = downward_rank(chain)
+        # rank_d(C1) = rank_d(C0) + mean_w(C0) + comm(C0, C1) = 0 + 6 + 2
+        assert ranks[1] == pytest.approx(8.0)
+
+    def test_upward_plus_downward_constant_on_critical_path(self, fig1):
+        """Every critical-path task carries the entry's priority."""
+        priority = upward_rank(fig1) + downward_rank(fig1)
+        cp_value = priority[0]
+        assert priority.max() == pytest.approx(cp_value)
+
+
+class TestOCT:
+    def test_exit_row_is_zero(self, fig1):
+        table = optimistic_cost_table(fig1)
+        assert np.all(table[9] == 0.0)
+
+    def test_parent_of_exit(self, fig1):
+        """OCT(T8, p) = min_q [w(T10, q) + c(8,10) * (q != p)]."""
+        table = optimistic_cost_table(fig1)
+        w10 = fig1.cost_row(9)  # (21, 7, 16)
+        comm = fig1.comm_cost(7, 9)  # 11
+        for p in range(3):
+            opts = [w10[q] + (comm if q != p else 0.0) for q in range(3)]
+            assert table[7, p] == pytest.approx(min(opts))
+
+    def test_oct_nonnegative(self, fig1):
+        assert np.all(optimistic_cost_table(fig1) >= 0)
+
+    def test_rank_is_row_mean(self, fig1):
+        table = optimistic_cost_table(fig1)
+        assert oct_rank(fig1, table) == pytest.approx(table.mean(axis=1))
+
+    def test_rank_without_table_argument(self, fig1):
+        assert oct_rank(fig1) == pytest.approx(
+            optimistic_cost_table(fig1).mean(axis=1)
+        )
+
+    def test_single_task_graph(self):
+        graph = TaskGraph(2)
+        graph.add_task([1, 2])
+        assert np.all(optimistic_cost_table(graph) == 0)

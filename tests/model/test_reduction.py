@@ -1,0 +1,98 @@
+"""Unit tests for transitive reduction."""
+
+import pytest
+
+from repro.model.reduction import redundant_edges, transitive_reduction
+from repro.model.task_graph import TaskGraph
+from tests.conftest import make_random_graph
+
+
+def chain_with_shortcut() -> TaskGraph:
+    graph = TaskGraph(2)
+    a, b, c = (graph.add_task([1, 1]) for _ in range(3))
+    graph.add_edge(a, b, 1.0)
+    graph.add_edge(b, c, 2.0)
+    graph.add_edge(a, c, 9.0)  # redundant: implied by a->b->c
+    return graph
+
+
+def test_detects_shortcut():
+    assert redundant_edges(chain_with_shortcut()) == [(0, 2)]
+
+
+def test_reduction_removes_only_redundant():
+    reduced = transitive_reduction(chain_with_shortcut())
+    assert reduced.n_edges == 2
+    assert reduced.has_edge(0, 1) and reduced.has_edge(1, 2)
+    assert not reduced.has_edge(0, 2)
+    assert reduced.comm_cost(1, 2) == 2.0  # surviving costs kept
+
+
+def test_fig1_is_already_reduced(fig1):
+    assert redundant_edges(fig1) == []
+    assert transitive_reduction(fig1).n_edges == fig1.n_edges
+
+
+def test_reachability_preserved():
+    graph = make_random_graph(seed=9, v=60, density=5)
+    reduced = transitive_reduction(graph)
+
+    def closure(g):
+        pairs = set()
+        order = g.topological_order()
+        reach = {t: {t} for t in g.tasks()}
+        for t in reversed(order):
+            for s in g.successors(t):
+                reach[t] |= reach[s]
+            pairs |= {(t, x) for x in reach[t] if x != t}
+        return pairs
+
+    assert closure(graph) == closure(reduced)
+
+
+def test_diamond_has_no_redundancy(diamond):
+    assert redundant_edges(diamond) == []
+
+
+def test_cascaded_redundancy_removed_together():
+    """Two mutually-path-covered edges are both removable in a DAG."""
+    graph = TaskGraph(1)
+    a, b, c, d = (graph.add_task([1]) for _ in range(4))
+    graph.add_edge(a, b, 1.0)
+    graph.add_edge(b, c, 1.0)
+    graph.add_edge(c, d, 1.0)
+    graph.add_edge(a, c, 1.0)  # redundant
+    graph.add_edge(a, d, 1.0)  # redundant (via either path)
+    reduced = transitive_reduction(graph)
+    assert reduced.n_edges == 3
+    # reachability a->d preserved
+    assert (0, 3) in {
+        (x, y)
+        for x in reduced.tasks()
+        for y in reduced.tasks()
+        if _reaches(reduced, x, y)
+    }
+
+
+def _reaches(graph, src, dst):
+    stack = [src]
+    seen = set()
+    while stack:
+        node = stack.pop()
+        if node == dst:
+            return True
+        for s in graph.successors(node):
+            if s not in seen:
+                seen.add(s)
+                stack.append(s)
+    return False
+
+
+def test_schedulers_accept_reduced_graphs():
+    from repro.core import HDLTS
+    from repro.schedule.validation import validate_schedule
+
+    graph = make_random_graph(seed=11, v=50, density=5)
+    reduced = transitive_reduction(graph)
+    result = HDLTS().run(reduced)
+    validate_schedule(reduced, result.schedule)

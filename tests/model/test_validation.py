@@ -1,0 +1,87 @@
+"""Unit tests for task-graph structural validation."""
+
+import pytest
+
+from repro.model.task_graph import TaskGraph
+from repro.model.validation import (
+    ValidationError,
+    is_connected_to_entry,
+    validate_task_graph,
+)
+
+
+def test_valid_graph_passes(fig1):
+    validate_task_graph(fig1)  # no exception
+
+
+def test_empty_graph_rejected():
+    with pytest.raises(ValidationError, match="no tasks"):
+        validate_task_graph(TaskGraph(1))
+
+
+def test_cycle_reported():
+    graph = TaskGraph(1)
+    a, b = graph.add_task([1]), graph.add_task([1])
+    graph.add_edge(a, b, 1.0)
+    graph.add_edge(b, a, 1.0)
+    with pytest.raises(ValidationError, match="cycle"):
+        validate_task_graph(graph)
+
+
+def test_single_entry_requirement():
+    graph = TaskGraph(1)
+    graph.add_task([1])
+    graph.add_task([1])
+    validate_task_graph(graph, require_connected=False)
+    with pytest.raises(ValidationError, match="single entry"):
+        validate_task_graph(
+            graph, require_single_entry=True, require_connected=False
+        )
+
+
+def test_single_exit_requirement(fig1):
+    validate_task_graph(fig1, require_single_entry=True, require_single_exit=True)
+    graph = TaskGraph(1)
+    a = graph.add_task([1])
+    graph.add_edge(a, graph.add_task([1]), 1.0)
+    graph.add_edge(a, graph.add_task([1]), 1.0)
+    with pytest.raises(ValidationError, match="single exit"):
+        validate_task_graph(graph, require_single_exit=True)
+
+
+def test_disconnected_component_detected():
+    graph = TaskGraph(1)
+    a, b = graph.add_task([1]), graph.add_task([1])
+    graph.add_edge(a, b, 1.0)
+    c, d = graph.add_task([1]), graph.add_task([1])
+    graph.add_edge(c, d, 1.0)
+    # two separate components: both have entries, so reachable; connected
+    assert is_connected_to_entry(graph)
+    validate_task_graph(graph)
+
+
+def test_all_problems_collected():
+    """The validator reports every issue at once, not just the first."""
+    graph = TaskGraph(1)
+    graph.add_task([1])
+    graph.add_task([1])
+    try:
+        validate_task_graph(
+            graph,
+            require_single_entry=True,
+            require_single_exit=True,
+            require_connected=False,
+        )
+    except ValidationError as err:
+        assert len(err.problems) == 2
+    else:
+        pytest.fail("expected ValidationError")
+
+
+def test_normalized_generator_output_passes():
+    from tests.conftest import make_random_graph
+
+    graph = make_random_graph(seed=3, v=80)
+    validate_task_graph(
+        graph, require_single_entry=True, require_single_exit=True
+    )

@@ -1,0 +1,100 @@
+"""Unit tests for multi-workflow composition."""
+
+import numpy as np
+import pytest
+
+from repro.core import HDLTS
+from repro.baselines import HEFT
+from repro.multi.compose import compose, tenant_report
+from repro.schedule.validation import validate_schedule
+from repro.workflows import fft_workflow, paper_example_graph
+
+
+@pytest.fixture
+def two_tenants():
+    return [
+        paper_example_graph(),
+        fft_workflow(4, 3, rng=np.random.default_rng(0), ccr=1.0),
+    ]
+
+
+class TestCompose:
+    def test_task_count_is_sum_plus_pseudos(self, two_tenants):
+        composite = compose(two_tenants)
+        expected = sum(g.n_tasks for g in two_tenants) + 2
+        assert composite.graph.n_tasks == expected
+
+    def test_single_entry_exit(self, two_tenants):
+        composite = compose(two_tenants)
+        assert composite.graph.entry_task == composite.entry
+        assert composite.graph.exit_task == composite.exit
+
+    def test_costs_and_edges_preserved(self, two_tenants):
+        composite = compose(two_tenants)
+        original = two_tenants[0]
+        mapping = composite.mappings[0]
+        for task in original.tasks():
+            assert list(composite.graph.cost_row(mapping[task])) == list(
+                original.cost_row(task)
+            )
+        for edge in original.edges():
+            assert composite.graph.comm_cost(
+                mapping[edge.src], mapping[edge.dst]
+            ) == pytest.approx(edge.cost)
+
+    def test_no_cross_tenant_edges(self, two_tenants):
+        composite = compose(two_tenants)
+        sets = [set(m.values()) for m in composite.mappings]
+        pseudos = {composite.entry, composite.exit}
+        for edge in composite.graph.edges():
+            if edge.src in pseudos or edge.dst in pseudos:
+                continue
+            tenant_src = next(i for i, s in enumerate(sets) if edge.src in s)
+            tenant_dst = next(i for i, s in enumerate(sets) if edge.dst in s)
+            assert tenant_src == tenant_dst
+
+    def test_names_prefixed(self, two_tenants):
+        composite = compose(two_tenants)
+        assert composite.graph.name(composite.mappings[0][0]) == "w0:T1"
+
+    def test_platform_mismatch_rejected(self, two_tenants):
+        from repro.model.task_graph import TaskGraph
+
+        other = TaskGraph(5)
+        other.add_task([1] * 5)
+        with pytest.raises(ValueError, match="same platform"):
+            compose([two_tenants[0], other])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compose([])
+
+
+class TestScheduling:
+    def test_shared_schedule_feasible(self, two_tenants):
+        composite = compose(two_tenants)
+        result = HDLTS().run(composite.graph)
+        validate_schedule(composite.graph, result.schedule)
+
+    def test_tenant_reports(self, two_tenants):
+        composite = compose(two_tenants)
+        scheduler = HEFT()
+        schedule = scheduler.run(composite.graph).schedule
+        reports, unfairness = tenant_report(composite, schedule, scheduler)
+        assert len(reports) == 2
+        for report in reports:
+            # sharing a platform can never beat having it alone... except
+            # heuristics are not monotone; allow a small tolerance
+            assert report.slowdown >= 0.8
+            assert report.makespan > 0
+        assert unfairness >= 1.0
+
+    def test_shared_makespan_bounded_by_serial_execution(self, two_tenants):
+        """Scheduling both tenants together is never worse than running
+        them back-to-back (the composite schedule can always emulate
+        that)... for a heuristic this is not guaranteed, but it should
+        hold comfortably on these instances."""
+        composite = compose(two_tenants)
+        shared = HEFT().run(composite.graph).makespan
+        serial = sum(HEFT().run(g).makespan for g in two_tenants)
+        assert shared <= serial

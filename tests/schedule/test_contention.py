@@ -1,0 +1,92 @@
+"""Unit tests for the contention-aware simulator (extension)."""
+
+import pytest
+
+from repro.core import HDLTS
+from repro.baselines import HEFT
+from repro.schedule.contention import ContentionSimulator
+from repro.schedule.simulator import ScheduleSimulator
+from tests.conftest import make_random_graph
+
+
+class TestBasics:
+    def test_fig1_contention_inflates_or_ties(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        free = ScheduleSimulator(fig1).run(schedule).makespan
+        contended = ContentionSimulator(fig1).run(schedule)
+        assert contended.makespan >= free - 1e-6
+        assert set(contended.finish_times) == set(fig1.tasks())
+
+    def test_single_cpu_unaffected(self):
+        graph = make_random_graph(seed=3, v=30, n_procs=1)
+        schedule = HDLTS().run(graph).schedule
+        contended = ContentionSimulator(graph).run(schedule)
+        assert contended.makespan == pytest.approx(schedule.makespan)
+        assert contended.transfers == []
+
+    def test_zero_comm_graph_unaffected(self, fig1):
+        free_graph = fig1.scaled_comm(0.0)
+        schedule = HEFT().run(free_graph).schedule
+        contended = ContentionSimulator(free_graph).run(schedule)
+        assert contended.makespan == pytest.approx(schedule.makespan)
+        assert contended.transfers == []
+
+    def test_transfers_recorded_with_costs(self, fig1):
+        schedule = HEFT().run(fig1).schedule
+        result = ContentionSimulator(fig1).run(schedule)
+        assert result.transfers
+        for t in result.transfers:
+            assert t.finish - t.start == pytest.approx(
+                fig1.comm_cost(t.src_task, t.dst_task)
+            )
+            assert t.src_proc != t.dst_proc
+
+
+class TestNicSerialization:
+    def test_transfers_on_one_nic_never_overlap(self):
+        graph = make_random_graph(seed=7, v=60, ccr=3.0, n_procs=4)
+        schedule = HEFT().run(graph).schedule
+        result = ContentionSimulator(graph).run(schedule)
+        by_nic = {}
+        for t in result.transfers:
+            by_nic.setdefault(t.src_proc, []).append((t.start, t.finish))
+            by_nic.setdefault(t.dst_proc, []).append((t.start, t.finish))
+        for intervals in by_nic.values():
+            intervals.sort()
+            for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+                assert f1 <= s2 + 1e-9
+
+    def test_tasks_start_after_their_transfers(self):
+        graph = make_random_graph(seed=8, v=50, ccr=2.0)
+        schedule = HDLTS().run(graph).schedule
+        result = ContentionSimulator(graph).run(schedule)
+        arrivals = {}
+        for t in result.transfers:
+            arrivals[(t.src_task, t.dst_task)] = t.finish
+        for edge in graph.edges():
+            key = (edge.src, edge.dst)
+            if key in arrivals:
+                assert result.start_times[edge.dst] >= arrivals[key] - 1e-9
+
+    def test_inflation_grows_with_ccr(self):
+        """The contention-free assumption costs more on data-heavy DAGs."""
+        inflations = {}
+        for ccr in (0.5, 5.0):
+            total = 0.0
+            for seed in range(5):
+                graph = make_random_graph(seed=seed, v=50, ccr=ccr, n_procs=4)
+                schedule = HEFT().run(graph).schedule
+                result = ContentionSimulator(graph).run(schedule)
+                total += result.inflation(
+                    ScheduleSimulator(graph).run(schedule).makespan
+                )
+            inflations[ccr] = total / 5
+        assert inflations[5.0] > inflations[0.5]
+
+    def test_all_schedulers_replayable(self, fig1):
+        from repro.baselines.registry import SCHEDULER_FACTORIES
+
+        for name, factory in SCHEDULER_FACTORIES.items():
+            schedule = factory().run(fig1).schedule
+            result = ContentionSimulator(fig1).run(schedule)
+            assert set(result.finish_times) == set(fig1.tasks()), name

@@ -1,0 +1,113 @@
+"""Unit tests for the Schedule container."""
+
+import pytest
+
+from repro.schedule.schedule import Schedule
+
+
+class TestPlacement:
+    def test_place_defaults_duration_to_w(self, diamond):
+        schedule = Schedule(diamond)
+        assignment = schedule.place(0, 1, 0.0)
+        assert assignment.finish == 4.0  # W(A, P2)
+        assert schedule.proc_of(0) == 1
+
+    def test_double_primary_rejected(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)
+        with pytest.raises(ValueError, match="already has a primary"):
+            schedule.place(0, 1, 10.0)
+
+    def test_duplicates_tracked_separately(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)
+        schedule.place(0, 1, 0.0, duplicate=True)
+        assert len(schedule.copies(0)) == 2
+        assert len(schedule.duplicates(0)) == 1
+        assert len(schedule.duplicates()) == 1
+        assert schedule.proc_of(0) == 0  # primary wins
+
+    def test_unplace(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)
+        schedule.unplace(0)
+        assert not schedule.is_scheduled(0)
+        assert schedule.timelines[0].avail == 0.0
+        with pytest.raises(KeyError):
+            schedule.unplace(0)
+
+    def test_is_complete(self, diamond):
+        schedule = Schedule(diamond)
+        assert not schedule.is_complete()
+        schedule.place(0, 0, 0.0)
+        schedule.place(1, 0, 2.0)
+        schedule.place(2, 1, 0.0)
+        schedule.place(3, 0, 20.0)
+        assert schedule.is_complete()
+        assert schedule.n_scheduled == 4
+
+
+class TestTimeQueries:
+    def test_makespan_is_max_primary_finish(self, diamond):
+        schedule = Schedule(diamond)
+        assert schedule.makespan == 0.0
+        schedule.place(0, 0, 0.0)  # finish 2
+        schedule.place(1, 0, 2.0)  # finish 5
+        assert schedule.makespan == 5.0
+
+    def test_makespan_ignores_trailing_duplicate(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)
+        schedule.place(0, 1, 50.0, duplicate=True)
+        assert schedule.makespan == 2.0
+
+    def test_arrival_time_same_vs_cross_proc(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)  # A on P1, finish 2
+        # edge A->B has comm 5
+        assert schedule.arrival_time(0, 1, 0) == 2.0
+        assert schedule.arrival_time(0, 1, 1) == 7.0
+
+    def test_arrival_time_picks_cheapest_copy(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)  # primary finish 2 on P1
+        schedule.place(0, 1, 0.0, duplicate=True)  # dup finish 4 on P2
+        # on P2 the local dup (4) beats primary + comm (2 + 5)
+        assert schedule.arrival_time(0, 1, 1) == 4.0
+
+    def test_arrival_requires_scheduled_parent(self, diamond):
+        schedule = Schedule(diamond)
+        with pytest.raises(ValueError, match="not scheduled"):
+            schedule.arrival_time(0, 1, 0)
+
+    def test_ready_time_max_over_parents(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)  # A: finish 2
+        schedule.place(1, 0, 2.0)  # B on P1: finish 5
+        schedule.place(2, 1, 3.0)  # C on P2: finish 7
+        # D on P1: from B local 5; from C remote 7 + 3 = 10
+        assert schedule.ready_time(3, 0) == 10.0
+        # D on P2: from B remote 5 + 2 = 7; from C local 7
+        assert schedule.ready_time(3, 1) == 7.0
+
+    def test_entry_ready_time_is_zero(self, diamond):
+        schedule = Schedule(diamond)
+        assert schedule.ready_time(0, 0) == 0.0
+
+    def test_finish_of_unscheduled_raises(self, diamond):
+        schedule = Schedule(diamond)
+        with pytest.raises(KeyError, match="not scheduled"):
+            schedule.finish_of(2)
+
+
+class TestUtilization:
+    def test_empty_schedule(self, diamond):
+        assert Schedule(diamond).utilization() == [0.0, 0.0]
+
+    def test_utilization_fractions(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)  # busy 2 of 8
+        schedule.place(2, 1, 4.0)  # busy 4 of 8, makespan 8
+        util = schedule.utilization()
+        assert util[0] == pytest.approx(0.25)
+        assert util[1] == pytest.approx(0.5)

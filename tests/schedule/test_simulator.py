@@ -1,0 +1,98 @@
+"""Unit tests for the discrete-event schedule simulator."""
+
+import pytest
+
+from repro.core import HDLTS
+from repro.baselines import HEFT
+from repro.schedule.schedule import Schedule
+from repro.schedule.simulator import DeadlockError, ScheduleSimulator
+from tests.conftest import make_random_graph
+
+
+class TestExactReplay:
+    def test_hdlts_fig1_matches_analytic(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        sim = ScheduleSimulator(fig1).run(schedule)
+        assert sim.makespan == pytest.approx(73.0)
+        for task in fig1.tasks():
+            assert sim.finish_of(task) == pytest.approx(schedule.finish_of(task))
+            assert sim.proc_of[task] == schedule.proc_of(task)
+
+    def test_heft_fig1_matches_analytic(self, fig1):
+        schedule = HEFT().run(fig1).schedule
+        sim = ScheduleSimulator(fig1).run(schedule)
+        assert sim.makespan == pytest.approx(80.0)
+
+    def test_insertion_schedules_never_get_worse(self):
+        """Compacting an insertion-based schedule can only help."""
+        graph = make_random_graph(seed=11, v=80, ccr=3.0)
+        schedule = HEFT(insertion=True).run(graph).schedule
+        sim = ScheduleSimulator(graph).run(schedule)
+        assert sim.makespan <= schedule.makespan + 1e-6
+
+
+class TestPerturbedReplay:
+    def test_doubled_durations_double_lowerbound(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        sim = ScheduleSimulator(fig1).run(
+            schedule, duration_fn=lambda t, p: 2.0 * fig1.cost(t, p)
+        )
+        assert sim.makespan > 73.0
+
+    def test_zero_durations_leave_only_comm(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)
+        schedule.place(1, 0, 2.0)
+        schedule.place(2, 0, 5.0)
+        schedule.place(3, 0, 9.0)
+        sim = ScheduleSimulator(diamond).run(schedule, duration_fn=lambda t, p: 0.0)
+        assert sim.makespan == 0.0  # same CPU: no comm either
+
+    def test_release_time_shifts_everything(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        sim = ScheduleSimulator(fig1).run(schedule, release_time=100.0)
+        assert sim.makespan == pytest.approx(173.0)
+
+
+class TestErrorCases:
+    def test_deadlock_detected(self, diamond):
+        # P1 queue: [D, A] -- D waits for B/C which wait for A behind D
+        sim = ScheduleSimulator(diamond)
+        queues = [[(3, False), (0, False)], [(1, False), (2, False)]]
+        with pytest.raises(DeadlockError):
+            sim.run_queues(queues)
+
+    def test_wrong_queue_count_rejected(self, diamond):
+        with pytest.raises(ValueError, match="queues"):
+            ScheduleSimulator(diamond).run_queues([[]])
+
+    def test_missing_task_rejected(self, diamond):
+        queues = [[(0, False), (1, False)], [(2, False)]]  # task 3 missing
+        with pytest.raises(ValueError, match="never executed"):
+            ScheduleSimulator(diamond).run_queues(queues)
+
+    def test_double_primary_rejected(self, diamond):
+        queues = [
+            [(0, False), (1, False), (3, False)],
+            [(2, False), (3, False)],
+        ]
+        with pytest.raises(ValueError, match="two primary"):
+            ScheduleSimulator(diamond).run_queues(queues)
+
+
+class TestDuplicates:
+    def test_duplicate_copy_feeds_local_children(self, diamond):
+        # A' duplicated on P2; B on P2 should start at the dup's finish
+        queues = [
+            [(0, False)],
+            [(0, True), (1, False), (2, False), (3, False)],
+        ]
+        sim = ScheduleSimulator(diamond).run_queues(queues)
+        assert sim.start_times[1] == pytest.approx(4.0)  # dup finish on P2
+
+    def test_cross_scheduler_consistency(self):
+        """Analytic makespan == simulated makespan for non-insertion runs."""
+        graph = make_random_graph(seed=21, v=60, ccr=2.0)
+        schedule = HDLTS().run(graph).schedule
+        sim = ScheduleSimulator(graph).run(schedule)
+        assert sim.makespan == pytest.approx(schedule.makespan)

@@ -1,0 +1,129 @@
+"""Unit tests for ProcessorTimeline (append + insertion EST)."""
+
+import pytest
+
+from repro.schedule.timeline import ProcessorTimeline, Slot
+
+
+@pytest.fixture
+def timeline():
+    return ProcessorTimeline(proc=0)
+
+
+class TestReserve:
+    def test_avail_tracks_last_finish(self, timeline):
+        assert timeline.avail == 0.0
+        timeline.reserve(1, 0.0, 5.0)
+        assert timeline.avail == 5.0
+        timeline.reserve(2, 8.0, 2.0)
+        assert timeline.avail == 10.0
+
+    def test_overlap_rejected(self, timeline):
+        timeline.reserve(1, 0.0, 5.0)
+        with pytest.raises(ValueError, match="overlaps"):
+            timeline.reserve(2, 4.0, 3.0)
+
+    def test_adjacent_slots_allowed(self, timeline):
+        timeline.reserve(1, 0.0, 5.0)
+        timeline.reserve(2, 5.0, 5.0)  # touching is fine
+        assert len(timeline) == 2
+
+    def test_insert_into_gap(self, timeline):
+        timeline.reserve(1, 10.0, 5.0)
+        timeline.reserve(2, 0.0, 5.0)  # before the existing slot
+        slots = timeline.slots()
+        assert [s.task for s in slots] == [2, 1]  # sorted by start
+
+    def test_zero_duration_slot(self, timeline):
+        """Pseudo tasks have zero cost; they must be placeable."""
+        timeline.reserve(1, 3.0, 0.0)
+        assert timeline.avail == 3.0
+
+    def test_slot_validates_interval(self):
+        with pytest.raises(ValueError, match="ends before"):
+            Slot(5.0, 2.0, 0)
+
+
+class TestEarliestStart:
+    def test_append_mode_ignores_gaps(self, timeline):
+        timeline.reserve(1, 10.0, 5.0)
+        assert timeline.earliest_start(0.0, 2.0, insertion=False) == 15.0
+
+    def test_insertion_uses_leading_gap(self, timeline):
+        timeline.reserve(1, 10.0, 5.0)
+        assert timeline.earliest_start(0.0, 2.0, insertion=True) == 0.0
+
+    def test_insertion_gap_too_small_falls_through(self, timeline):
+        timeline.reserve(1, 3.0, 5.0)
+        # leading gap is [0, 3): too small for duration 4
+        assert timeline.earliest_start(0.0, 4.0, insertion=True) == 8.0
+
+    def test_insertion_respects_ready_time(self, timeline):
+        timeline.reserve(1, 0.0, 2.0)
+        timeline.reserve(2, 10.0, 5.0)
+        # gap [2, 10) exists but the task is only ready at 6
+        assert timeline.earliest_start(6.0, 3.0, insertion=True) == 6.0
+
+    def test_insertion_middle_gap(self, timeline):
+        timeline.reserve(1, 0.0, 2.0)
+        timeline.reserve(2, 10.0, 5.0)
+        assert timeline.earliest_start(0.0, 8.0, insertion=True) == 2.0
+
+    def test_empty_timeline(self, timeline):
+        assert timeline.earliest_start(7.0, 3.0) == 7.0
+        assert timeline.earliest_start(7.0, 3.0, insertion=True) == 7.0
+
+    def test_exact_fit_gap(self, timeline):
+        timeline.reserve(1, 0.0, 2.0)
+        timeline.reserve(2, 5.0, 5.0)
+        assert timeline.earliest_start(0.0, 3.0, insertion=True) == 2.0
+
+    def test_negative_inputs_rejected(self, timeline):
+        with pytest.raises(ValueError):
+            timeline.earliest_start(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            timeline.earliest_start(0.0, -1.0)
+
+
+class TestQueries:
+    def test_fits(self, timeline):
+        timeline.reserve(1, 5.0, 5.0)
+        assert timeline.fits(0.0, 5.0)
+        assert timeline.fits(10.0, 12.0)
+        assert not timeline.fits(4.0, 6.0)
+        assert not timeline.fits(9.0, 11.0)
+        assert not timeline.fits(-2.0, -1.0)
+
+    def test_first_busy(self, timeline):
+        assert timeline.first_busy == float("inf")
+        timeline.reserve(1, 4.0, 2.0)
+        assert timeline.first_busy == 4.0
+
+    def test_busy_time(self, timeline):
+        timeline.reserve(1, 0.0, 3.0)
+        timeline.reserve(2, 10.0, 2.0)
+        assert timeline.busy_time() == 5.0
+
+    def test_idle_gaps(self, timeline):
+        timeline.reserve(1, 2.0, 3.0)
+        timeline.reserve(2, 8.0, 2.0)
+        assert timeline.idle_gaps() == [(0.0, 2.0), (5.0, 8.0)]
+
+    def test_idle_gaps_with_horizon(self, timeline):
+        timeline.reserve(1, 2.0, 3.0)
+        assert timeline.idle_gaps(horizon=9.0) == [(0.0, 2.0), (5.0, 9.0)]
+
+    def test_remove(self, timeline):
+        timeline.reserve(1, 0.0, 3.0)
+        timeline.reserve(2, 5.0, 3.0)
+        timeline.remove(1)
+        assert [s.task for s in timeline.slots()] == [2]
+        with pytest.raises(KeyError):
+            timeline.remove(1)
+
+    def test_remove_only_duplicate(self, timeline):
+        timeline.reserve(1, 0.0, 3.0, duplicate=True)
+        timeline.reserve(1, 5.0, 3.0, duplicate=False)
+        timeline.remove(1, duplicate=True)
+        slots = timeline.slots()
+        assert len(slots) == 1 and not slots[0].duplicate

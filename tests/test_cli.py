@@ -1,0 +1,144 @@
+"""CLI tests (argument parsing + command execution via main())."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_args(self):
+        args = build_parser().parse_args(
+            ["figure", "fig2", "--reps", "5", "--seed", "9"]
+        )
+        assert args.key == "fig2" and args.reps == 5 and args.seed == 9
+
+    def test_schedule_workflow_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "--workflow", "bogus"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Penalty Values" in out
+        assert "HDLTS" in out and "measured" in out
+
+    def test_figure(self, capsys):
+        assert main(["figure", "fig13", "--reps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Molecular Dynamics" in out
+        assert "best" in out
+
+    def test_figure_validate_flag(self, capsys):
+        assert main(["figure", "fig13", "--reps", "1", "--validate"]) == 0
+
+    def test_schedule_paper(self, capsys):
+        assert main(["schedule", "--workflow", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan=73.00" in out
+        assert "P1 |" in out
+
+    def test_schedule_with_trace(self, capsys):
+        assert main(["schedule", "--workflow", "paper", "--trace"]) == 0
+        assert "Penalty Values" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "workflow,size",
+        [("fft", 4), ("montage", 20), ("molecular", 8), ("gaussian", 4), ("random", 30)],
+    )
+    def test_schedule_every_workflow(self, workflow, size, capsys):
+        assert main(
+            ["schedule", "--workflow", workflow, "--size", str(size)]
+        ) == 0
+        assert "makespan=" in capsys.readouterr().out
+
+    def test_schedule_baseline(self, capsys):
+        assert main(["schedule", "--scheduler", "HEFT"]) == 0
+        assert "HEFT" in capsys.readouterr().out
+
+    def test_generate(self, capsys):
+        assert main(["generate", "--v", "50", "--ccr", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "50 / " in out  # tasks/edges/CPUs line
+        assert "realized CCR" in out and "serialism" in out
+
+    def test_dynamic_noise_only(self, capsys):
+        assert main(["dynamic", "--reps", "2", "--v", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "online HDLTS" in out
+        assert "static HDLTS" in out
+
+    def test_dynamic_with_failure(self, capsys):
+        assert (
+            main(
+                [
+                    "dynamic",
+                    "--reps",
+                    "2",
+                    "--v",
+                    "20",
+                    "--fail-proc",
+                    "1",
+                    "--fail-at",
+                    "50",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "failure of CPU 1" in out
+        assert "cannot survive" in out
+
+
+class TestExportAndDiagnose:
+    def test_export_all_formats(self, tmp_path, capsys):
+        assert main(["export", "--out", str(tmp_path)]) == 0
+        names = {p.name for p in tmp_path.iterdir()}
+        assert names == {
+            "paper_HDLTS.graph.json",
+            "paper_HDLTS.schedule.json",
+            "paper_HDLTS.dot",
+        }
+        assert "makespan 73.00" in capsys.readouterr().out
+
+    def test_export_json_only(self, tmp_path, capsys):
+        assert main(["export", "--out", str(tmp_path), "--format", "json"]) == 0
+        names = {p.name for p in tmp_path.iterdir()}
+        assert all(n.endswith(".json") for n in names)
+        assert len(names) == 2
+
+    def test_export_round_trips(self, tmp_path):
+        from repro.io import load_graph
+
+        main(["export", "--out", str(tmp_path), "--format", "json"])
+        graph = load_graph(tmp_path / "paper_HDLTS.graph.json")
+        assert graph.n_tasks == 10
+
+    def test_diagnose(self, capsys):
+        assert main(["diagnose"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck chain" in out
+        assert "makespan          73.00" in out
+
+    def test_diagnose_baseline(self, capsys):
+        assert main(["diagnose", "--scheduler", "HEFT"]) == 0
+        assert "makespan          80.00" in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    def test_unknown_scheduler_exits_2(self, capsys):
+        assert main(["schedule", "--scheduler", "NOPE"]) == 2
+        assert "unknown scheduler" in capsys.readouterr().err
+
+    def test_unknown_figure_exits_2(self, capsys):
+        assert main(["figure", "fig99", "--reps", "1"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_bad_generator_value_exits_2(self, capsys):
+        assert main(["generate", "--v", "0"]) == 2
+        assert "error" in capsys.readouterr().err

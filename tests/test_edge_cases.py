@@ -1,0 +1,178 @@
+"""Cross-cutting edge cases and regression tests.
+
+Boundary behaviours that the per-module suites do not pin down:
+degenerate graphs, boundary parameters, and regressions for bugs that
+hypothesis found during development (each noted inline).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import SCHEDULER_FACTORIES, make_scheduler
+from repro.core import HDLTS
+from repro.model.task_graph import TaskGraph
+from repro.schedule.schedule import Schedule
+from repro.schedule.simulator import ScheduleSimulator
+from repro.schedule.timeline import ProcessorTimeline
+from repro.schedule.validation import validate_schedule
+
+
+class TestZeroCostTasks:
+    """Regression class: zero-duration (pseudo) tasks once broke the
+    timeline's fits/avail logic and the simulator's replay order."""
+
+    def test_zero_cost_chain_schedules_everywhere(self):
+        graph = TaskGraph(2)
+        prev = graph.add_task([0, 0])
+        for _ in range(4):
+            task = graph.add_task([0, 0])
+            graph.add_edge(prev, task, 0.0)
+            prev = task
+        for name in ("HDLTS", "HEFT", "PETS", "PEFT", "SDBATS"):
+            result = make_scheduler(name).run(graph)
+            assert result.makespan == 0.0
+            validate_schedule(graph, result.schedule)
+
+    def test_avail_not_fooled_by_boundary_pseudo_slot(self):
+        """Regression: avail must be the max end, not the last slot's
+        end (a zero slot at [0, 0) can sort after [0, 10))."""
+        timeline = ProcessorTimeline(0)
+        timeline.reserve(1, 0.0, 10.0)
+        timeline.reserve(2, 0.0, 0.0)
+        assert timeline.avail == 10.0
+
+    def test_simulator_runs_zero_slot_before_real_same_start(self):
+        """Regression: replay order must be (start, end), else a zero
+        task at t sharing a start with a real task replays late."""
+        graph = TaskGraph(1)
+        a = graph.add_task([0])
+        b = graph.add_task([5])
+        c = graph.add_task([1])
+        graph.add_edge(a, c, 0.0)
+        schedule = Schedule(graph)
+        schedule.place(a, 0, 0.0)  # [0, 0)
+        schedule.place(b, 0, 0.0)  # [0, 5)
+        schedule.place(c, 0, 5.0)
+        sim = ScheduleSimulator(graph).run(schedule)
+        assert sim.makespan == pytest.approx(schedule.makespan)
+
+    def test_mixed_zero_and_real_costs(self):
+        graph = TaskGraph(3)
+        a = graph.add_task([0, 0, 0])
+        b = graph.add_task([7, 3, 9])
+        c = graph.add_task([0, 0, 0])
+        graph.add_edge(a, b, 4.0)
+        graph.add_edge(b, c, 4.0)
+        result = HDLTS().run(graph)
+        validate_schedule(graph, result.schedule)
+        assert result.makespan == pytest.approx(3.0)
+
+
+class TestExtremeShapes:
+    def test_star_graph_wide_fanout(self):
+        """One entry fanning to 40 leaves: ITQ holds 40 tasks at once."""
+        graph = TaskGraph(4)
+        hub = graph.add_task([5, 6, 7, 8])
+        for i in range(40):
+            leaf = graph.add_task([1 + i % 3] * 4)
+            graph.add_edge(hub, leaf, 2.0)
+        for name in ("HDLTS", "HEFT", "DLS"):
+            result = make_scheduler(name).run(graph)
+            validate_schedule(graph, result.schedule)
+
+    def test_join_graph_wide_fanin(self):
+        graph = TaskGraph(3)
+        sink_costs = [4, 4, 4]
+        sources = [graph.add_task([2, 3, 4]) for _ in range(30)]
+        sink = graph.add_task(sink_costs)
+        for source in sources:
+            graph.add_edge(source, sink, 1.5)
+        result = HDLTS().run(graph)  # normalized internally (multi-entry)
+        assert result.schedule.is_complete()
+
+    def test_long_chain_200(self):
+        graph = TaskGraph(2)
+        prev = graph.add_task([1, 2])
+        for i in range(199):
+            task = graph.add_task([1 + (i % 4), 2])
+            graph.add_edge(prev, task, 0.5)
+            prev = task
+        result = HDLTS().run(graph)
+        validate_schedule(graph, result.schedule)
+        # a chain cannot run faster than the per-task minima in sequence
+        assert result.makespan >= sum(
+            graph.cost_row(t).min() for t in graph.tasks()
+        )
+
+    def test_identical_costs_everywhere(self):
+        """Fully degenerate instance: all ties, every rule must still
+        produce a deterministic feasible schedule."""
+        graph = TaskGraph(3)
+        tasks = [graph.add_task([5, 5, 5]) for _ in range(6)]
+        for a, b in zip(tasks, tasks[1:]):
+            graph.add_edge(a, b, 5.0)
+        makespans = set()
+        for _ in range(3):
+            makespans.add(HDLTS().run(graph).makespan)
+        assert len(makespans) == 1
+
+
+class TestHugeCommunication:
+    def test_ccr_dominated_graph_serializes(self):
+        """With comm >> comp, schedulers should co-locate the chain."""
+        graph = TaskGraph(3)
+        prev = graph.add_task([1, 1.5, 2])
+        for _ in range(10):
+            task = graph.add_task([1, 1.5, 2])
+            graph.add_edge(prev, task, 1000.0)
+            prev = task
+        schedule = HDLTS().run(graph).schedule
+        validate_schedule(graph, schedule)
+        # never worth paying 1000 to move a 1-unit task
+        procs = {schedule.proc_of(t) for t in graph.tasks()}
+        assert len(procs) == 1
+        assert schedule.makespan < 100
+
+    def test_every_scheduler_colocates_expensive_chain(self):
+        graph = TaskGraph(2)
+        a = graph.add_task([3, 4])
+        b = graph.add_task([3, 4])
+        graph.add_edge(a, b, 10_000.0)
+        for name in SCHEDULER_FACTORIES:
+            schedule = SCHEDULER_FACTORIES[name]().run(graph).schedule
+            arrival = schedule.arrival_time(a, b, schedule.proc_of(b))
+            assert arrival < 10_000, name
+
+
+class TestFloatBoundaries:
+    def test_tiny_durations_do_not_break_insertion(self):
+        """Regression: eps-scale costs once produced unreservable
+        earliest_start answers in insertion mode."""
+        graph = TaskGraph(2)
+        a = graph.add_task([1e-9, 1.0])
+        b = graph.add_task([1.0, 1e-9])
+        c = graph.add_task([1e-9, 1e-9])
+        graph.add_edge(a, b, 1e-9)
+        graph.add_edge(a, c, 0.0)
+        for name in ("HEFT", "PEFT", "PETS"):
+            result = make_scheduler(name).run(graph)
+            assert result.schedule.is_complete(), name
+
+    def test_large_magnitudes(self):
+        graph = TaskGraph(2)
+        a = graph.add_task([1e12, 2e12])
+        b = graph.add_task([3e12, 1e12])
+        graph.add_edge(a, b, 5e11)
+        result = HDLTS().run(graph)
+        validate_schedule(graph, result.schedule)
+        assert np.isfinite(result.makespan)
+
+
+class TestSchedulerDeterminism:
+    @pytest.mark.parametrize(
+        "name", ["HDLTS", "HEFT", "CPOP", "PETS", "PEFT", "SDBATS", "DLS", "LC"]
+    )
+    def test_rerun_is_identical(self, name, fig1):
+        a = make_scheduler(name).run(fig1).makespan
+        b = make_scheduler(name).run(fig1).makespan
+        assert a == b

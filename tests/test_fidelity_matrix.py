@@ -1,0 +1,68 @@
+"""Fidelity matrix: every scheduler x a grid of platform/workload shapes.
+
+One parametrized test per (scheduler, configuration) pair.  Each cell
+runs the full verification stack -- feasibility validator plus
+discrete-event replay -- so a regression in any scheduler on any shape
+(single CPU, two CPUs, communication-free, communication-dominated,
+homogeneous, extreme heterogeneity) is pinned to a named cell.
+
+The slow search-based schedulers (GA, LA-HEFT) run a reduced grid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import SCHEDULER_FACTORIES
+from repro.generator.parameters import GeneratorConfig
+from repro.generator.random_dag import generate_random_graph
+from repro.metrics.critical_path import cp_min_lower_bound
+from repro.schedule.simulator import ScheduleSimulator
+from repro.schedule.validation import validate_schedule
+
+_CONFIGS = {
+    "single-cpu": GeneratorConfig(v=20, n_procs=1),
+    "two-cpu": GeneratorConfig(v=25, n_procs=2),
+    "comm-free": GeneratorConfig(v=25, n_procs=3, ccr=0.0),
+    "comm-heavy": GeneratorConfig(v=25, n_procs=3, ccr=5.0),
+    "homogeneous": GeneratorConfig(v=25, n_procs=3, beta=0.0),
+    "max-hetero": GeneratorConfig(v=25, n_procs=3, beta=2.0),
+    "tall": GeneratorConfig(v=30, n_procs=3, alpha=0.5, single_entry=True),
+    "flat": GeneratorConfig(v=30, n_procs=3, alpha=2.5),
+}
+
+_FAST = [
+    name for name in SCHEDULER_FACTORIES if name not in ("GA", "LA-HEFT")
+]
+_SLOW = ["GA", "LA-HEFT"]
+_SLOW_CONFIGS = ("two-cpu", "comm-heavy")
+
+
+def _graph(key: str):
+    graph = generate_random_graph(
+        _CONFIGS[key], np.random.default_rng(hash(key) % 2**32)
+    )
+    if len(graph.entry_tasks()) != 1 or len(graph.exit_tasks()) != 1:
+        graph = graph.normalized()
+    return graph
+
+
+def _check(name: str, key: str) -> None:
+    graph = _graph(key)
+    result = SCHEDULER_FACTORIES[name]().run(graph)
+    assert result.schedule.is_complete(), (name, key)
+    validate_schedule(graph, result.schedule)
+    replay = ScheduleSimulator(graph).run(result.schedule)
+    assert replay.makespan <= result.makespan + 1e-6, (name, key)
+    assert result.makespan >= cp_min_lower_bound(graph) - 1e-6, (name, key)
+
+
+@pytest.mark.parametrize("config_key", sorted(_CONFIGS))
+@pytest.mark.parametrize("name", sorted(_FAST))
+def test_scheduler_on_shape(name, config_key):
+    _check(name, config_key)
+
+
+@pytest.mark.parametrize("config_key", _SLOW_CONFIGS)
+@pytest.mark.parametrize("name", _SLOW)
+def test_slow_scheduler_on_shape(name, config_key):
+    _check(name, config_key)

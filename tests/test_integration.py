@@ -1,0 +1,119 @@
+"""Cross-module integration tests.
+
+These exercise the full pipeline -- generator/workflow -> normalization
+-> scheduler -> validator -> simulator -> metrics -> report -- the way
+the benchmarks and the CLI do, plus the public API surface and the
+runnable examples.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.registry import SCHEDULER_FACTORIES
+from repro.metrics import evaluate
+from repro.schedule import ScheduleSimulator, validate_schedule
+from tests.conftest import make_random_graph
+
+_EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_readme_quickstart_snippet(self):
+        result = repro.HDLTS(record_trace=True).run(repro.paper_example_graph())
+        assert result.makespan == 73.0
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("name", sorted(SCHEDULER_FACTORIES))
+    def test_generator_to_metrics_for_every_scheduler(self, name):
+        graph = make_random_graph(seed=31, v=70, ccr=2.0, n_procs=5)
+        result = SCHEDULER_FACTORIES[name]().run(graph)
+        validate_schedule(graph, result.schedule)
+        sim = ScheduleSimulator(graph).run(result.schedule)
+        assert sim.makespan <= result.makespan + 1e-6
+        report = evaluate(graph, result.schedule)
+        assert report.slr >= 1.0 - 1e-9
+        assert 0 < report.efficiency <= 1.0 + 1e-9
+
+    @pytest.mark.parametrize(
+        "builder,kwargs",
+        [
+            ("fft_workflow", {"m": 8, "n_procs": 3}),
+            ("montage_workflow", {"n_tasks": 50, "n_procs": 5}),
+            ("molecular_dynamics_workflow", {"n_procs": 4}),
+            ("gaussian_elimination_workflow", {"m": 5, "n_procs": 3}),
+        ],
+    )
+    def test_every_workflow_full_pipeline(self, builder, kwargs):
+        from repro import workflows
+
+        graph = getattr(workflows, builder)(
+            rng=np.random.default_rng(0), ccr=2.0, **kwargs
+        )
+        normalized = graph.normalized()
+        for name in ("HDLTS", "HEFT"):
+            result = SCHEDULER_FACTORIES[name]().run(normalized)
+            validate_schedule(normalized, result.schedule)
+
+    def test_paired_comparison_shares_instances(self):
+        """The harness gives every scheduler the same graphs: SLR gaps
+        between algorithms on a point are then decision gaps, not
+        sampling noise.  Spot-check by recomputing one point by hand."""
+        from repro.experiments import get_figure, run_sweep
+
+        definition = get_figure("fig13")
+        result = run_sweep(definition, reps=3, seed=7)
+        accs = {name: [] for name in definition.schedulers}
+        for rep in range(3):
+            rng = np.random.default_rng([7, 0, rep])  # per-rep stream
+            graph = definition.make_graph(definition.x_values[0], rng)
+            graph = graph.normalized() if len(graph.entry_tasks()) != 1 else graph
+            for name in definition.schedulers:
+                run = SCHEDULER_FACTORIES[name]().run(graph)
+                from repro.metrics.metrics import slr
+
+                accs[name].append(slr(graph, run.makespan))
+        for name in definition.schedulers:
+            assert result.stats[definition.x_values[0]][name].mean == pytest.approx(
+                float(np.mean(accs[name]))
+            )
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "quickstart.py",
+            "fft_pipeline.py",
+            "montage_mosaic.py",
+            "fault_tolerant_cluster.py",
+            "custom_platform.py",
+            "analyze_and_export.py",
+            "capacity_planning.py",
+        ],
+    )
+    def test_example_runs(self, script, capsys):
+        """Each example's main() completes without error."""
+        path = _EXAMPLES / script
+        spec = importlib.util.spec_from_file_location(script[:-3], path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[script[:-3]] = module
+        try:
+            spec.loader.exec_module(module)
+            module.main()
+        finally:
+            sys.modules.pop(script[:-3], None)
+        out = capsys.readouterr().out
+        assert len(out) > 100  # produced a real report

@@ -1,0 +1,98 @@
+"""Structural tests for the FFT workflow (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.model.levels import level_decomposition, task_levels
+from repro.model.validation import validate_task_graph
+from repro.workflows.fft import fft_task_count, fft_topology, fft_workflow
+from repro.workflows.topology import realize_topology
+
+
+class TestTaskCounts:
+    @pytest.mark.parametrize(
+        "m,expected",
+        [(4, 15), (8, 39), (16, 95), (32, 223)],
+    )
+    def test_paper_task_counts(self, m, expected):
+        """The paper: m=4 -> 15 tasks ... m=32 -> 223 tasks."""
+        assert fft_task_count(m) == expected
+        assert fft_topology(m).n_tasks == expected
+
+    def test_formula_decomposition(self):
+        m = 16
+        recursive = 2 * (m - 1) + 1
+        butterfly = m * 4  # log2(16) = 4 stages
+        assert fft_task_count(m) == recursive + butterfly
+
+    @pytest.mark.parametrize("m", [0, 1, 3, 6, 100])
+    def test_non_power_of_two_rejected(self, m):
+        with pytest.raises(ValueError, match="power of two"):
+            fft_task_count(m)
+
+
+class TestStructure:
+    def test_single_entry_is_the_recursion_root(self):
+        topo = fft_topology(4)
+        graph = realize_topology(topo, 2, rng=np.random.default_rng(0))
+        assert len(graph.entry_tasks()) == 1
+        assert graph.name(graph.entry_tasks()[0]) == "R0.0"
+
+    def test_last_butterfly_stage_are_the_exits(self):
+        topo = fft_topology(4)
+        graph = realize_topology(topo, 2, rng=np.random.default_rng(0))
+        exits = graph.exit_tasks()
+        assert len(exits) == 4  # m exit tasks before normalization
+        assert all(graph.name(t).startswith("B1.") for t in exits)
+
+    def test_tree_nodes_have_two_children(self):
+        topo = fft_topology(8)
+        graph = realize_topology(topo, 2, rng=np.random.default_rng(0))
+        # the root R0.0 divides into exactly two subproblems
+        root = graph.entry_tasks()[0]
+        assert graph.out_degree(root) == 2
+
+    def test_butterfly_tasks_have_two_parents(self):
+        topo = fft_topology(8)
+        graph = realize_topology(topo, 2, rng=np.random.default_rng(0))
+        for task in graph.tasks():
+            if graph.name(task).startswith("B"):
+                assert graph.in_degree(task) == 2
+
+    def test_butterfly_exchange_pattern(self):
+        """Stage s partner of position i is i XOR 2^s."""
+        topo = fft_topology(4)
+        graph = realize_topology(topo, 2, rng=np.random.default_rng(0))
+        by_name = {graph.name(t): t for t in graph.tasks()}
+        # B1.0 reads B0.0 and B0.2 (partner 0 XOR 2 = 2)
+        parents = {graph.name(p) for p in graph.predecessors(by_name["B1.0"])}
+        assert parents == {"B0.0", "B0.2"}
+        # B0.1 reads leaves R2.1 and R2.0 (partner 1 XOR 1 = 0)
+        parents = {graph.name(p) for p in graph.predecessors(by_name["B0.1"])}
+        assert parents == {"R2.0", "R2.1"}
+
+    def test_depth_is_tree_plus_butterfly(self):
+        topo = fft_topology(16)
+        graph = realize_topology(topo, 2, rng=np.random.default_rng(0))
+        levels = task_levels(graph)
+        # 4 tree levels below the root + 4 butterfly stages = depth 8
+        assert max(levels) == 8
+
+    def test_validates(self):
+        for m in (2, 4, 8, 32):
+            graph = realize_topology(
+                fft_topology(m), 3, rng=np.random.default_rng(0)
+            )
+            validate_task_graph(graph, require_single_entry=True)
+
+
+class TestWorkflowConvenience:
+    def test_fft_workflow_end_to_end(self):
+        from repro.core import HDLTS
+        from repro.schedule.validation import validate_schedule
+
+        graph = fft_workflow(8, 3, rng=np.random.default_rng(5), ccr=2.0)
+        normalized = graph.normalized()
+        result = HDLTS().run(normalized)
+        validate_schedule(normalized, result.schedule)
+        assert result.schedule.is_complete()

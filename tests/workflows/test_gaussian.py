@@ -1,0 +1,65 @@
+"""Structural tests for the Gaussian-elimination extension workload."""
+
+import numpy as np
+import pytest
+
+from repro.model.levels import graph_height
+from repro.model.validation import validate_task_graph
+from repro.workflows.gaussian import (
+    gaussian_elimination_topology,
+    gaussian_elimination_workflow,
+    gaussian_task_count,
+)
+from repro.workflows.topology import realize_topology
+
+
+@pytest.mark.parametrize("m,expected", [(2, 2), (3, 5), (5, 14), (8, 35)])
+def test_task_count_formula(m, expected):
+    assert gaussian_task_count(m) == expected
+    assert gaussian_elimination_topology(m).n_tasks == expected
+
+
+def test_small_matrix_rejected():
+    with pytest.raises(ValueError):
+        gaussian_task_count(1)
+
+
+def test_structure_m3():
+    topo = gaussian_elimination_topology(3)
+    graph = realize_topology(topo, 2, rng=np.random.default_rng(0))
+    by_name = {graph.name(t): t for t in graph.tasks()}
+    # P1 feeds U1,2 and U1,3
+    assert graph.has_edge(by_name["P1"], by_name["U1,2"])
+    assert graph.has_edge(by_name["P1"], by_name["U1,3"])
+    # U1,2 releases the next pivot; U1,3 chains into U2,3
+    assert graph.has_edge(by_name["U1,2"], by_name["P2"])
+    assert graph.has_edge(by_name["U1,3"], by_name["U2,3"])
+    assert graph.has_edge(by_name["P2"], by_name["U2,3"])
+
+
+def test_long_critical_path():
+    """Elimination is inherently serial: depth grows ~2 levels per step."""
+    graph = realize_topology(
+        gaussian_elimination_topology(6), 2, rng=np.random.default_rng(0)
+    )
+    assert graph_height(graph) == 2 * (6 - 1)
+
+
+def test_single_entry_exit():
+    graph = realize_topology(
+        gaussian_elimination_topology(5), 2, rng=np.random.default_rng(0)
+    )
+    validate_task_graph(
+        graph, require_single_entry=True, require_single_exit=True
+    )
+    assert graph.name(graph.entry_task) == "P1"
+    assert graph.name(graph.exit_task) == f"U{4},{5}"
+
+
+def test_end_to_end_scheduling():
+    from repro.core import HDLTS
+    from repro.schedule.validation import validate_schedule
+
+    graph = gaussian_elimination_workflow(6, 3, rng=np.random.default_rng(2))
+    result = HDLTS().run(graph)
+    validate_schedule(graph, result.schedule)

@@ -1,0 +1,79 @@
+"""Structural tests for the 41-task Molecular Dynamics workflow (Fig. 12)."""
+
+import numpy as np
+import pytest
+
+from repro.model.levels import graph_height, graph_width, task_levels
+from repro.model.validation import validate_task_graph
+from repro.workflows.molecular import (
+    _LEVEL_WIDTHS,
+    molecular_dynamics_topology,
+    molecular_dynamics_workflow,
+)
+from repro.workflows.topology import realize_topology
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return realize_topology(
+        molecular_dynamics_topology(), 3, rng=np.random.default_rng(0)
+    )
+
+
+def test_41_tasks(graph):
+    """The published MD graph has 41 tasks."""
+    assert graph.n_tasks == 41
+    assert sum(_LEVEL_WIDTHS) == 41
+
+
+def test_single_entry_single_exit(graph):
+    assert len(graph.entry_tasks()) == 1
+    assert len(graph.exit_tasks()) == 1
+
+
+def test_eleven_levels(graph):
+    assert graph_height(graph) == len(_LEVEL_WIDTHS)
+
+
+def test_wide_force_phase(graph):
+    """The second level (force computations) is the widest: 7 tasks."""
+    assert graph_width(graph) == 7
+
+
+def test_every_task_reachable_and_coreachable(graph):
+    validate_task_graph(graph, require_single_entry=True, require_single_exit=True)
+    # co-reachability: every task leads to the exit
+    reaches_exit = set(graph.exit_tasks())
+    for task in reversed(graph.topological_order()):
+        if any(s in reaches_exit for s in graph.successors(task)):
+            reaches_exit.add(task)
+    assert len(reaches_exit) == graph.n_tasks
+
+
+def test_fixed_structure_is_deterministic():
+    a = molecular_dynamics_topology()
+    b = molecular_dynamics_topology()
+    assert a.edges == b.edges
+    assert a.n_tasks == b.n_tasks
+
+
+def test_skip_level_edges_present(graph):
+    """The MD graph is not purely layered: some edges skip levels."""
+    levels = task_levels(graph)
+    skips = [
+        (e.src, e.dst)
+        for e in graph.edges()
+        if levels[e.dst] - levels[e.src] > 1
+    ]
+    assert skips
+
+
+def test_end_to_end_scheduling():
+    from repro.baselines import paper_schedulers
+    from repro.schedule.validation import validate_schedule
+
+    graph = molecular_dynamics_workflow(4, rng=np.random.default_rng(1), ccr=3.0)
+    for scheduler in paper_schedulers():
+        result = scheduler.run(graph)
+        validate_schedule(graph, result.schedule)
+        assert result.schedule.is_complete()

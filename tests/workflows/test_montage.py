@@ -1,0 +1,104 @@
+"""Structural tests for the Montage workflow (Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.model.validation import validate_task_graph
+from repro.workflows.montage import montage_shape, montage_topology, montage_workflow
+from repro.workflows.topology import realize_topology
+
+
+class TestShape:
+    def test_published_20_node_shape(self):
+        """Fig. 9's canonical 20-node instance: 4 projects, 6 diffs."""
+        assert montage_shape(20) == (4, 6)
+
+    @pytest.mark.parametrize("n", [20, 50, 100, 37, 64])
+    def test_exact_node_counts(self, n):
+        a, d = montage_shape(n)
+        assert 2 * a + d + 6 == n
+        assert montage_topology(n).n_tasks == n
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            montage_shape(8)
+
+
+class TestStructure:
+    @pytest.fixture
+    def graph20(self):
+        return realize_topology(
+            montage_topology(20), 3, rng=np.random.default_rng(0)
+        )
+
+    def test_entries_are_the_projections(self, graph20):
+        entries = graph20.entry_tasks()
+        assert len(entries) == 4
+        assert all(graph20.name(t).startswith("mProjectPP") for t in entries)
+
+    def test_single_exit_is_jpeg(self, graph20):
+        assert graph20.name(graph20.exit_task) == "mJPEG"
+
+    def test_each_difffit_has_two_project_parents(self, graph20):
+        for task in graph20.tasks():
+            if graph20.name(task).startswith("mDiffFit"):
+                parents = graph20.predecessors(task)
+                assert len(parents) == 2
+                assert all(
+                    graph20.name(p).startswith("mProjectPP") for p in parents
+                )
+
+    def test_concat_collects_every_difffit(self, graph20):
+        concat = next(
+            t for t in graph20.tasks() if graph20.name(t) == "mConcatFit"
+        )
+        assert graph20.in_degree(concat) == 6
+
+    def test_background_reads_model_and_own_projection(self, graph20):
+        for task in graph20.tasks():
+            if graph20.name(task).startswith("mBackground"):
+                names = {graph20.name(p) for p in graph20.predecessors(task)}
+                assert "mBgModel" in names
+                assert any(n.startswith("mProjectPP") for n in names)
+
+    def test_tail_chain(self, graph20):
+        by_name = {graph20.name(t): t for t in graph20.tasks()}
+        assert graph20.has_edge(by_name["mImgtbl"], by_name["mAdd"])
+        assert graph20.has_edge(by_name["mAdd"], by_name["mShrink"])
+        assert graph20.has_edge(by_name["mShrink"], by_name["mJPEG"])
+
+    def test_overlap_pairs_are_distinct(self):
+        """No mDiffFit may compare the same image pair twice."""
+        graph = realize_topology(
+            montage_topology(100), 2, rng=np.random.default_rng(0)
+        )
+        pairs = set()
+        for task in graph.tasks():
+            if graph.name(task).startswith("mDiffFit"):
+                pair = tuple(sorted(graph.predecessors(task)))
+                assert pair not in pairs
+                pairs.add(pair)
+
+    @pytest.mark.parametrize("n", [20, 50, 100])
+    def test_validates(self, n):
+        graph = realize_topology(
+            montage_topology(n), 4, rng=np.random.default_rng(0)
+        )
+        validate_task_graph(graph)
+        # the evaluation normalizes to a single entry/exit
+        norm = graph.normalized()
+        validate_task_graph(
+            norm, require_single_entry=True, require_single_exit=True
+        )
+
+
+def test_end_to_end_scheduling():
+    from repro.baselines import paper_schedulers
+    from repro.schedule.validation import validate_schedule
+
+    graph = montage_workflow(
+        50, 5, rng=np.random.default_rng(3), ccr=3.0
+    ).normalized()
+    for scheduler in paper_schedulers():
+        result = scheduler.run(graph)
+        validate_schedule(graph, result.schedule)

@@ -1,0 +1,49 @@
+"""Tests pinning the Fig. 1 graph to its published definition."""
+
+import pytest
+
+from repro.model.validation import validate_task_graph
+from repro.workflows.paper_example import paper_example_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return paper_example_graph()
+
+
+def test_dimensions(graph):
+    assert graph.n_tasks == 10
+    assert graph.n_procs == 3
+    assert graph.n_edges == 15
+
+
+def test_published_cost_rows(graph):
+    assert list(graph.cost_row(0)) == [14, 16, 9]
+    assert list(graph.cost_row(5)) == [13, 16, 9]
+    assert list(graph.cost_row(9)) == [21, 7, 16]
+
+
+def test_published_edge_costs(graph):
+    assert graph.comm_cost(0, 1) == 18
+    assert graph.comm_cost(3, 7) == 27  # T4 -> T8
+    assert graph.comm_cost(8, 9) == 13  # T9 -> T10
+
+
+def test_shape(graph):
+    validate_task_graph(
+        graph, require_single_entry=True, require_single_exit=True
+    )
+    assert graph.entry_task == 0
+    assert graph.exit_task == 9
+
+
+def test_fresh_instance_each_call():
+    a, b = paper_example_graph(), paper_example_graph()
+    assert a is not b
+    a.add_task([1, 1, 1])
+    assert b.n_tasks == 10
+
+
+def test_names_are_one_based(graph):
+    assert graph.name(0) == "T1"
+    assert graph.name(9) == "T10"

@@ -1,0 +1,115 @@
+"""Structural tests for the Epigenomics and CyberShake extensions."""
+
+import numpy as np
+import pytest
+
+from repro.model.levels import graph_height, graph_width
+from repro.model.validation import validate_task_graph
+from repro.workflows.cybershake import (
+    cybershake_task_count,
+    cybershake_topology,
+    cybershake_workflow,
+)
+from repro.workflows.epigenomics import (
+    epigenomics_task_count,
+    epigenomics_topology,
+    epigenomics_workflow,
+)
+from repro.workflows.topology import realize_topology
+
+
+class TestEpigenomics:
+    @pytest.mark.parametrize("lanes,expected", [(1, 8), (4, 20), (10, 44)])
+    def test_task_count(self, lanes, expected):
+        assert epigenomics_task_count(lanes) == expected
+        assert epigenomics_topology(lanes).n_tasks == expected
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            epigenomics_topology(0)
+
+    def test_single_entry_and_exit(self):
+        graph = realize_topology(
+            epigenomics_topology(4), 3, rng=np.random.default_rng(0)
+        )
+        validate_task_graph(
+            graph, require_single_entry=True, require_single_exit=True
+        )
+        assert graph.name(graph.entry_task) == "fastQSplit"
+        assert graph.name(graph.exit_task) == "pileup"
+
+    def test_chain_shape(self):
+        """4 lanes: width 4, depth = split + 4 stages + 3 tail = 8."""
+        graph = realize_topology(
+            epigenomics_topology(4), 3, rng=np.random.default_rng(0)
+        )
+        assert graph_width(graph) == 4
+        assert graph_height(graph) == 8
+
+    def test_each_lane_is_a_chain(self):
+        graph = realize_topology(
+            epigenomics_topology(3), 2, rng=np.random.default_rng(0)
+        )
+        for task in graph.tasks():
+            name = graph.name(task)
+            if name.startswith(("filterContams", "sol2sanger", "fastq2bfq")):
+                assert graph.out_degree(task) == 1
+                assert graph.in_degree(task) == 1
+
+    def test_schedulable(self):
+        from repro.core import HDLTS
+        from repro.schedule.validation import validate_schedule
+
+        graph = epigenomics_workflow(6, 4, rng=np.random.default_rng(1), ccr=2.0)
+        validate_schedule(graph, HDLTS().run(graph).schedule)
+
+
+class TestCyberShake:
+    @pytest.mark.parametrize(
+        "sites,variations,expected", [(1, 1, 5), (4, 3, 30), (5, 10, 107)]
+    )
+    def test_task_count(self, sites, variations, expected):
+        assert cybershake_task_count(sites, variations) == expected
+        assert cybershake_topology(sites, variations).n_tasks == expected
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            cybershake_topology(0, 3)
+        with pytest.raises(ValueError):
+            cybershake_topology(3, 0)
+
+    def test_multi_entry_multi_exit_normalizes(self):
+        graph = realize_topology(
+            cybershake_topology(4, 3), 3, rng=np.random.default_rng(0)
+        )
+        assert len(graph.entry_tasks()) == 4  # the ExtractSGT tasks
+        assert len(graph.exit_tasks()) == 2  # the two zips
+        norm = graph.normalized()
+        validate_task_graph(
+            norm, require_single_entry=True, require_single_exit=True
+        )
+
+    def test_fanout_per_site(self):
+        graph = realize_topology(
+            cybershake_topology(3, 5), 2, rng=np.random.default_rng(0)
+        )
+        for task in graph.tasks():
+            if graph.name(task).startswith("ExtractSGT"):
+                assert graph.out_degree(task) == 5
+
+    def test_joins_collect_everything(self):
+        graph = realize_topology(
+            cybershake_topology(4, 3), 2, rng=np.random.default_rng(0)
+        )
+        by_name = {graph.name(t): t for t in graph.tasks()}
+        assert graph.in_degree(by_name["ZipSeis"]) == 12
+        assert graph.in_degree(by_name["ZipPSA"]) == 12
+
+    def test_schedulable(self):
+        from repro.baselines import HEFT
+        from repro.schedule.validation import validate_schedule
+
+        graph = cybershake_workflow(
+            4, 3, 4, rng=np.random.default_rng(1), ccr=3.0
+        ).normalized()
+        validate_schedule(graph, HEFT().run(graph).schedule)

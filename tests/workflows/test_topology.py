@@ -1,0 +1,90 @@
+"""Unit tests for topology realization (Eqs. 13-14 on fixed structures)."""
+
+import numpy as np
+import pytest
+
+from repro.workflows.topology import Topology, draw_costs, realize_topology
+
+
+class TestTopology:
+    def test_valid_topology(self):
+        topo = Topology(n_tasks=3, edges=[(0, 1), (0, 2)])
+        assert topo.n_edges == 2
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Topology(n_tasks=2, edges=[(0, 5)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Topology(n_tasks=2, edges=[(1, 1)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Topology(n_tasks=2, edges=[(0, 1), (0, 1)])
+
+    def test_name_arity_checked(self):
+        with pytest.raises(ValueError, match="names"):
+            Topology(n_tasks=2, edges=[], names=["only-one"])
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(n_tasks=0)
+
+
+class TestDrawCosts:
+    def test_shape_and_nonnegativity(self, rng):
+        means, w = draw_costs(50, 4, rng, w_dag=50, beta=1.0)
+        assert means.shape == (50,)
+        assert w.shape == (50, 4)
+        assert np.all(w >= 0)
+
+    def test_beta_bounds_enforced(self, rng):
+        means, w = draw_costs(200, 8, rng, w_dag=50, beta=2.0)
+        # beta=2: support is [0, 2 * w_i] -- never negative
+        assert np.all(w >= 0)
+        with pytest.raises(ValueError):
+            draw_costs(10, 2, rng, beta=2.5)
+
+    def test_w_dag_positive_required(self, rng):
+        with pytest.raises(ValueError):
+            draw_costs(10, 2, rng, w_dag=0)
+
+
+class TestRealize:
+    @pytest.fixture
+    def topo(self):
+        return Topology(n_tasks=4, edges=[(0, 1), (0, 2), (1, 3), (2, 3)])
+
+    def test_structure_preserved(self, topo, rng):
+        graph = realize_topology(topo, 3, rng=rng)
+        assert graph.n_tasks == 4
+        assert graph.n_edges == 4
+        assert set(graph.successors(0)) == {1, 2}
+
+    def test_eq14_comm_deterministic_per_source(self, topo, rng):
+        graph = realize_topology(topo, 3, rng=rng, ccr=2.0)
+        assert graph.comm_cost(0, 1) == graph.comm_cost(0, 2)
+
+    def test_randomized_comm_variant(self, topo):
+        graph = realize_topology(
+            Topology(n_tasks=3, edges=[(0, 1), (0, 2)]),
+            2,
+            rng=np.random.default_rng(0),
+            ccr=2.0,
+            randomize_comm=True,
+        )
+        assert graph.comm_cost(0, 1) != graph.comm_cost(0, 2)
+
+    def test_negative_ccr_rejected(self, topo, rng):
+        with pytest.raises(ValueError):
+            realize_topology(topo, 2, rng=rng, ccr=-1.0)
+
+    def test_names_carried_over(self, rng):
+        topo = Topology(n_tasks=2, edges=[(0, 1)], names=["src", "dst"])
+        graph = realize_topology(topo, 2, rng=rng)
+        assert graph.name(0) == "src" and graph.name(1) == "dst"
+
+    def test_default_rng_when_omitted(self, topo):
+        graph = realize_topology(topo, 2)
+        assert graph.n_tasks == 4
