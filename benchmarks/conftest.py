@@ -13,12 +13,57 @@ Run:  pytest benchmarks/ --benchmark-only
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+import time
 
 import pytest
 
+from repro import obs
+
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+TIMINGS_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_timings.json"
+
+#: per-bench wall time + headline obs counters, keyed by pytest nodeid
+_TIMINGS: dict = {}
+
+#: counters worth carrying into the timings file (suffix match)
+_KEY_METRICS = ("/decisions", "/eft_evaluations", "/runs", "/replications")
+
+
+@pytest.fixture(autouse=True)
+def _bench_timing(request):
+    """Time every bench and capture its observability counters.
+
+    Each bench runs with profiling enabled inside its own metrics scope;
+    the wall time plus the headline counters land in
+    ``benchmarks/BENCH_timings.json`` at session end.
+    """
+    with obs.enabled_scope(True):
+        with obs.scoped(merge_up=False) as registry:
+            started = time.perf_counter()
+            yield
+            wall = time.perf_counter() - started
+    counters = registry.snapshot()["counters"]
+    _TIMINGS[request.node.nodeid] = {
+        "wall_s": round(wall, 6),
+        "metrics": {
+            k: v for k, v in counters.items() if k.endswith(_KEY_METRICS)
+        },
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the machine-readable per-bench timing report."""
+    if not _TIMINGS:
+        return
+    document = {
+        "schema": "repro.bench_timings/1",
+        "reps": bench_reps(),
+        "benchmarks": dict(sorted(_TIMINGS.items())),
+    }
+    TIMINGS_PATH.write_text(json.dumps(document, indent=2) + "\n")
 
 
 def bench_reps(default: int = 10) -> int:

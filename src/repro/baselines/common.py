@@ -12,6 +12,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.model.task_graph import TaskGraph
 from repro.schedule.schedule import Assignment, Schedule
 
@@ -41,6 +42,8 @@ def eft_vector(
     out = np.empty(graph.n_procs)
     for proc in graph.procs():
         out[proc] = est_eft(schedule, task, proc, insertion)[1]
+    # attributed to whichever scheduler's run phase we execute inside
+    obs.scoped_count("eft_evaluations", graph.n_procs)
     return out
 
 
@@ -71,6 +74,8 @@ def place_min_eft(
             best_score = score
             best_proc = proc
             best_start = start
+    obs.scoped_count("eft_evaluations", len(candidates))
+    obs.scoped_count("decisions")
     return schedule.place(task, best_proc, best_start)
 
 

@@ -90,12 +90,18 @@ def scheduler_names() -> List[str]:
 
 
 def make_scheduler(name: str) -> Scheduler:
-    """Instantiate a scheduler by registry name (case-sensitive)."""
-    try:
-        factory = SCHEDULER_FACTORIES[name]
-    except KeyError:
+    """Instantiate a scheduler by registry name.
+
+    Exact names win; otherwise a unique case-insensitive match is
+    accepted (``hdlts`` -> ``HDLTS``) so CLI use stays forgiving.
+    """
+    factory = SCHEDULER_FACTORIES.get(name)
+    if factory is None:
+        folded = {k.lower(): f for k, f in SCHEDULER_FACTORIES.items()}
+        factory = folded.get(name.lower())
+    if factory is None:
         known = ", ".join(SCHEDULER_FACTORIES)
-        raise KeyError(f"unknown scheduler {name!r}; known: {known}") from None
+        raise KeyError(f"unknown scheduler {name!r}; known: {known}")
     return factory()
 
 

@@ -8,6 +8,12 @@ all-figures   run every figure (EXPERIMENTS.md is generated from this)
 schedule      schedule one workflow instance and show the Gantt chart
 generate      draw a random task graph and print its shape statistics
 dynamic       online-HDLTS vs static-schedule comparison under noise/failures
+profile       run schedulers under full instrumentation, print the breakdown
+
+The ``schedule``, ``figure`` and ``dynamic`` commands accept
+``--events FILE`` (stream every observability event as JSONL) and
+``--metrics`` (record and print counters/timers); ``profile`` is the
+dedicated deep-dive.  See docs/observability.md.
 """
 
 from __future__ import annotations
@@ -19,6 +25,36 @@ from typing import List, Optional
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+#: workflow choices shared by schedule/export/diagnose/profile
+#: (``fig1`` is an alias for the paper's worked example)
+_WORKFLOWS = ["paper", "fig1", "fft", "montage", "molecular", "gaussian", "random"]
+
+
+def _add_workflow_args(parser: argparse.ArgumentParser) -> None:
+    """The common workflow-instance knobs."""
+    parser.add_argument("--workflow", default="paper", choices=_WORKFLOWS)
+    parser.add_argument("--scheduler", default="HDLTS")
+    parser.add_argument(
+        "--size", type=int, default=8,
+        help="fft points / montage nodes / gaussian matrix size / random tasks",
+    )
+    parser.add_argument("--procs", type=int, default=4)
+    parser.add_argument("--ccr", type=float, default=1.0)
+    parser.add_argument("--beta", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by schedule/figure/dynamic."""
+    parser.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="write every observability event as JSONL to FILE",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="record counters/timers and print them after the run",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
     p_fig.add_argument("--chart", action="store_true", help="also render an ASCII line chart")
     p_fig.add_argument("--csv", default=None, metavar="FILE", help="also write tidy CSV to FILE")
+    _add_obs_args(p_fig)
 
     p_all = sub.add_parser("all-figures", help="run every figure")
     p_all.add_argument("--reps", type=int, default=30)
@@ -48,18 +85,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--workers", type=int, default=1)
 
     p_sched = sub.add_parser("schedule", help="schedule one workflow instance")
-    p_sched.add_argument(
-        "--workflow",
-        default="paper",
-        choices=["paper", "fft", "montage", "molecular", "gaussian", "random"],
-    )
-    p_sched.add_argument("--scheduler", default="HDLTS")
-    p_sched.add_argument("--size", type=int, default=8, help="fft points / montage nodes / gaussian matrix size / random tasks")
-    p_sched.add_argument("--procs", type=int, default=4)
-    p_sched.add_argument("--ccr", type=float, default=1.0)
-    p_sched.add_argument("--beta", type=float, default=1.0)
-    p_sched.add_argument("--seed", type=int, default=0)
+    _add_workflow_args(p_sched)
     p_sched.add_argument("--trace", action="store_true", help="print the step trace (HDLTS only)")
+    _add_obs_args(p_sched)
 
     p_gen = sub.add_parser("generate", help="generate a random DAG, print stats")
     p_gen.add_argument("--v", type=int, default=100)
@@ -72,26 +100,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--seed", type=int, default=0)
 
     p_exp = sub.add_parser("export", help="schedule a workflow, export graph + schedule")
-    p_exp.add_argument("--workflow", default="paper",
-                       choices=["paper", "fft", "montage", "molecular", "gaussian", "random"])
-    p_exp.add_argument("--scheduler", default="HDLTS")
-    p_exp.add_argument("--size", type=int, default=8)
-    p_exp.add_argument("--procs", type=int, default=4)
-    p_exp.add_argument("--ccr", type=float, default=1.0)
-    p_exp.add_argument("--beta", type=float, default=1.0)
-    p_exp.add_argument("--seed", type=int, default=0)
+    _add_workflow_args(p_exp)
     p_exp.add_argument("--out", default=".", help="output directory")
     p_exp.add_argument("--format", default="all", choices=["json", "dot", "all"])
 
     p_diag = sub.add_parser("diagnose", help="schedule a workflow, print diagnostics")
-    p_diag.add_argument("--workflow", default="paper",
-                        choices=["paper", "fft", "montage", "molecular", "gaussian", "random"])
-    p_diag.add_argument("--scheduler", default="HDLTS")
-    p_diag.add_argument("--size", type=int, default=8)
-    p_diag.add_argument("--procs", type=int, default=4)
-    p_diag.add_argument("--ccr", type=float, default=1.0)
-    p_diag.add_argument("--beta", type=float, default=1.0)
-    p_diag.add_argument("--seed", type=int, default=0)
+    _add_workflow_args(p_diag)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run schedulers fully instrumented, print the phase breakdown",
+    )
+    _add_workflow_args(p_prof)
+    p_prof.add_argument(
+        "--repeat", type=int, default=1,
+        help="instrumented runs per scheduler (timings accumulate)",
+    )
+    p_prof.add_argument(
+        "--json", default=None, metavar="FILE", dest="json_out",
+        help="also write the machine-readable profile document to FILE",
+    )
 
     p_dyn = sub.add_parser("dynamic", help="online vs static under uncertainty")
     p_dyn.add_argument("--sigma", type=float, default=0.3, help="relative execution-time noise")
@@ -101,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dyn.add_argument("--v", type=int, default=100)
     p_dyn.add_argument("--procs", type=int, default=4)
     p_dyn.add_argument("--seed", type=int, default=0)
+    _add_obs_args(p_dyn)
 
     return parser
 
@@ -185,7 +214,7 @@ def _make_workflow(args) -> "object":
     )
 
     rng = np.random.default_rng(args.seed)
-    if args.workflow == "paper":
+    if args.workflow in ("paper", "fig1"):
         return paper_example_graph()
     if args.workflow == "fft":
         return fft_workflow(args.size, args.procs, rng=rng, ccr=args.ccr, beta=args.beta)
@@ -229,7 +258,7 @@ def _cmd_schedule(args) -> int:
     print(render_gantt(result.schedule))
     if args.trace and result.trace:
         print()
-        print(format_trace(result.trace))
+        print(format_trace(result.trace, extended=True))
     return 0
 
 
@@ -338,6 +367,49 @@ def _cmd_dynamic(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro import obs
+    from repro.baselines.registry import make_scheduler
+    from repro.experiments.report import format_profile, profile_document
+
+    graph = _make_workflow(args)
+    if len(graph.entry_tasks()) != 1 or len(graph.exit_tasks()) != 1:
+        graph = graph.normalized()
+    names = [n for n in args.scheduler.split(",") if n]
+    if args.repeat < 1:
+        raise ValueError("repeat must be >= 1")
+
+    runs = []
+    for requested in names:
+        makespan = None
+        algorithm = requested
+        with obs.session(metrics=True) as sess:
+            for _ in range(args.repeat):
+                scheduler = make_scheduler(requested)
+                result = scheduler.run(graph)
+            makespan = result.makespan
+            algorithm = scheduler.name
+        runs.append(
+            {
+                "scheduler": requested,
+                "algorithm": algorithm,
+                "makespan": makespan,
+                "metrics": sess.snapshot,
+            }
+        )
+
+    doc = profile_document(args, graph, runs)
+    print(format_profile(doc))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"(profile document written to {args.json_out})", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments and dispatch; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -349,26 +421,57 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
+    except OSError as err:
+        # unwritable --events / --json / --out destinations
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+def _run_observed(args, command) -> int:
+    """Run ``command()`` inside an observability session when requested.
+
+    ``--events FILE`` streams every bus event as JSONL; ``--metrics``
+    records counters/timers for the run and prints them afterwards.
+    """
+    if not (args.events or args.metrics):
+        return command()
+    from repro import obs
+
+    with obs.session(events_path=args.events, metrics=args.metrics) as sess:
+        code = command()
+    if args.metrics:
+        print()
+        print("observability metrics:")
+        print(obs.format_metrics(sess.snapshot))
+    if args.events:
+        print(
+            f"({sess.n_events} events written to {args.events})",
+            file=sys.stderr,
+        )
+    return code
 
 
 def _dispatch(args) -> int:
     if args.command == "table1":
         return _cmd_table1()
     if args.command == "figure":
-        return _cmd_figure(
-            args.key,
-            args.reps,
-            args.seed,
-            args.full,
-            args.validate,
-            args.workers,
-            chart=args.chart,
-            csv_path=args.csv,
+        return _run_observed(
+            args,
+            lambda: _cmd_figure(
+                args.key,
+                args.reps,
+                args.seed,
+                args.full,
+                args.validate,
+                args.workers,
+                chart=args.chart,
+                csv_path=args.csv,
+            ),
         )
     if args.command == "all-figures":
         return _cmd_all_figures(args.reps, args.seed, args.full, args.workers)
     if args.command == "schedule":
-        return _cmd_schedule(args)
+        return _run_observed(args, lambda: _cmd_schedule(args))
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "export":
@@ -376,7 +479,9 @@ def _dispatch(args) -> int:
     if args.command == "diagnose":
         return _cmd_diagnose(args)
     if args.command == "dynamic":
-        return _cmd_dynamic(args)
+        return _run_observed(args, lambda: _cmd_dynamic(args))
+    if args.command == "profile":
+        return _cmd_profile(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import obs
 from repro.model.task_graph import TaskGraph
 from repro.schedule.schedule import Schedule
 from repro.core.trace import TraceStep
@@ -72,11 +73,29 @@ class Scheduler(abc.ABC):
         return graph.normalized() if needs_norm else graph
 
     def run(self, graph: TaskGraph) -> SchedulingResult:
-        """Schedule ``graph`` and return a timed, named result."""
+        """Schedule ``graph`` and return a timed, named result.
+
+        The run executes inside an observability phase named after the
+        algorithm, so inner ``with phase(...)`` timers nest under e.g.
+        ``HDLTS/eft_vector``, and publishes one ``scheduler.run`` event
+        when anything subscribes to the bus.
+        """
         prepared = self.prepare(graph)
         started = time.perf_counter()
-        schedule = self.build_schedule(prepared)
+        with obs.phase(self.name):
+            schedule = self.build_schedule(prepared)
         elapsed = time.perf_counter() - started
+        obs.count(f"{self.name}/runs")
+        bus = obs.get_bus()
+        if bus.active:
+            bus.emit(
+                "scheduler.run",
+                scheduler=self.name,
+                n_tasks=prepared.n_tasks,
+                n_procs=prepared.n_procs,
+                makespan=schedule.makespan,
+                wall_s=elapsed,
+            )
         trace = getattr(self, "last_trace", None)
         return SchedulingResult(
             schedule=schedule,

@@ -23,10 +23,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.base import Scheduler
 from repro.core.duplication import entry_duplication_plan
 from repro.core.itq import IndependentTaskQueue
-from repro.core.trace import TraceStep
+from repro.core.trace import TraceRecorder, TraceStep
 from repro.model.task_graph import TaskGraph
 from repro.schedule.schedule import Schedule
 
@@ -124,55 +125,89 @@ class HDLTS(Scheduler):
                             row[proc] = arrival
             return row
 
-        trace: List[TraceStep] = [] if self.record_trace else None  # type: ignore[assignment]
-        for task in itq.ready_tasks():
-            ready_rows[task] = compute_ready_row(task)
+        # trace recording is just one subscriber of the decision events;
+        # a JSONL sink or a test listens to the very same stream.
+        bus = obs.get_bus()
+        recorder: Optional[TraceRecorder] = None
+        unsubscribe = None
+        if self.record_trace:
+            recorder = TraceRecorder(scheduler=self.name)
+            unsubscribe = bus.subscribe(recorder, topics=(TraceRecorder.TOPIC,))
 
-        step = 0
-        while itq:
-            step += 1
-            ready_list = itq.ready_tasks()
-            ready_mat = np.array([ready_rows[t] for t in ready_list])
-            w_ready = w[ready_list]
-            if self.use_insertion:
-                est = np.empty_like(ready_mat)
-                for i, task in enumerate(ready_list):
-                    for proc in range(n_procs):
-                        est[i, proc] = schedule.timelines[proc].earliest_start(
-                            ready_mat[i, proc], w_ready[i, proc], insertion=True
-                        )
-            else:
-                est = np.maximum(ready_mat, avail[None, :])
-            eft = est + w_ready
+        try:
+            for task in itq.ready_tasks():
+                ready_rows[task] = compute_ready_row(task)
 
-            priorities = self._priorities(eft, ready_list)
-            index = int(np.argmax(priorities))  # first max -> lowest task id
-            task = ready_list[index]
-            proc = int(np.argmin(eft[index]))  # first min -> lowest CPU
+            step = 0
+            while itq:
+                step += 1
+                ready_list = itq.ready_tasks()
+                with obs.phase("eft_vector"):
+                    ready_mat = np.array([ready_rows[t] for t in ready_list])
+                    w_ready = w[ready_list]
+                    if self.use_insertion:
+                        with obs.phase("insertion_scan"):
+                            est = np.empty_like(ready_mat)
+                            for i, task in enumerate(ready_list):
+                                for proc in range(n_procs):
+                                    est[i, proc] = schedule.timelines[
+                                        proc
+                                    ].earliest_start(
+                                        ready_mat[i, proc],
+                                        w_ready[i, proc],
+                                        insertion=True,
+                                    )
+                        obs.count(f"{self.name}/insertion_scans", est.size)
+                    else:
+                        est = np.maximum(ready_mat, avail[None, :])
+                    eft = est + w_ready
+                    obs.count(f"{self.name}/eft_evaluations", eft.size)
 
-            duplicated_on: Tuple[int, ...] = ()
-            if (
-                self.duplicate_entry
-                and task != entry
-                and task in entry_children
-            ):
-                plan = entry_duplication_plan(schedule, entry, task, proc)
-                if plan.duplicate:
-                    schedule.place(entry, proc, 0.0, duplicate=True)
-                    duplicated_on = (proc,)
+                priorities = self._priorities(eft, ready_list)
+                index = int(np.argmax(priorities))  # first max -> lowest task id
+                task = ready_list[index]
+                proc = int(np.argmin(eft[index]))  # first min -> lowest CPU
 
-            # recompute the committed start from live state (the
-            # materialized duplicate is now a real copy)
-            ready = schedule.ready_time(task, proc)
-            start = schedule.timelines[proc].earliest_start(
-                ready, w[task, proc], insertion=self.use_insertion
-            )
-            assignment = schedule.place(task, proc, start)
-            avail[proc] = schedule.timelines[proc].avail
+                duplicated_on: Tuple[int, ...] = ()
+                if (
+                    self.duplicate_entry
+                    and task != entry
+                    and task in entry_children
+                ):
+                    with obs.phase("duplication_check"):
+                        plan = entry_duplication_plan(schedule, entry, task, proc)
+                        if plan.duplicate:
+                            schedule.place(entry, proc, 0.0, duplicate=True)
+                            duplicated_on = (proc,)
+                    if plan.duplicate:
+                        obs.count(f"{self.name}/duplication_accepted")
+                        if bus.active:
+                            bus.emit(
+                                "scheduler.duplication",
+                                scheduler=self.name,
+                                step=step,
+                                child=task,
+                                proc=proc,
+                                arrival=plan.arrival,
+                            )
+                    else:
+                        obs.count(f"{self.name}/duplication_rejected")
 
-            if trace is not None:
-                trace.append(
-                    TraceStep(
+                # recompute the committed start from live state (the
+                # materialized duplicate is now a real copy)
+                with obs.phase("commit"):
+                    ready = schedule.ready_time(task, proc)
+                    start = schedule.timelines[proc].earliest_start(
+                        ready, w[task, proc], insertion=self.use_insertion
+                    )
+                    assignment = schedule.place(task, proc, start)
+                    avail[proc] = schedule.timelines[proc].avail
+                obs.count(f"{self.name}/decisions")
+
+                if bus.active:
+                    bus.emit(
+                        "scheduler.decision",
+                        scheduler=self.name,
                         step=step,
                         ready_tasks=tuple(ready_list),
                         priorities=tuple(float(v) for v in priorities),
@@ -183,26 +218,35 @@ class HDLTS(Scheduler):
                         finish=assignment.finish,
                         duplicated_on=duplicated_on,
                     )
-                )
 
-            for released in itq.complete(task):
-                ready_rows[released] = compute_ready_row(released)
-            ready_rows.pop(task, None)
+                with obs.phase("ready_update"):
+                    released_count = 0
+                    for released in itq.complete(task):
+                        ready_rows[released] = compute_ready_row(released)
+                        released_count += 1
+                    ready_rows.pop(task, None)
 
-            # the commit (and any duplicate) only touched ``proc``; the
-            # hypothetical-duplication window of pending entry children
-            # may have changed there, so refresh that column.
-            for pending in itq:
-                if pending in entry_children:
-                    arrival = entry_duplication_plan(
-                        schedule, entry, pending, proc, self.duplicate_entry
-                    ).arrival
-                    ready_rows[pending][proc] = max(
-                        arrival,
-                        self._non_entry_ready(schedule, pending, proc, entry),
-                    )
+                    # the commit (and any duplicate) only touched ``proc``;
+                    # the hypothetical-duplication window of pending entry
+                    # children may have changed there, so refresh that column.
+                    for pending in itq:
+                        if pending in entry_children:
+                            arrival = entry_duplication_plan(
+                                schedule, entry, pending, proc, self.duplicate_entry
+                            ).arrival
+                            ready_rows[pending][proc] = max(
+                                arrival,
+                                self._non_entry_ready(
+                                    schedule, pending, proc, entry
+                                ),
+                            )
+                            released_count += 1
+                obs.count(f"{self.name}/ready_row_updates", released_count)
+        finally:
+            if unsubscribe is not None:
+                unsubscribe()
 
-        self.last_trace = trace
+        self.last_trace = recorder.steps if recorder is not None else None
         return schedule
 
     # ------------------------------------------------------------------

@@ -1,9 +1,16 @@
 """Step-by-step trace records (the paper's Table I).
 
-HDLTS (and, for uniformity, any scheduler that opts in) can record one
-:class:`TraceStep` per mapping decision: the ready set, the priority of
-every ready task, the selected task, its EFT on every CPU and the chosen
-CPU.  :func:`format_trace` renders the exact layout of Table I.
+Schedulers publish one ``scheduler.decision`` event per mapping decision
+on the observability bus (:mod:`repro.obs`); :class:`TraceRecorder` is
+the bus subscriber that turns those events back into :class:`TraceStep`
+records -- the Table-I printer is just one listener among several (a
+JSONL sink, the metrics layer, a test) rather than a special case wired
+into each scheduler.
+
+:func:`format_trace` renders the exact layout of Table I; pass
+``extended=True`` to also see the fields each step records beyond the
+paper's columns -- the chosen CPU's EFT (marked ``*``), the committed
+start/finish interval, and which CPUs received an entry duplicate.
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["TraceStep", "format_trace"]
+__all__ = ["TraceStep", "TraceRecorder", "format_trace"]
 
 
 @dataclass(frozen=True)
@@ -33,26 +40,90 @@ class TraceStep:
         return self.priorities[self.ready_tasks.index(task)]
 
 
+class TraceRecorder:
+    """Event-bus subscriber collecting ``scheduler.decision`` events.
+
+    Subscribe it (typically with ``topics=("scheduler.decision",)``) and
+    read :attr:`steps` afterwards.  ``scheduler`` restricts recording to
+    one scheduler's events when several run under the same bus.
+    """
+
+    #: the bus topic this recorder understands
+    TOPIC = "scheduler.decision"
+
+    def __init__(self, scheduler: Optional[str] = None) -> None:
+        self.scheduler = scheduler
+        self.steps: List[TraceStep] = []
+
+    def __call__(self, event) -> None:
+        if event.name != self.TOPIC:
+            return
+        payload = event.payload
+        if self.scheduler is not None and payload.get("scheduler") != self.scheduler:
+            return
+        self.steps.append(
+            TraceStep(
+                step=payload["step"],
+                ready_tasks=tuple(payload["ready_tasks"]),
+                priorities=tuple(payload["priorities"]),
+                selected=payload["selected"],
+                eft=tuple(payload["eft"]),
+                chosen_proc=payload["chosen_proc"],
+                start=payload["start"],
+                finish=payload["finish"],
+                duplicated_on=tuple(payload.get("duplicated_on", ())),
+            )
+        )
+
+
 def format_trace(
     trace: Sequence[TraceStep],
     names: Optional[Dict[int, str]] = None,
     precision: int = 1,
+    extended: bool = False,
 ) -> str:
-    """Render a trace in the layout of the paper's Table I."""
+    """Render a trace in the layout of the paper's Table I.
+
+    The default columns are byte-identical to the paper's table.  With
+    ``extended=True`` the chosen CPU's EFT is marked with ``*`` and
+    Start/Finish columns are appended, plus a Dup column whenever any
+    step materialized an entry duplicate.
+    """
 
     def name(task: int) -> str:
         return names[task] if names else f"T{task + 1}"
 
+    def proc_name(proc: int) -> str:
+        return f"P{proc + 1}"
+
     rows: List[List[str]] = []
     n_procs = len(trace[0].eft) if trace else 0
+    any_dup = extended and any(step.duplicated_on for step in trace)
     header = ["Step", "Ready Tasks", "Penalty Values", "Selected"] + [
         f"EFT P{p + 1}" for p in range(n_procs)
     ]
+    if extended:
+        header += ["Start", "Finish"]
+        if any_dup:
+            header.append("Dup")
     for record in trace:
         ready = ", ".join(name(t) for t in record.ready_tasks)
         pvs = ", ".join(f"{v:.{precision}f}" for v in record.priorities)
-        eft = [f"{v:g}" for v in record.eft]
-        rows.append([str(record.step), ready, pvs, name(record.selected)] + eft)
+        if extended:
+            eft = [
+                f"{v:g}*" if p == record.chosen_proc else f"{v:g}"
+                for p, v in enumerate(record.eft)
+            ]
+        else:
+            eft = [f"{v:g}" for v in record.eft]
+        row = [str(record.step), ready, pvs, name(record.selected)] + eft
+        if extended:
+            row += [f"{record.start:g}", f"{record.finish:g}"]
+            if any_dup:
+                row.append(
+                    ", ".join(proc_name(p) for p in record.duplicated_on)
+                )
+        rows.append(row)
 
     widths = [
         max(len(header[c]), max((len(r[c]) for r in rows), default=0))

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.itq import IndependentTaskQueue
 from repro.dynamic.failures import FailStop, failure_times
 from repro.dynamic.noise import DurationFn, exact_durations
@@ -87,7 +88,24 @@ class OnlineHDLTS:
         fail_at = failure_times(failures, n_procs)
 
         avail = np.zeros(n_procs)
+        # an entry duplicate executes over [0, W(entry, k)) exactly like
+        # offline Algorithm 1; dup_free[k] is the largest window still
+        # idle at time zero, mirroring the timeline's fits(0, duration)
+        # semantics (zero-duration slots at t=0 occupy nothing)
+        dup_free = np.full(n_procs, np.inf)
         dead: set = set()
+
+        def note_interval(proc: int, start: float, finish: float) -> None:
+            if finish - start <= 1e-9:  # point slot blocks only beyond it
+                if start > 0.0:
+                    dup_free[proc] = min(dup_free[proc], start)
+            elif start <= 0.0:
+                dup_free[proc] = 0.0
+            else:
+                dup_free[proc] = min(dup_free[proc], start)
+
+        def dup_fits(proc: int, duration: float) -> bool:
+            return duration <= 1e-9 or duration <= dup_free[proc] + 1e-9
         # realized copies of each task's output: task -> [(proc, finish)]
         copies: Dict[int, List[Tuple[int, float]]] = {}
         finish_times: Dict[int, float] = {}
@@ -113,11 +131,31 @@ class OnlineHDLTS:
                         self.duplicate_entry
                         and parent == entry
                         and not any(c == proc for c, _ in copies[entry])
+                        and dup_fits(proc, w[entry, proc])
                     ):
-                        t = min(t, avail[proc] + w[entry, proc])
+                        t = min(t, w[entry, proc])
                     if t > row[proc]:
                         row[proc] = t
             return row
+
+        bus = obs.get_bus()
+
+        def record(entry_record: OnlineRecord) -> None:
+            records.append(entry_record)
+            if bus.active:
+                bus.emit(
+                    "dynamic.dispatch",
+                    task=entry_record.task,
+                    proc=entry_record.proc,
+                    start=entry_record.start,
+                    finish=entry_record.finish,
+                    duplicate=entry_record.duplicate,
+                    lost=entry_record.lost,
+                )
+            if entry_record.lost:
+                obs.count("online/lost")
+            else:
+                obs.count("online/dispatches")
 
         def try_dispatch(task: int, proc: int, ready: float) -> Optional[float]:
             """Run ``task`` on ``proc``; returns realized finish or None
@@ -132,22 +170,29 @@ class OnlineHDLTS:
                 and not any(c == proc for c, _ in copies[entry])
             ):
                 via_network = arrival(entry, task, proc)
-                dup_finish = avail[proc] + duration_fn(entry, proc)
-                if avail[proc] + w[entry, proc] < via_network:
+                # Algorithm 1's window: the duplicate runs over [0, W)
+                # and must strictly beat the network (estimate-driven,
+                # like every other online decision)
+                if w[entry, proc] < via_network and dup_fits(
+                    proc, w[entry, proc]
+                ):
                     # run the duplicate (it may itself be lost)
-                    dup_start = avail[proc]
+                    dup_start = 0.0
+                    dup_finish = dup_start + duration_fn(entry, proc)
                     tau = fail_at.get(proc, np.inf)
                     if dup_finish > tau:
                         dead.add(proc)
-                        avail[proc] = max(avail[proc], min(tau, dup_start))
-                        records.append(
+                        avail[proc] = max(avail[proc], tau)
+                        note_interval(proc, dup_start, tau)
+                        record(
                             OnlineRecord(entry, proc, dup_start, tau, True, True)
                         )
                         n_lost += 1
                         return None
-                    avail[proc] = dup_finish
+                    avail[proc] = max(avail[proc], dup_finish)
+                    note_interval(proc, dup_start, dup_finish)
                     copies[entry].append((proc, dup_finish))
-                    records.append(
+                    record(
                         OnlineRecord(entry, proc, dup_start, dup_finish, True)
                     )
                     # the local copy may tighten the task's ready time
@@ -159,16 +204,18 @@ class OnlineHDLTS:
             if finish > tau:
                 dead.add(proc)
                 avail[proc] = tau
-                records.append(
+                note_interval(proc, start, max(start, tau))
+                record(
                     OnlineRecord(task, proc, start, max(start, tau), False, True)
                 )
                 n_lost += 1
                 return None
             avail[proc] = finish
+            note_interval(proc, start, finish)
             copies.setdefault(task, []).append((proc, finish))
             finish_times[task] = finish
             proc_of[task] = proc
-            records.append(OnlineRecord(task, proc, start, finish))
+            record(OnlineRecord(task, proc, start, finish))
             return finish
 
         itq = IndependentTaskQueue(graph)

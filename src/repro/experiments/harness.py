@@ -9,11 +9,13 @@ the chosen metric per scheduler with a Welford accumulator.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.registry import PAPER_SET, make_scheduler
 from repro.metrics.metrics import efficiency, slr
 from repro.metrics.stats import RunningStats
@@ -61,12 +63,19 @@ class SweepDefinition:
 
 @dataclass
 class SweepResult:
-    """Accumulated sweep output: ``stats[x][scheduler] -> RunningStats``."""
+    """Accumulated sweep output: ``stats[x][scheduler] -> RunningStats``.
+
+    ``metrics`` holds the observability snapshot of the run (counters,
+    timers, ... -- see :mod:`repro.obs.metrics`) when profiling was
+    enabled; empty otherwise.  The parallel runner fills it by merging
+    per-worker snapshots, so counter totals match a serial run exactly.
+    """
 
     definition: SweepDefinition
     reps: int
     seed: int
     stats: Dict[object, Dict[str, RunningStats]] = field(default_factory=dict)
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     def mean(self, x, scheduler: str) -> float:
         """Mean metric of ``scheduler`` at x point ``x``."""
@@ -108,6 +117,9 @@ def run_replication(
     changing any result.
     """
     metric_fn = _METRICS[definition.metric]
+    bus = obs.get_bus()
+    observing = obs.enabled() or bus.active
+    started = time.perf_counter() if observing else 0.0
     rng = np.random.default_rng([seed, x_index, rep])
     graph = definition.make_graph(x, rng)
     if len(graph.entry_tasks()) != 1 or len(graph.exit_tasks()) != 1:
@@ -119,6 +131,21 @@ def run_replication(
         if validate:
             validate_schedule(graph, result.schedule)
         values[name] = metric_fn(graph, result.makespan)
+    if observing:
+        elapsed = time.perf_counter() - started
+        if obs.enabled():
+            registry = obs.get_metrics()
+            registry.counter("sweep/replications").inc()
+            registry.timer("sweep/replication").observe(elapsed)
+        if bus.active:
+            bus.emit(
+                "sweep.replication",
+                figure=definition.key,
+                x=x,
+                rep=rep,
+                wall_s=elapsed,
+                values=values,
+            )
     return values
 
 
@@ -146,14 +173,31 @@ def run_sweep(
     validate: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> SweepResult:
-    """Run a full sweep; deterministic for a given ``seed``."""
+    """Run a full sweep; deterministic for a given ``seed``.
+
+    With profiling enabled (:func:`repro.obs.enable`) the run's metrics
+    land in ``result.metrics`` -- and also merge up into the enclosing
+    registry, so a surrounding observability session sees the totals.
+    """
     if reps < 1:
         raise ValueError("reps must be >= 1")
     result = SweepResult(definition=definition, reps=reps, seed=seed)
-    for i, x in enumerate(definition.x_values):
-        if progress:
-            progress(f"{definition.key}: {definition.x_label}={x} ({reps} reps)")
-        result.stats[x] = run_single_point(
-            definition, x, reps, seed=seed, x_index=i, validate=validate
-        )
+    bus = obs.get_bus()
+    with obs.scoped() as registry:
+        for i, x in enumerate(definition.x_values):
+            if progress:
+                progress(f"{definition.key}: {definition.x_label}={x} ({reps} reps)")
+            if bus.active:
+                bus.emit(
+                    "sweep.point",
+                    figure=definition.key,
+                    x_label=definition.x_label,
+                    x=x,
+                    reps=reps,
+                )
+            result.stats[x] = run_single_point(
+                definition, x, reps, seed=seed, x_index=i, validate=validate
+            )
+        if registry:
+            result.metrics = registry.snapshot()
     return result

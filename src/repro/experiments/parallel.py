@@ -10,14 +10,25 @@ not survive pickling; workers therefore receive the definition through
 fork-inherited module state (``fork`` is the default start method on
 Linux, where this library targets HPC workloads).  On platforms without
 ``fork`` the runner transparently falls back to serial execution.
+
+Observability: when profiling is enabled (the flag fork-inherits into
+the workers) each worker records into its own scoped registry and ships
+the snapshot home with its chunk; the parent merges them in submission
+order, so every counter total is bit-identical to the serial runner.
+The parent additionally times each chunk and publishes the balance of
+the decomposition as ``sweep/chunk_wall`` (per-chunk seconds) and
+``sweep/chunk_imbalance`` (max/mean chunk wall -- 1.0 is a perfectly
+balanced pool).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.experiments.harness import (
     SweepDefinition,
     SweepResult,
@@ -25,6 +36,7 @@ from repro.experiments.harness import (
     run_sweep,
 )
 from repro.metrics.stats import RunningStats
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["run_sweep_parallel"]
 
@@ -32,20 +44,26 @@ __all__ = ["run_sweep_parallel"]
 # is created; never mutated while a pool is alive.
 _WORKER_STATE: Dict[str, object] = {}
 
+#: one worker chunk: (x_index, x, rep_lo, rep_hi)
+Chunk = Tuple[int, object, int, int]
+#: what a worker sends home: (x_index, values, metrics snapshot, wall)
+ChunkResult = Tuple[int, List[Dict[str, float]], Dict, float]
 
-def _run_chunk(
-    chunk: Tuple[int, object, int, int]
-) -> Tuple[int, List[Dict[str, float]]]:
+
+def _run_chunk(chunk: Chunk) -> ChunkResult:
     """Worker: run replications [rep_lo, rep_hi) of x point ``x_index``."""
     x_index, x, rep_lo, rep_hi = chunk  # type: ignore[misc]
     definition: SweepDefinition = _WORKER_STATE["definition"]  # type: ignore[assignment]
     seed: int = _WORKER_STATE["seed"]  # type: ignore[assignment]
     validate: bool = _WORKER_STATE["validate"]  # type: ignore[assignment]
-    values = [
-        run_replication(definition, x, x_index, rep, seed, validate)
-        for rep in range(rep_lo, rep_hi)
-    ]
-    return x_index, values
+    started = time.perf_counter()
+    with obs.scoped(merge_up=False) as registry:
+        values = [
+            run_replication(definition, x, x_index, rep, seed, validate)
+            for rep in range(rep_lo, rep_hi)
+        ]
+        snapshot = registry.snapshot() if registry else {}
+    return x_index, values, snapshot, time.perf_counter() - started
 
 
 def run_sweep_parallel(
@@ -58,9 +76,11 @@ def run_sweep_parallel(
 ) -> SweepResult:
     """Parallel :func:`~repro.experiments.harness.run_sweep`.
 
-    Identical output to the serial runner for the same ``seed``.
-    ``workers`` defaults to the CPU count; ``chunk_size`` balances task
-    granularity against dispatch overhead.
+    Identical output to the serial runner for the same ``seed`` --
+    including the metrics snapshot: counter totals merge by addition, so
+    they match a serial run bit for bit.  ``workers`` defaults to the
+    CPU count; ``chunk_size`` balances task granularity against dispatch
+    overhead.
     """
     if reps < 1:
         raise ValueError("reps must be >= 1")
@@ -74,7 +94,7 @@ def run_sweep_parallel(
     if n_workers == 1:
         return run_sweep(definition, reps, seed, validate)
 
-    chunks = []
+    chunks: List[Chunk] = []
     for i, x in enumerate(definition.x_values):
         for lo in range(0, reps, chunk_size):
             chunks.append((i, x, lo, min(lo + chunk_size, reps)))
@@ -93,13 +113,41 @@ def run_sweep_parallel(
         sweep.stats[x] = {
             name: RunningStats() for name in definition.schedulers
         }
-    # accumulate in deterministic (x, rep) order for bit-exact means
-    results.sort(key=lambda item: item[0])
+    # accumulate in deterministic (x, rep) order for bit-exact means;
+    # pool.map preserves submission order, which is already (x, rep)
     by_x: Dict[int, List[Dict[str, float]]] = {}
-    for x_index, values in results:
+    merged = MetricsRegistry()
+    bus = obs.get_bus()
+    for chunk, (x_index, values, snapshot, wall) in zip(chunks, results):
         by_x.setdefault(x_index, []).extend(values)
+        if snapshot:
+            merged.merge(snapshot)
+        if obs.enabled():
+            merged.timer("sweep/chunk_wall").observe(wall)
+        if bus.active:
+            bus.emit(
+                "sweep.chunk",
+                figure=definition.key,
+                x=chunk[1],
+                rep_lo=chunk[2],
+                rep_hi=chunk[3],
+                wall_s=wall,
+            )
     for i, x in enumerate(definition.x_values):
         for values in by_x[i]:
             for name, value in values.items():
                 sweep.stats[x][name].add(value)
+
+    if obs.enabled():
+        chunk_timer = merged.timer("sweep/chunk_wall")
+        if chunk_timer.count and chunk_timer.mean > 0.0:
+            merged.gauge("sweep/chunk_imbalance").set(
+                chunk_timer.max / chunk_timer.mean
+            )
+        merged.gauge("sweep/workers").set(n_workers)
+    if merged:
+        sweep.metrics = merged.snapshot()
+        # keep an enclosing observability session in the loop, exactly
+        # like the serial runner's scoped registry merging up
+        obs.get_metrics().merge(sweep.metrics)
     return sweep

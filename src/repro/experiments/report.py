@@ -10,7 +10,27 @@ from typing import Dict, List, Sequence
 
 from repro.experiments.harness import SweepResult
 
-__all__ = ["format_sweep", "format_makespans", "winners", "format_table"]
+__all__ = [
+    "format_sweep",
+    "format_makespans",
+    "winners",
+    "format_table",
+    "profile_document",
+    "format_profile",
+]
+
+#: schema tag of the ``repro profile --json`` document; bump on any
+#: backwards-incompatible change to the layout below
+PROFILE_SCHEMA = "repro.profile/1"
+
+#: the headline counters of the profile summary table, in print order
+_PROFILE_COUNTERS = (
+    ("decisions", "decisions"),
+    ("eft_evaluations", "EFT evals"),
+    ("insertion_scans", "insertion scans"),
+    ("duplication_accepted", "dup accept"),
+    ("duplication_rejected", "dup reject"),
+)
 
 
 def format_table(
@@ -62,6 +82,116 @@ def winners(result: SweepResult) -> Dict[object, str]:
         pick = min if lower_is_better else max
         out[x] = pick(stats, key=lambda name: stats[name].mean)
     return out
+
+
+def profile_document(args, graph, runs: List[Dict]) -> Dict:
+    """The schema-stable document behind ``repro profile``.
+
+    ``runs`` carries one entry per requested scheduler with the raw
+    metrics snapshot of its instrumented session; this function reduces
+    each to the headline counters and the per-phase timing rows.
+    """
+    doc: Dict[str, object] = {
+        "schema": PROFILE_SCHEMA,
+        "workflow": {
+            "name": args.workflow,
+            "n_tasks": graph.n_tasks,
+            "n_edges": graph.n_edges,
+            "n_procs": graph.n_procs,
+            "params": {
+                "size": args.size,
+                "ccr": args.ccr,
+                "beta": args.beta,
+                "seed": args.seed,
+            },
+        },
+        "repeat": args.repeat,
+        "runs": [],
+    }
+    for run in runs:
+        algorithm = run["algorithm"]
+        snapshot = run["metrics"]
+        counters = snapshot.get("counters", {})
+        timers = snapshot.get("timers", {})
+        root = timers.get(algorithm, {"count": 0, "total": 0.0})
+        root_total = root["total"] or 0.0
+        phases = []
+        prefix = f"{algorithm}/"
+        for key in sorted(timers):
+            if key != algorithm and not key.startswith(prefix):
+                continue
+            timer = timers[key]
+            count = timer["count"]
+            phases.append(
+                {
+                    "phase": key,
+                    "calls": count,
+                    "total_s": timer["total"],
+                    "mean_s": timer["total"] / count if count else 0.0,
+                    "share": timer["total"] / root_total if root_total else 0.0,
+                }
+            )
+        doc["runs"].append(
+            {
+                "scheduler": run["scheduler"],
+                "algorithm": algorithm,
+                "makespan": run["makespan"],
+                "runs_timed": root["count"],
+                "wall_s_total": root_total,
+                "wall_s_mean": root_total / root["count"] if root["count"] else 0.0,
+                "counters": {
+                    key: counters.get(f"{algorithm}/{key}", 0)
+                    for key, _ in _PROFILE_COUNTERS
+                },
+                "phases": phases,
+            }
+        )
+    return doc
+
+
+def format_profile(doc: Dict) -> str:
+    """Human rendering of a :func:`profile_document`."""
+    workflow = doc["workflow"]
+    lines = [
+        f"profile: {workflow['name']} workflow -- {workflow['n_tasks']} tasks, "
+        f"{workflow['n_edges']} edges, {workflow['n_procs']} CPUs "
+        f"({doc['repeat']} instrumented run(s) per scheduler)",
+        "",
+    ]
+    header = ["scheduler", "makespan", "wall ms"] + [
+        label for _, label in _PROFILE_COUNTERS
+    ]
+    rows = []
+    for run in doc["runs"]:
+        rows.append(
+            [
+                run["scheduler"],
+                f"{run['makespan']:.2f}",
+                f"{run['wall_s_mean'] * 1e3:.2f}",
+            ]
+            + [str(run["counters"][key]) for key, _ in _PROFILE_COUNTERS]
+        )
+    lines.append(format_table(header, rows))
+    for run in doc["runs"]:
+        if not run["phases"]:
+            continue
+        lines += ["", f"{run['scheduler']} phase breakdown:"]
+        phase_rows = [
+            [
+                p["phase"],
+                str(p["calls"]),
+                f"{p['total_s'] * 1e3:.3f}",
+                f"{p['mean_s'] * 1e6:.1f}",
+                f"{p['share'] * 100:.1f}%",
+            ]
+            for p in run["phases"]
+        ]
+        lines.append(
+            format_table(
+                ["phase", "calls", "total ms", "mean us", "share"], phase_rows
+            )
+        )
+    return "\n".join(lines)
 
 
 def format_makespans(

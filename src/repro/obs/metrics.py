@@ -1,0 +1,331 @@
+"""Metrics registry: counters, gauges, timers and streaming histograms.
+
+Names follow a ``scope/metric`` convention (``HDLTS/eft_evaluations``,
+``sweep/replication``) so one registry can hold every scheduler's
+figures side by side.  A registry serializes to a plain-dict
+:meth:`~MetricsRegistry.snapshot` and folds snapshots back in with
+:meth:`~MetricsRegistry.merge`, which is how the process-parallel sweep
+runner combines per-worker measurements: counts merge by addition, so
+counter totals are bit-identical to a serial run regardless of how the
+work was chunked.
+
+Registries stack: :func:`scoped` pushes a fresh registry that the
+instrumented code writes into, and (by default) merges its content into
+the parent when it pops -- so a sweep can own its delta while an outer
+CLI session still sees the totals.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "scoped",
+    "merge_snapshots",
+    "format_metrics",
+]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` to the counter."""
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value; merges keep the maximum observed."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+
+class Timer:
+    """Accumulated wall-clock time: count, total and extrema in seconds."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, seconds: float) -> None:
+        """Fold one measured duration into the accumulator."""
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        """Average seconds per observation (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Context manager observing the wall time of its block."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - started)
+
+
+#: default histogram bucket upper bounds: geometric, micro- to hecto-second
+DEFAULT_BOUNDS: Tuple[float, ...] = tuple(
+    10.0 ** e for e in range(-6, 3)
+)
+
+
+class Histogram:
+    """Streaming histogram over fixed bucket upper bounds.
+
+    Holds per-bucket counts plus count/sum/min/max; never stores the
+    samples themselves, so it merges exactly across processes.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        # one bucket per bound plus the overflow bucket
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Fold one sample into the bucket counts."""
+        self.buckets[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Average of the observed samples (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, timers and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- accessors (create on first use) --------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        try:
+            return self._counters[name]
+        except KeyError:
+            c = self._counters[name] = Counter()
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        try:
+            return self._gauges[name]
+        except KeyError:
+            g = self._gauges[name] = Gauge()
+            return g
+
+    def timer(self, name: str) -> Timer:
+        """The timer registered under ``name`` (created on first use)."""
+        try:
+            return self._timers[name]
+        except KeyError:
+            t = self._timers[name] = Timer()
+            return t
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BOUNDS
+    ) -> Histogram:
+        """The histogram under ``name`` (created with ``bounds`` on first use)."""
+        try:
+            return self._histograms[name]
+        except KeyError:
+            h = self._histograms[name] = Histogram(bounds)
+            return h
+
+    def __bool__(self) -> bool:
+        """True once anything has been registered."""
+        return bool(
+            self._counters or self._gauges or self._timers or self._histograms
+        )
+
+    # -- serialization ---------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict form: picklable, JSON-able, mergeable."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "timers": {
+                k: {
+                    "count": t.count,
+                    "total": t.total,
+                    "min": t.min if t.count else 0.0,
+                    "max": t.max if t.count else 0.0,
+                }
+                for k, t in sorted(self._timers.items())
+            },
+            "histograms": {
+                k: {
+                    "bounds": list(h.bounds),
+                    "buckets": list(h.buckets),
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min if h.count else 0.0,
+                    "max": h.max if h.count else 0.0,
+                }
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters and timer/histogram counts add; extrema combine; gauges
+        keep the maximum (the only order-independent choice).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            gauge.value = max(gauge.value, float(value))
+        for name, data in snapshot.get("timers", {}).items():
+            timer = self.timer(name)
+            if not data["count"]:
+                continue
+            timer.count += int(data["count"])
+            timer.total += float(data["total"])
+            timer.min = min(timer.min, float(data["min"]))
+            timer.max = max(timer.max, float(data["max"]))
+        for name, data in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, data["bounds"])
+            if tuple(data["bounds"]) != hist.bounds:
+                raise ValueError(
+                    f"histogram {name!r}: incompatible bucket bounds"
+                )
+            for i, n in enumerate(data["buckets"]):
+                hist.buckets[i] += int(n)
+            if data["count"]:
+                hist.count += int(data["count"])
+                hist.sum += float(data["sum"])
+                hist.min = min(hist.min, float(data["min"]))
+                hist.max = max(hist.max, float(data["max"]))
+
+    def clear(self) -> None:
+        """Drop every registered metric."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+        self._histograms.clear()
+
+
+def merge_snapshots(*snapshots: Dict[str, Dict[str, object]]) -> Dict:
+    """Pure merge of snapshot dicts (used by the parallel sweep runner)."""
+    registry = MetricsRegistry()
+    for snap in snapshots:
+        registry.merge(snap)
+    return registry.snapshot()
+
+
+# -- the registry stack -------------------------------------------------
+_STACK: List[MetricsRegistry] = [MetricsRegistry()]
+
+
+def get_metrics() -> MetricsRegistry:
+    """The registry instrumented code currently writes into."""
+    return _STACK[-1]
+
+
+@contextmanager
+def scoped(merge_up: bool = True) -> Iterator[MetricsRegistry]:
+    """Push a fresh registry for the duration of the block.
+
+    With ``merge_up`` (the default) the scoped registry's content is
+    folded into the enclosing registry on exit, so outer observers still
+    see the totals while the block owns its own delta.
+    """
+    registry = MetricsRegistry()
+    _STACK.append(registry)
+    try:
+        yield registry
+    finally:
+        _STACK.pop()
+        if merge_up:
+            _STACK[-1].merge(registry.snapshot())
+
+
+# -- rendering ----------------------------------------------------------
+def format_metrics(snapshot: Dict[str, Dict[str, object]]) -> str:
+    """Human-readable rendering of a snapshot (CLI ``--metrics``)."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        width = max(len(k) for k in counters)
+        lines.append("counters:")
+        lines.extend(f"  {k.ljust(width)}  {v}" for k, v in counters.items())
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        width = max(len(k) for k in gauges)
+        lines.append("gauges:")
+        lines.extend(f"  {k.ljust(width)}  {v:g}" for k, v in gauges.items())
+    timers = snapshot.get("timers", {})
+    if timers:
+        width = max(len(k) for k in timers)
+        lines.append("timers:")
+        for k, t in timers.items():
+            count = t["count"]
+            mean_ms = (t["total"] / count * 1e3) if count else 0.0
+            lines.append(
+                f"  {k.ljust(width)}  n={count}  total={t['total'] * 1e3:.2f}ms"
+                f"  mean={mean_ms:.3f}ms  max={t['max'] * 1e3:.3f}ms"
+            )
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        width = max(len(k) for k in histograms)
+        lines.append("histograms:")
+        for k, h in histograms.items():
+            mean = (h["sum"] / h["count"]) if h["count"] else 0.0
+            lines.append(
+                f"  {k.ljust(width)}  n={h['count']}  mean={mean:g}"
+                f"  min={h['min']:g}  max={h['max']:g}"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"

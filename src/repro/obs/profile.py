@@ -1,0 +1,164 @@
+"""Profiling contexts: nested phase timers with a global on/off switch.
+
+``with phase("eft_vector"):`` times a block into the current
+:class:`~repro.obs.metrics.MetricsRegistry` under the joined phase
+stack (``HDLTS/eft_vector`` when entered inside ``phase("HDLTS")``),
+and ``@instrumented`` wraps a whole function the same way.
+
+The switch is the whole design: profiling defaults to *off*, and a
+disabled :func:`phase` returns one shared no-op context manager -- no
+allocation, no clock read, one module-level bool test -- so the
+instrumented hot paths of the schedulers cost nothing in production
+runs.  :func:`enable` flips measurement on for a ``repro profile`` run,
+a ``--metrics`` CLI session or a benchmark.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional
+
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    "enabled_scope",
+    "phase",
+    "instrumented",
+    "count",
+    "scoped_count",
+    "current_scope",
+]
+
+_enabled = False
+_stack: List[str] = []
+
+
+def enable() -> None:
+    """Turn phase timing and counter recording on (process-wide)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn phase timing and counter recording off."""
+    global _enabled
+    _enabled = False
+    _stack.clear()
+
+
+def enabled() -> bool:
+    """Whether the profiling layer is currently recording."""
+    return _enabled
+
+
+@contextmanager
+def enabled_scope(flag: bool = True) -> Iterator[None]:
+    """Temporarily set the enabled flag (restores the previous state)."""
+    global _enabled
+    previous = _enabled
+    _enabled = flag
+    try:
+        yield
+    finally:
+        _enabled = previous
+        if not _enabled:
+            _stack.clear()
+
+
+class _NoopPhase:
+    """Shared do-nothing context: the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopPhase":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP = _NoopPhase()
+
+
+class _Phase:
+    """An active phase timer; records into the current registry on exit."""
+
+    __slots__ = ("name", "_key", "_started")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._key = ""
+        self._started = 0.0
+
+    def __enter__(self) -> "_Phase":
+        _stack.append(self.name)
+        self._key = "/".join(_stack)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = time.perf_counter() - self._started
+        if _stack and _stack[-1] == self.name:
+            _stack.pop()
+        _metrics.get_metrics().timer(self._key).observe(elapsed)
+        return False
+
+
+def phase(name: str):
+    """Context manager timing a named (nestable) phase.
+
+    Returns the shared no-op singleton when profiling is disabled, so a
+    hot loop pays only the ``enabled`` test.
+    """
+    if not _enabled:
+        return _NOOP
+    return _Phase(name)
+
+
+def current_scope() -> Optional[str]:
+    """Root of the active phase stack (the scheduler name inside a run)."""
+    return _stack[0] if _enabled and _stack else None
+
+
+def count(name: str, n: int = 1) -> None:
+    """Increment a counter, but only while profiling is enabled."""
+    if _enabled:
+        _metrics.get_metrics().counter(name).inc(n)
+
+
+def scoped_count(name: str, n: int = 1) -> None:
+    """Like :func:`count`, prefixing the current phase root (if any).
+
+    Lets shared helpers (e.g. the baselines' EFT machinery) attribute
+    counts to whichever scheduler's run they execute inside.
+    """
+    if _enabled:
+        root = _stack[0] if _stack else None
+        key = f"{root}/{name}" if root else name
+        _metrics.get_metrics().counter(key).inc(n)
+
+
+def instrumented(name: Optional[str] = None) -> Callable:
+    """Decorator timing every call of a function as a phase.
+
+    ``name`` defaults to the function's ``__qualname__``.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        phase_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _enabled:
+                return fn(*args, **kwargs)
+            with _Phase(phase_name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

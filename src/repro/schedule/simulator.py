@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.model.task_graph import TaskGraph
 from repro.schedule.schedule import Schedule
 
@@ -115,6 +116,7 @@ class ScheduleSimulator:
         clocks = [release_time] * n_procs
         total = sum(len(q) for q in queues)
         done = 0
+        bus = obs.get_bus()
 
         def arrival(parent: int, child: int, proc: int) -> float:
             copies = copy_finish.get(parent)
@@ -165,6 +167,15 @@ class ScheduleSimulator:
             finish = best_start + duration
             clocks[proc] = finish
             copy_finish.setdefault(task, []).append((proc, finish))
+            if bus.active:
+                bus.emit(
+                    "sim.task_finish",
+                    task=task,
+                    proc=proc,
+                    start=best_start,
+                    finish=finish,
+                    duplicate=is_dup,
+                )
             if not is_dup:
                 if task in finish_times:
                     raise ValueError(f"task {task} has two primary copies")
@@ -175,6 +186,7 @@ class ScheduleSimulator:
             heads[proc] += 1
             done += 1
 
+        obs.count("sim/commits", done)
         missing = [t for t in graph.tasks() if t not in finish_times]
         if missing:
             raise ValueError(f"tasks never executed: {missing[:10]}")

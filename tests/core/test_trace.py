@@ -48,3 +48,58 @@ def test_format_precision(trace):
 def test_tracestep_is_immutable(trace):
     with pytest.raises(AttributeError):
         trace[0].step = 99
+
+
+class TestExtendedFormat:
+    def test_default_has_no_extended_columns(self, trace):
+        text = format_trace(trace)
+        assert "Start" not in text
+        assert "Dup" not in text
+        assert "*" not in text
+
+    def test_extended_marks_chosen_eft(self, trace):
+        text = format_trace(trace, extended=True)
+        # step 1 selects T1 on P3 (EFT 9): the chosen cell carries a star
+        assert "9*" in text.splitlines()[2]
+
+    def test_extended_adds_start_finish_columns(self, trace):
+        lines = format_trace(trace, extended=True).splitlines()
+        assert "Start" in lines[0] and "Finish" in lines[0]
+        assert "73" in lines[-1]  # the exit task finishes at the makespan
+
+    def test_extended_shows_duplications(self, trace):
+        text = format_trace(trace, extended=True)
+        assert "Dup" in text.splitlines()[0]
+        dup_cells = [p for s in trace for p in s.duplicated_on]
+        assert dup_cells  # Fig. 1 run duplicates the entry task twice
+        for proc in dup_cells:
+            assert f"P{proc + 1}" in text
+
+    def test_extended_star_count_matches_steps(self, trace):
+        text = format_trace(trace, extended=True)
+        assert text.count("*") == len(trace)
+
+    def test_recorder_rebuilds_trace_from_events(self, fig1):
+        from repro import obs
+        from repro.core.trace import TraceRecorder
+
+        recorder = TraceRecorder()
+        unsubscribe = obs.subscribe(recorder, topics=(TraceRecorder.TOPIC,))
+        try:
+            result = HDLTS(record_trace=True).run(fig1)
+        finally:
+            unsubscribe()
+        assert len(recorder.steps) == 10
+        assert format_trace(recorder.steps) == format_trace(result.trace)
+
+    def test_recorder_scheduler_filter(self, fig1):
+        from repro import obs
+        from repro.core.trace import TraceRecorder
+
+        recorder = TraceRecorder(scheduler="SomethingElse")
+        unsubscribe = obs.subscribe(recorder, topics=(TraceRecorder.TOPIC,))
+        try:
+            HDLTS().run(fig1)
+        finally:
+            unsubscribe()
+        assert recorder.steps == []

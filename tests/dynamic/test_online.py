@@ -152,3 +152,101 @@ class TestRobustness:
             robustness_report(lambda rng: None, sigma=0.1, reps=1)
         with pytest.raises(ValueError):
             robustness_report(lambda rng: None, sigma=-1.0, reps=5)
+
+
+class TestDuplicationWindowRegression:
+    """Online entry duplication mirrors offline Algorithm 1's [0, W) window.
+
+    Both graphs below are shrunk hypothesis counterexamples from
+    ``test_online_exact_matches_offline``: the online executor used to
+    append duplicates at Avail(k) instead of inserting them into the
+    still-idle window at time zero, so it either missed a profitable
+    duplicate or (with sub-epsilon slot starts) materialized one that
+    offline correctly rejects.
+    """
+
+    @staticmethod
+    def _build(n_procs, costs, edges):
+        from repro.model.task_graph import TaskGraph
+
+        graph = TaskGraph(n_procs)
+        for row in costs:
+            graph.add_task(row)
+        for u, v, c in edges:
+            graph.add_edge(u, v, c)
+        return graph
+
+    def test_missed_duplicate_in_idle_window(self):
+        """Entry dup must run [0, W) on a CPU whose queue starts later."""
+        from repro.dynamic.online import OnlineHDLTS
+
+        graph = self._build(
+            3,
+            [
+                [1.0, 1.0, 1.0],
+                [1.0, 1.0, 0.0],
+                [1.0, 2.0, 0.0],
+                [0.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0],
+            ],
+            [
+                (0, 1, 1.0),
+                (0, 2, 0.0),
+                (0, 3, 0.0),
+                (0, 4, 0.0),
+                (1, 5, 0.0),
+                (2, 5, 0.0),
+                (3, 5, 0.0),
+                (4, 5, 0.0),
+            ],
+        )
+        offline = HDLTS().run(graph).makespan
+        online = OnlineHDLTS().execute(graph).makespan
+        assert offline == online == 1.0
+
+    def test_zero_duration_slot_does_not_block_duplicate(self):
+        """A zero-cost task at t=0 leaves the duplication window idle."""
+        from repro.dynamic.online import OnlineHDLTS
+
+        graph = self._build(
+            2,
+            [[0.5, 0.0], [0.0, 1.0], [0.0, 1.0], [0.0, 0.0]],
+            [(0, 1, 0.0), (0, 2, 1.0), (1, 3, 0.0), (2, 3, 0.0)],
+        )
+        offline = HDLTS().run(graph).makespan
+        online = OnlineHDLTS().execute(graph).makespan
+        assert offline == online == 0.5
+
+    def test_tiny_positive_slot_start_blocks_duplicate(self):
+        """Slot starts below epsilon still gate the window exactly like
+        the offline timeline's fits(0, duration)."""
+        from repro.dynamic.online import OnlineHDLTS
+
+        tiny = 1.386169986005746e-295
+        graph = self._build(
+            2,
+            [
+                [tiny, 1.0],
+                [0.0, 0.0],
+                [0.0, 0.0],
+                [0.0, 0.0],
+                [1.0, 0.0],
+                [1.0, 0.0],
+                [0.0, 0.0],
+            ],
+            [
+                (0, 1, 0.0),
+                (0, 2, 0.0),
+                (0, 3, 0.0),
+                (0, 4, 2.0),
+                (1, 5, 2.0),
+                (2, 6, 0.0),
+                (3, 6, 0.0),
+                (4, 6, 0.0),
+                (5, 6, 0.0),
+            ],
+        )
+        offline = HDLTS().run(graph).makespan
+        online = OnlineHDLTS().execute(graph).makespan
+        assert online == pytest.approx(offline)

@@ -49,3 +49,62 @@ def test_invalid_args_rejected():
 
 def test_validate_flag_propagates():
     run_sweep_parallel(tiny_sweep(), reps=2, seed=0, workers=2, validate=True)
+
+
+class TestMetricsMerge:
+    """Per-worker metric snapshots must merge to the serial totals."""
+
+    @pytest.fixture(autouse=True)
+    def _obs_enabled(self):
+        from repro import obs
+
+        obs.enable()
+        try:
+            with obs.scoped(merge_up=False):
+                yield
+        finally:
+            obs.disable()
+
+    def test_parallel_counters_bit_identical_to_serial(self):
+        serial = run_sweep(tiny_sweep(), reps=4, seed=7)
+        parallel = run_sweep_parallel(
+            tiny_sweep(), reps=4, seed=7, workers=2, chunk_size=1
+        )
+        assert serial.metrics["counters"]
+        assert parallel.metrics["counters"] == serial.metrics["counters"]
+
+    def test_parallel_timer_counts_match_serial(self):
+        serial = run_sweep(tiny_sweep(), reps=3, seed=1)
+        parallel = run_sweep_parallel(
+            tiny_sweep(), reps=3, seed=1, workers=3, chunk_size=1
+        )
+        serial_timers = serial.metrics["timers"]
+        parallel_timers = parallel.metrics["timers"]
+        for key in serial_timers:
+            assert parallel_timers[key]["count"] == serial_timers[key]["count"]
+
+    def test_parallel_records_chunk_gauges(self):
+        result = run_sweep_parallel(
+            tiny_sweep(), reps=4, seed=0, workers=2, chunk_size=2
+        )
+        gauges = result.metrics["gauges"]
+        assert gauges["sweep/workers"] == 2.0
+        assert gauges["sweep/chunk_imbalance"] >= 1.0
+        assert result.metrics["timers"]["sweep/chunk_wall"]["count"] == 4
+
+    def test_serial_fallback_still_merges_metrics(self, monkeypatch):
+        """No-fork platforms fall back to run_sweep with identical stats."""
+        import multiprocessing
+
+        def no_fork(method):
+            raise ValueError("fork not available")
+
+        monkeypatch.setattr(multiprocessing, "get_context", no_fork)
+        fallback = run_sweep_parallel(tiny_sweep(), reps=3, seed=5, workers=4)
+        serial = run_sweep(tiny_sweep(), reps=3, seed=5)
+        assert fallback.metrics["counters"] == serial.metrics["counters"]
+        for x in serial.definition.x_values:
+            for name in serial.definition.schedulers:
+                assert fallback.stats[x][name].mean == serial.stats[x][name].mean
+                assert fallback.stats[x][name].std == serial.stats[x][name].std
+                assert fallback.stats[x][name].n == serial.stats[x][name].n

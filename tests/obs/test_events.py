@@ -1,0 +1,121 @@
+"""Unit tests for the event bus and the JSONL sink."""
+
+import json
+
+import pytest
+
+from repro.obs.events import Event, EventBus, JsonlSink, get_bus
+
+
+@pytest.fixture
+def bus():
+    return EventBus()
+
+
+class TestEventBus:
+    def test_inactive_without_subscribers(self, bus):
+        assert not bus.active
+
+    def test_emit_without_subscribers_is_noop(self, bus):
+        bus.emit("scheduler.decision", step=1)  # must not raise
+
+    def test_subscriber_receives_events(self, bus):
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("scheduler.decision", step=1, task=3)
+        assert len(seen) == 1
+        assert seen[0].name == "scheduler.decision"
+        assert seen[0].payload == {"step": 1, "task": 3}
+        assert seen[0].ts > 0
+
+    def test_unsubscribe(self, bus):
+        seen = []
+        unsubscribe = bus.subscribe(seen.append)
+        bus.emit("a", x=1)
+        unsubscribe()
+        bus.emit("a", x=2)
+        assert len(seen) == 1
+        unsubscribe()  # idempotent
+
+    def test_topic_exact_match(self, bus):
+        seen = []
+        bus.subscribe(seen.append, topics=("scheduler.decision",))
+        bus.emit("scheduler.decision", step=1)
+        bus.emit("scheduler.duplication", proc=0)
+        assert [e.name for e in seen] == ["scheduler.decision"]
+
+    def test_topic_family_prefix(self, bus):
+        seen = []
+        bus.subscribe(seen.append, topics=("scheduler.",))
+        bus.emit("scheduler.decision", step=1)
+        bus.emit("scheduler.duplication", proc=0)
+        bus.emit("sim.task_finish", task=0)
+        assert [e.name for e in seen] == [
+            "scheduler.decision",
+            "scheduler.duplication",
+        ]
+
+    def test_topic_wildcard(self, bus):
+        seen = []
+        bus.subscribe(seen.append, topics=("*",))
+        bus.emit("anything.at.all")
+        assert len(seen) == 1
+
+    def test_multiple_subscribers_all_receive(self, bus):
+        a, b = [], []
+        bus.subscribe(a.append)
+        bus.subscribe(b.append, topics=("x",))
+        bus.emit("x", v=1)
+        assert len(a) == 1 and len(b) == 1
+
+    def test_clear(self, bus):
+        seen = []
+        bus.subscribe(seen.append)
+        bus.clear()
+        assert not bus.active
+        bus.emit("x")
+        assert not seen
+
+    def test_event_to_dict_hoists_payload(self):
+        event = Event("sweep.point", {"x": 0.5, "figure": "fig2"}, ts=1.0)
+        assert event.to_dict() == {
+            "event": "sweep.point",
+            "ts": 1.0,
+            "x": 0.5,
+            "figure": "fig2",
+        }
+
+    def test_global_bus_is_singleton(self):
+        assert get_bus() is get_bus()
+
+
+class TestJsonlSink:
+    def test_round_trips_through_json_loads(self, bus, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(str(path)) as sink:
+            bus.subscribe(sink)
+            bus.emit("scheduler.decision", step=1, eft=(14.0, 16.0, 9.0))
+            bus.emit("scheduler.duplication", proc=2)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "scheduler.decision"
+        assert first["eft"] == [14.0, 16.0, 9.0]
+        assert sink.n_written == 2
+
+    def test_serializes_numpy_scalars(self, bus, tmp_path):
+        np = pytest.importorskip("numpy")
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(str(path)) as sink:
+            bus.subscribe(sink)
+            bus.emit("x", proc=np.int64(3), eft=np.float64(1.5))
+        record = json.loads(path.read_text())
+        assert record["proc"] == 3 and record["eft"] == 1.5
+
+    def test_ignores_events_after_close(self, bus, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path))
+        bus.subscribe(sink)
+        sink.close()
+        bus.emit("x")  # must not raise on a closed file
+        assert path.read_text() == ""

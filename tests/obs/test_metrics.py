@@ -1,0 +1,172 @@
+"""Unit tests for the metrics registry and snapshot merging."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    format_metrics,
+    get_metrics,
+    merge_snapshots,
+    scoped,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestPrimitives:
+    def test_counter(self, registry):
+        registry.counter("a/b").inc()
+        registry.counter("a/b").inc(4)
+        assert registry.counter("a/b").value == 5
+
+    def test_gauge(self, registry):
+        registry.gauge("g").set(2.5)
+        assert registry.gauge("g").value == 2.5
+
+    def test_timer_observe(self, registry):
+        timer = registry.timer("t")
+        timer.observe(0.5)
+        timer.observe(1.5)
+        assert timer.count == 2
+        assert timer.total == 2.0
+        assert timer.min == 0.5 and timer.max == 1.5
+        assert timer.mean == 1.0
+
+    def test_timer_context(self, registry):
+        with registry.timer("t").time():
+            pass
+        assert registry.timer("t").count == 1
+        assert registry.timer("t").total >= 0.0
+
+    def test_histogram_buckets(self):
+        hist = Histogram(bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.buckets == [1, 1, 1]
+        assert hist.count == 3
+        assert hist.mean == pytest.approx(55.5 / 3)
+        assert hist.min == 0.5 and hist.max == 50.0
+
+    def test_histogram_needs_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+    def test_registry_truthiness(self, registry):
+        assert not registry
+        registry.counter("x").inc()
+        assert registry
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_shape(self, registry):
+        registry.counter("c").inc(2)
+        registry.timer("t").observe(1.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["timers"]["t"]["count"] == 1
+        assert set(snap) == {"counters", "gauges", "timers", "histograms"}
+
+    def test_merge_counters_add_exactly(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(3)
+        b.counter("c").inc(4)
+        b.counter("d").inc(1)
+        a.merge(b.snapshot())
+        assert a.counter("c").value == 7
+        assert a.counter("d").value == 1
+
+    def test_merge_timers_combine_extrema(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.timer("t").observe(1.0)
+        b.timer("t").observe(3.0)
+        a.merge(b.snapshot())
+        timer = a.timer("t")
+        assert timer.count == 2 and timer.total == 4.0
+        assert timer.min == 1.0 and timer.max == 3.0
+
+    def test_merge_gauges_keep_max(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(2.0)
+        b.gauge("g").set(5.0)
+        a.merge(b.snapshot())
+        assert a.gauge("g").value == 5.0
+
+    def test_merge_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1.0,)).observe(0.5)
+        b.histogram("h", bounds=(1.0,)).observe(2.0)
+        a.merge(b.snapshot())
+        hist = a.histogram("h", bounds=(1.0,))
+        assert hist.buckets == [1, 1] and hist.count == 2
+
+    def test_merge_histogram_bounds_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1.0,)).observe(0.5)
+        b.histogram("h", bounds=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b.snapshot())
+
+    def test_merge_snapshots_is_associative_for_counters(self):
+        regs = [MetricsRegistry() for _ in range(3)]
+        for i, reg in enumerate(regs):
+            reg.counter("c").inc(i + 1)
+        snaps = [r.snapshot() for r in regs]
+        left = merge_snapshots(merge_snapshots(snaps[0], snaps[1]), snaps[2])
+        right = merge_snapshots(snaps[0], merge_snapshots(snaps[1], snaps[2]))
+        assert left["counters"] == right["counters"] == {"c": 6}
+
+    def test_snapshot_round_trips_through_fresh_registry(self, registry):
+        registry.counter("c").inc(2)
+        registry.timer("t").observe(0.25)
+        registry.histogram("h").observe(1e-3)
+        fresh = MetricsRegistry()
+        fresh.merge(registry.snapshot())
+        assert fresh.snapshot() == registry.snapshot()
+
+    def test_empty_timer_snapshot_is_finite(self, registry):
+        registry.timer("t")
+        snap = registry.snapshot()["timers"]["t"]
+        assert math.isfinite(snap["min"]) and math.isfinite(snap["max"])
+
+
+class TestScopedRegistry:
+    def test_scoped_registry_becomes_current(self):
+        outer = get_metrics()
+        with scoped() as inner:
+            assert get_metrics() is inner
+            assert inner is not outer
+        assert get_metrics() is outer
+
+    def test_scoped_merges_up_by_default(self):
+        with scoped(merge_up=False) as outer_scope:
+            with scoped() as inner:
+                inner.counter("c").inc(3)
+            assert outer_scope.counter("c").value == 3
+
+    def test_scoped_no_merge_up(self):
+        with scoped(merge_up=False) as outer_scope:
+            with scoped(merge_up=False) as inner:
+                inner.counter("c").inc(3)
+            assert outer_scope.counter("c").value == 0
+
+
+def test_format_metrics_renders_every_section():
+    registry = MetricsRegistry()
+    registry.counter("HDLTS/decisions").inc(10)
+    registry.gauge("sweep/chunk_imbalance").set(1.2)
+    registry.timer("HDLTS/eft_vector").observe(0.01)
+    registry.histogram("sweep/replication_s").observe(0.5)
+    text = format_metrics(registry.snapshot())
+    for token in ("counters:", "gauges:", "timers:", "histograms:",
+                  "HDLTS/decisions", "sweep/chunk_imbalance"):
+        assert token in text
+
+
+def test_format_metrics_empty():
+    assert "no metrics" in format_metrics(MetricsRegistry().snapshot())

@@ -1,0 +1,71 @@
+"""Regression guard: disabled observability must cost (almost) nothing.
+
+The instrumented hot paths -- EFT loops, duplication checks, the
+simulator commit loop -- run inside every test and every benchmark, so
+the disabled state must add no events, no metric records and no per-call
+allocations (the no-op phase is a shared singleton).
+"""
+
+import pytest
+
+from repro import obs
+from repro.core import HDLTS
+
+
+@pytest.fixture(autouse=True)
+def _pristine_obs():
+    """Run each test with profiling off and no bus subscribers."""
+    assert not obs.enabled(), "a previous test leaked the enabled flag"
+    with obs.scoped(merge_up=False) as registry:
+        yield registry
+
+
+def test_hdlts_results_unchanged_with_obs_disabled(fig1):
+    result = HDLTS().run(fig1)
+    assert result.makespan == 73.0
+
+
+def test_disabled_phase_is_a_shared_singleton():
+    assert obs.phase("eft_vector") is obs.phase("anything_else")
+
+
+def test_disabled_phase_allocates_nothing_per_call():
+    import sys
+
+    first = obs.phase("x")
+    assert sys.getrefcount(first) > 2  # module-held singleton, not fresh
+
+
+def test_disabled_run_records_no_metrics(fig1, _pristine_obs):
+    HDLTS().run(fig1)
+    snapshot = _pristine_obs.snapshot()
+    assert snapshot["counters"] == {}
+    assert snapshot["timers"] == {}
+
+
+def test_quiet_bus_emits_no_events(fig1):
+    bus = obs.get_bus()
+    assert not bus.active
+    received = []
+    # emit on a subscriber-less bus must be a pure no-op
+    bus.emit("scheduler.decision", step=1)
+    assert received == []
+    # and instrumented code must not have left a subscriber behind
+    HDLTS(record_trace=True).run(fig1)
+    assert not bus.active
+
+
+def test_record_trace_still_works_without_obs(fig1):
+    """The Table I trace rides the bus yet needs no explicit session."""
+    result = HDLTS(record_trace=True).run(fig1)
+    assert len(result.trace) == 10
+    assert result.trace[-1].finish == 73.0
+
+
+def test_enabled_run_does_record(fig1, _pristine_obs):
+    with obs.enabled_scope(True):
+        HDLTS().run(fig1)
+    snapshot = _pristine_obs.snapshot()
+    assert snapshot["counters"]["HDLTS/decisions"] == 10
+    assert snapshot["counters"]["HDLTS/eft_evaluations"] == 72
+    assert snapshot["timers"]["HDLTS"]["count"] == 1

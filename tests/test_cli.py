@@ -142,3 +142,125 @@ class TestErrorHandling:
     def test_bad_generator_value_exits_2(self, capsys):
         assert main(["generate", "--v", "0"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestObservability:
+    def test_profile_fig1_lowercase_scheduler(self, capsys):
+        assert main(["profile", "--workflow", "fig1", "--scheduler", "hdlts"]) == 0
+        out = capsys.readouterr().out
+        assert "profile: fig1 workflow" in out
+        assert "73.00" in out
+        assert "hdlts phase breakdown:" in out
+        assert "HDLTS/eft_vector" in out
+        assert "HDLTS/commit" in out
+
+    def test_profile_json_document(self, tmp_path, capsys):
+        out_path = tmp_path / "profile.json"
+        assert (
+            main(
+                [
+                    "profile",
+                    "--workflow",
+                    "fig1",
+                    "--scheduler",
+                    "HDLTS",
+                    "--repeat",
+                    "3",
+                    "--json",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        import json
+
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro.profile/1"
+        assert doc["workflow"]["name"] == "fig1"
+        assert doc["workflow"]["n_tasks"] == 10
+        assert doc["repeat"] == 3
+        (run,) = doc["runs"]
+        assert run["scheduler"] == "HDLTS"
+        assert run["makespan"] == 73.0
+        assert run["runs_timed"] == 3
+        assert run["counters"]["decisions"] == 30  # 10 decisions x 3 runs
+        assert run["counters"]["eft_evaluations"] == 216
+        assert run["counters"]["duplication_accepted"] == 6
+        phase_names = {p["phase"] for p in run["phases"]}
+        assert "HDLTS" in phase_names
+        assert "HDLTS/eft_vector" in phase_names
+
+    def test_profile_multiple_schedulers(self, capsys):
+        assert (
+            main(["profile", "--workflow", "fig1", "--scheduler", "HDLTS,HEFT"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "HDLTS" in out and "HEFT" in out
+        assert "80.00" in out  # HEFT's canonical Fig. 1 makespan
+
+    def test_schedule_events_one_per_decision(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "events.jsonl"
+        assert (
+            main(
+                ["schedule", "--workflow", "paper", "--events", str(out_path)]
+            )
+            == 0
+        )
+        events = [
+            json.loads(line) for line in out_path.read_text().splitlines()
+        ]
+        decisions = [e for e in events if e["event"] == "scheduler.decision"]
+        assert len(decisions) == 10  # one per mapping decision
+        assert [d["step"] for d in decisions] == list(range(1, 11))
+        assert all("chosen_proc" in d and "eft" in d for d in decisions)
+        runs = [e for e in events if e["event"] == "scheduler.run"]
+        assert len(runs) == 1 and runs[0]["makespan"] == 73.0
+        assert "events written to" in capsys.readouterr().err
+
+    def test_schedule_metrics_flag(self, capsys):
+        assert main(["schedule", "--workflow", "paper", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "observability metrics:" in out
+        assert "HDLTS/decisions" in out
+        assert "HDLTS/eft_evaluations" in out
+
+    def test_figure_metrics_flag(self, capsys):
+        assert main(["figure", "fig13", "--reps", "1", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "observability metrics:" in out
+        assert "sweep/replications" in out
+
+    def test_dynamic_events(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "dyn.jsonl"
+        assert (
+            main(
+                [
+                    "dynamic",
+                    "--reps",
+                    "1",
+                    "--v",
+                    "20",
+                    "--events",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        events = [
+            json.loads(line) for line in out_path.read_text().splitlines()
+        ]
+        kinds = {e["event"] for e in events}
+        assert "dynamic.dispatch" in kinds
+        assert "sim.task_finish" in kinds
+
+    def test_profile_leaves_obs_disabled(self):
+        from repro import obs
+
+        main(["profile", "--workflow", "fig1", "--scheduler", "HDLTS"])
+        assert not obs.enabled()
+        assert not obs.get_bus().active
