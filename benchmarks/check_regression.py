@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Compare a fresh BENCH_timings.json against the committed baseline.
+
+CI's perf-smoke job reruns the scaling benches and calls this script to
+catch wall-time regressions early.  A bench fails the check when its
+wall time exceeds ``factor`` times the committed baseline; benches
+present in only one file are reported but never fail the check (new
+benches land without a baseline, retired ones drop out).
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/BENCH_baseline.json \
+        --current benchmarks/BENCH_timings.json \
+        --factor 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_wall_times(path: Path) -> dict:
+    doc = json.loads(path.read_text())
+    if doc.get("schema") != "repro.bench_timings/1":
+        raise SystemExit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {
+        name: entry["wall_s"] for name, entry in doc["benchmarks"].items()
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="fail when current wall time exceeds baseline * factor",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_wall_times(args.baseline)
+    current = load_wall_times(args.current)
+
+    shared = sorted(baseline.keys() & current.keys())
+    if not shared:
+        print("no overlapping benchmarks between baseline and current")
+        return 1
+
+    regressions = []
+    for name in shared:
+        ratio = current[name] / baseline[name] if baseline[name] > 0 else 0.0
+        status = "ok"
+        if ratio > args.factor:
+            status = "REGRESSION"
+            regressions.append(name)
+        print(
+            f"{status:>10}  {baseline[name]:8.2f}s -> {current[name]:8.2f}s "
+            f"({ratio:4.2f}x)  {name}"
+        )
+    for name in sorted(baseline.keys() - current.keys()):
+        print(f"{'missing':>10}  (in baseline only)  {name}")
+    for name in sorted(current.keys() - baseline.keys()):
+        print(f"{'new':>10}  (no baseline yet)   {name}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} bench(es) regressed more than "
+            f"{args.factor}x; update benchmarks/BENCH_baseline.json if the "
+            "slowdown is intentional"
+        )
+        return 1
+    print(f"\nall {len(shared)} shared benches within {args.factor}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,11 +4,18 @@ Every baseline maps the next task in its priority order to the CPU
 minimizing an EFT-derived objective.  These helpers compute EST/EFT
 against the live schedule (Definitions 5-7) with optional HEFT-style
 insertion, and commit the placement.
+
+When an :class:`~repro.core.engine.EFTEngine` is passed, the ready-time
+computation runs vectorized from the engine's incremental per-task
+arrival arrays instead of the per-CPU Python loops -- bit-identical
+results (the engine maintains exactly the quantities the loops
+recompute), one vectorized pass per task instead of one parent x copy
+scan per CPU.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -16,12 +23,37 @@ from repro import obs
 from repro.model.task_graph import TaskGraph
 from repro.schedule.schedule import Assignment, Schedule
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.engine import EFTEngine
+
 __all__ = [
     "est_eft",
     "eft_vector",
+    "make_engine",
     "place_min_eft",
     "precedence_safe_order",
 ]
+
+#: the engine selector accepted by every ported baseline
+ENGINE_CHOICES = ("fast", "reference")
+
+
+def make_engine(schedule: Schedule, engine: str) -> Optional["EFTEngine"]:
+    """Resolve a baseline's ``engine=`` parameter to an engine (or None).
+
+    ``"fast"`` builds an :class:`~repro.core.engine.EFTEngine` over the
+    (possibly pre-populated) schedule; ``"reference"`` selects the
+    original scalar code path.
+    """
+    if engine not in ENGINE_CHOICES:
+        raise ValueError(
+            f"engine must be one of {ENGINE_CHOICES}, got {engine!r}"
+        )
+    if engine == "reference":
+        return None
+    from repro.core.engine import EFTEngine
+
+    return EFTEngine(schedule)
 
 
 def est_eft(
@@ -53,22 +85,30 @@ def place_min_eft(
     insertion: bool = True,
     procs: Optional[Iterable[int]] = None,
     objective: Optional[Callable[[int, float], float]] = None,
+    engine: Optional["EFTEngine"] = None,
 ) -> Assignment:
     """Commit ``task`` to the CPU minimizing EFT (or a custom objective).
 
     ``objective(proc, eft) -> score`` lets PEFT minimize ``EFT + OCT``
     while still *starting* the task at its true EST.  Ties break toward
-    the lowest CPU index.
+    the lowest CPU index.  With ``engine`` the EST/EFT vectors come from
+    the incremental arrays; the selection loop is unchanged so the
+    tie-break semantics (strict 1e-12 improvement) stay bit-identical.
     """
     graph = schedule.graph
     candidates = list(procs) if procs is not None else list(graph.procs())
     if not candidates:
         raise ValueError("no candidate CPUs")
+    if engine is not None:
+        starts, finishes = engine.est_eft(task, insertion)
     best_proc = -1
     best_score = float("inf")
     best_start = 0.0
     for proc in candidates:
-        start, finish = est_eft(schedule, task, proc, insertion)
+        if engine is not None:
+            start, finish = float(starts[proc]), float(finishes[proc])
+        else:
+            start, finish = est_eft(schedule, task, proc, insertion)
         score = objective(proc, finish) if objective else finish
         if score < best_score - 1e-12:
             best_score = score
@@ -76,7 +116,10 @@ def place_min_eft(
             best_start = start
     obs.scoped_count("eft_evaluations", len(candidates))
     obs.scoped_count("decisions")
-    return schedule.place(task, best_proc, best_start)
+    assignment = schedule.place(task, best_proc, best_start)
+    if engine is not None:
+        engine.notify(assignment)
+    return assignment
 
 
 def precedence_safe_order(

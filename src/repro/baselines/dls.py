@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.baselines.common import make_engine
 from repro.core.base import Scheduler
 from repro.core.itq import IndependentTaskQueue
 from repro.model.attributes import mean_execution_times
@@ -33,8 +34,9 @@ class DLS(Scheduler):
 
     name = "DLS"
 
-    def __init__(self, insertion: bool = True) -> None:
+    def __init__(self, insertion: bool = True, engine: str = "fast") -> None:
         self.insertion = insertion
+        self.engine = engine
 
     def static_levels(self, graph: TaskGraph) -> np.ndarray:
         """Mean-cost longest path to the exit, communication excluded."""
@@ -54,22 +56,50 @@ class DLS(Scheduler):
         mean_w = mean_execution_times(graph)
         w = graph.cost_matrix()
         schedule = Schedule(graph)
+        engine = make_engine(schedule, self.engine)
         itq = IndependentTaskQueue(graph)
 
         while itq:
-            best = None  # (dl, -task, -proc) maximized; ties -> low ids
-            for task in itq.ready_tasks():
-                for proc in graph.procs():
-                    ready = schedule.ready_time(task, proc)
-                    start = schedule.timelines[proc].earliest_start(
-                        ready, w[task, proc], self.insertion
+            if engine is not None:
+                # vectorized per task: one ready vector from the engine's
+                # incremental arrays, then DL over all CPUs at once.  The
+                # reference tie-break -- maximize (dl, -task, -proc) -- is
+                # first-max within a task (argmax) and strict improvement
+                # across ascending task ids.
+                best = None  # (dl, task, proc, start)
+                for task in itq.ready_tasks():
+                    ready_vec = engine.ready_vector(task)
+                    starts = np.array(
+                        [
+                            schedule.timelines[proc].earliest_start_fast(
+                                float(ready_vec[proc]),
+                                w[task, proc],
+                                self.insertion,
+                            )
+                            for proc in graph.procs()
+                        ]
                     )
-                    dl = sl[task] - start + (mean_w[task] - w[task, proc])
-                    key = (dl, -task, -proc)
-                    if best is None or key > best[0]:
-                        best = (key, task, proc, start)
-            assert best is not None
-            _, task, proc, start = best
-            schedule.place(task, proc, start)
+                    dl = sl[task] - starts + (mean_w[task] - w[task])
+                    proc = int(np.argmax(dl))
+                    if best is None or dl[proc] > best[0]:
+                        best = (float(dl[proc]), task, proc, float(starts[proc]))
+                assert best is not None
+                _, task, proc, start = best
+                engine.notify(schedule.place(task, proc, start))
+            else:
+                best = None  # (dl, -task, -proc) maximized; ties -> low ids
+                for task in itq.ready_tasks():
+                    for proc in graph.procs():
+                        ready = schedule.ready_time(task, proc)
+                        start = schedule.timelines[proc].earliest_start(
+                            ready, w[task, proc], self.insertion
+                        )
+                        dl = sl[task] - start + (mean_w[task] - w[task, proc])
+                        key = (dl, -task, -proc)
+                        if best is None or key > best[0]:
+                            best = (key, task, proc, start)
+                assert best is not None
+                _, task, proc, start = best
+                schedule.place(task, proc, start)
             itq.complete(task)
         return schedule

@@ -11,7 +11,7 @@ in-text claim.
 
 from __future__ import annotations
 
-from repro.baselines.common import place_min_eft, precedence_safe_order
+from repro.baselines.common import make_engine, place_min_eft, precedence_safe_order
 from repro.core.base import Scheduler
 from repro.model.ranking import upward_rank
 from repro.model.task_graph import TaskGraph
@@ -25,14 +25,18 @@ class HEFT(Scheduler):
 
     name = "HEFT"
 
-    def __init__(self, insertion: bool = True) -> None:
+    def __init__(self, insertion: bool = True, engine: str = "fast") -> None:
         self.insertion = insertion
+        self.engine = engine
 
     def build_schedule(self, graph: TaskGraph) -> Schedule:
         """Schedule ``graph`` with classic HEFT."""
         ranks = upward_rank(graph)
         order = precedence_safe_order(graph, ranks, descending=True)
         schedule = Schedule(graph)
+        engine = make_engine(schedule, self.engine)
         for task in order:
-            place_min_eft(schedule, task, insertion=self.insertion)
+            place_min_eft(
+                schedule, task, insertion=self.insertion, engine=engine
+            )
         return schedule

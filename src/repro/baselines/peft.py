@@ -14,7 +14,7 @@ from __future__ import annotations
 import heapq
 from typing import List
 
-from repro.baselines.common import place_min_eft
+from repro.baselines.common import make_engine, place_min_eft
 from repro.core.base import Scheduler
 from repro.core.itq import IndependentTaskQueue
 from repro.model.ranking import oct_rank, optimistic_cost_table
@@ -29,8 +29,9 @@ class PEFT(Scheduler):
 
     name = "PEFT"
 
-    def __init__(self, insertion: bool = True) -> None:
+    def __init__(self, insertion: bool = True, engine: str = "fast") -> None:
         self.insertion = insertion
+        self.engine = engine
 
     def build_schedule(self, graph: TaskGraph) -> Schedule:
         """Schedule ``graph`` with the OCT-driven PEFT policy."""
@@ -38,6 +39,7 @@ class PEFT(Scheduler):
         rank = oct_rank(graph, table)
 
         schedule = Schedule(graph)
+        engine = make_engine(schedule, self.engine)
         itq = IndependentTaskQueue(graph)
         heap: List[tuple] = []
         for task in itq.ready_tasks():
@@ -50,6 +52,7 @@ class PEFT(Scheduler):
                 task,
                 insertion=self.insertion,
                 objective=lambda proc, eft, row=row: eft + row[proc],
+                engine=engine,
             )
             for released in itq.complete(task):
                 heapq.heappush(heap, (-rank[released], released))

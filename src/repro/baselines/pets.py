@@ -20,7 +20,7 @@ from typing import List
 
 import numpy as np
 
-from repro.baselines.common import place_min_eft
+from repro.baselines.common import make_engine, place_min_eft
 from repro.core.base import Scheduler
 from repro.model.attributes import mean_execution_times
 from repro.model.levels import level_decomposition
@@ -35,11 +35,14 @@ class PETS(Scheduler):
 
     name = "PETS"
 
-    def __init__(self, insertion: bool = True, variant: str = "drc") -> None:
+    def __init__(
+        self, insertion: bool = True, variant: str = "drc", engine: str = "fast"
+    ) -> None:
         if variant not in ("drc", "rpt"):
             raise ValueError(f"variant must be 'drc' or 'rpt', got {variant!r}")
         self.insertion = insertion
         self.variant = variant
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def ranks(self, graph: TaskGraph) -> np.ndarray:
@@ -71,6 +74,7 @@ class PETS(Scheduler):
         """Schedule ``graph`` level by level in PETS rank order."""
         rank = self.ranks(graph)
         schedule = Schedule(graph)
+        engine = make_engine(schedule, self.engine)
         for level in level_decomposition(graph):
             # highest rank first; ties by smaller average computation
             # cost, then task id (the paper leaves ties unspecified)
@@ -79,5 +83,7 @@ class PETS(Scheduler):
                 level, key=lambda t: (-rank[t], acc[t], t)
             )
             for task in ordered:
-                place_min_eft(schedule, task, insertion=self.insertion)
+                place_min_eft(
+                    schedule, task, insertion=self.insertion, engine=engine
+                )
         return schedule

@@ -66,6 +66,7 @@ def _factories() -> Dict[str, Callable[[], Scheduler]]:
         "RAND": _random,
         "MaxMin": LevelMaxMin,
         # ablation variants (DESIGN.md "Ablation benches")
+        "HDLTS-reference": lambda: HDLTS(engine="reference"),
         "HDLTS-nodup": lambda: HDLTS(duplicate_entry=False),
         "HDLTS-insertion": lambda: HDLTS(use_insertion=True),
         "HDLTS-range": lambda: HDLTS(priority=PriorityRule.EFT_RANGE),

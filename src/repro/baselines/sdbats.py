@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.common import place_min_eft, precedence_safe_order
+from repro.baselines.common import make_engine, place_min_eft, precedence_safe_order
 from repro.core.base import Scheduler
 from repro.model.attributes import std_execution_times
 from repro.model.ranking import upward_rank
@@ -32,9 +32,15 @@ class SDBATS(Scheduler):
 
     name = "SDBATS"
 
-    def __init__(self, insertion: bool = True, duplicate_entry: bool = True) -> None:
+    def __init__(
+        self,
+        insertion: bool = True,
+        duplicate_entry: bool = True,
+        engine: str = "fast",
+    ) -> None:
         self.insertion = insertion
         self.duplicate_entry = duplicate_entry
+        self.engine = engine
 
     def build_schedule(self, graph: TaskGraph) -> Schedule:
         """Schedule ``graph`` with SDBATS (std ranks + entry duplication)."""
@@ -57,6 +63,10 @@ class SDBATS(Scheduler):
                 if proc != best_proc:
                     schedule.place(entry, proc, 0.0, duplicate=True)
 
+        # the engine ingests the entry pre-placement (and its mirrors)
+        engine = make_engine(schedule, self.engine)
         for task in order[1:]:
-            place_min_eft(schedule, task, insertion=self.insertion)
+            place_min_eft(
+                schedule, task, insertion=self.insertion, engine=engine
+            )
         return schedule

@@ -1,0 +1,270 @@
+"""Incremental vectorized EFT engine shared by HDLTS and the baselines.
+
+Every list scheduler in this repository evaluates the same kernel at
+each decision: *when can task ``t`` start on CPU ``p`` given the
+schedule built so far?* (Definitions 5-7).  The reference
+implementations answer it with Python loops over ``parents x copies x
+CPUs``; this engine answers it from persistent per-task arrays that are
+updated incrementally as assignments are committed:
+
+* ``local_finish[t, p]`` -- earliest finish of a copy of ``t`` *on*
+  CPU ``p`` (``inf`` when none), and ``best_finish[t]`` -- earliest
+  finish of any copy.  The arrival of the edge ``t -> c`` on CPU ``p``
+  (Definition 5) is then one vectorized expression::
+
+      arrival(t, c) = minimum(local_finish[t], best_finish[t] + comm(t, c))
+
+  which is exactly ``min over copies of finish + (0 | comm)`` because
+  communication costs are non-negative.
+* ``avail[p]`` -- Definition 3, mirrored from the timelines.
+* a per-CPU memo of Algorithm 1's entry-duplication window test
+  (``fits(0, W(entry, p))``), invalidated only when CPU ``p``'s
+  timeline actually changes, so the hypothetical-duplicate arrival of
+  the entry's output is evaluated once per (child, CPU) *invalidation*
+  instead of once per scheduling step.
+
+Copies are immutable once committed, so an arrival computed from these
+arrays is bit-identical to the reference loops: ``min``/``max`` over
+the same float64 values reassociate freely, and ``best_finish + comm``
+equals ``min over copies of (finish + comm)`` exactly because IEEE
+addition of a common non-negative term is monotone.
+
+The engine is advisory: it never mutates the :class:`Schedule`.  Feed
+it every committed :class:`~repro.schedule.schedule.Assignment` through
+:meth:`notify` (construction ingests whatever is already placed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.schedule.schedule import Assignment, Schedule
+
+__all__ = ["EFTEngine"]
+
+
+class EFTEngine:
+    """Incremental EFT evaluation state for one schedule under construction.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule being built; existing assignments are ingested.
+    entry:
+        The graph's entry task, required for the Algorithm-1 aware
+        queries (:meth:`entry_arrival_vector`, :meth:`entry_plan`).
+    hypothetical_entry_dup:
+        When True, entry arrivals account for a *hypothetical* entry
+        duplicate wherever Algorithm 1 would still accept one (HDLTS
+        pillar 1); when False they use committed copies only.
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        entry: Optional[int] = None,
+        hypothetical_entry_dup: bool = False,
+    ) -> None:
+        self.schedule = schedule
+        graph = schedule.graph
+        self.graph = graph
+        n, p = graph.n_tasks, graph.n_procs
+        self.w = graph.cost_matrix()
+        self.local_finish = np.full((n, p), np.inf)
+        self.best_finish = np.full(n, np.inf)
+        self.avail = np.zeros(p)
+        self.entry = entry
+        self.hypothetical_entry_dup = bool(hypothetical_entry_dup)
+        # Algorithm-1 window memo: does a duplicate still fit over
+        # [0, W(entry, p))?  Recomputed lazily per dirty CPU.
+        self._dup_fits = np.zeros(p, dtype=bool)
+        self._dup_dirty = np.ones(p, dtype=bool)
+        # per-task (parent ids, edge costs, ids sans entry, costs sans
+        # entry), resolved once per task
+        self._parents: List[
+            Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]
+        ] = [None] * n
+        # entry -> child communication costs, pre-resolved for the
+        # per-step dirty-column refresh
+        self._entry_comm = np.zeros(n)
+        if entry is not None:
+            for child in graph.successors(entry):
+                self._entry_comm[child] = graph.comm_cost(entry, child)
+        for task in graph.tasks():
+            for copy in schedule.copies(task):
+                self.notify(copy)
+
+    # ------------------------------------------------------------------
+    # state maintenance
+    # ------------------------------------------------------------------
+    def notify(self, assignment: Assignment) -> None:
+        """Fold a committed assignment into the incremental arrays."""
+        task, proc, finish = assignment.task, assignment.proc, assignment.finish
+        if finish < self.local_finish[task, proc]:
+            self.local_finish[task, proc] = finish
+        if finish < self.best_finish[task]:
+            self.best_finish[task] = finish
+        self.avail[proc] = self.schedule.timelines[proc].avail
+        self._dup_dirty[proc] = True
+
+    def _parent_arrays(
+        self, task: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        cached = self._parents[task]
+        if cached is None:
+            parents = self.graph.predecessors(task)
+            ids = np.array(parents, dtype=np.intp)
+            comms = np.array(
+                [self.graph.comm_cost(q, task) for q in parents]
+            )
+            if self.entry is not None and self.entry in parents:
+                keep = ids != self.entry
+                ids_ne, comms_ne = ids[keep], comms[keep]
+            else:
+                ids_ne, comms_ne = ids, comms
+            cached = (ids, comms, ids_ne, comms_ne)
+            self._parents[task] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Definition 5: data arrival / ready times
+    # ------------------------------------------------------------------
+    def arrival_vector(self, parent: int, child: int) -> np.ndarray:
+        """Arrival of the edge ``parent -> child`` data on every CPU."""
+        if not np.isfinite(self.best_finish[parent]):
+            raise ValueError(f"parent {parent} of {child} is not scheduled")
+        comm = self.graph.comm_cost(parent, child)
+        return np.minimum(
+            self.local_finish[parent], self.best_finish[parent] + comm
+        )
+
+    def ready_vector(self, task: int, exclude_entry: bool = False) -> np.ndarray:
+        """Definition 5 on every CPU: when the task's inputs are present.
+
+        ``exclude_entry=True`` drops the entry parent's contribution
+        (HDLTS recombines it with the hypothetical-duplicate arrival).
+        """
+        all_ids, _, ids_ne, comms_ne = self._parent_arrays(task)
+        parents = ids_ne if exclude_entry else all_ids
+        if parents.size:
+            best = self.best_finish[parents]
+            if not np.all(np.isfinite(best)):
+                missing = int(parents[np.argmax(~np.isfinite(best))])
+                raise ValueError(
+                    f"parent {missing} of {task} is not scheduled"
+                )
+        return self._ready_row(task, exclude_entry)
+
+    def _ready_row(self, task: int, exclude_entry: bool) -> np.ndarray:
+        """:meth:`ready_vector` without the scheduled-parents check.
+
+        The HDLTS hot loop only asks about tasks the ITQ has released,
+        whose parents are committed by construction.
+        """
+        ids, comms, ids_ne, comms_ne = self._parent_arrays(task)
+        if exclude_entry:
+            ids, comms = ids_ne, comms_ne
+        if not ids.size:
+            return np.zeros(self.graph.n_procs)
+        arrivals = np.minimum(
+            self.local_finish[ids], (self.best_finish[ids] + comms)[:, None]
+        )
+        return np.maximum(arrivals.max(axis=0), 0.0)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: hypothetical entry duplication
+    # ------------------------------------------------------------------
+    def _dup_window_free(self) -> np.ndarray:
+        """Per-CPU: an entry duplicate at time 0 still fits (memoized)."""
+        if self._dup_dirty.any():
+            entry = self.entry
+            for proc in np.flatnonzero(self._dup_dirty):
+                self._dup_fits[proc] = self.schedule.timelines[proc].fits(
+                    0.0, self.w[entry, proc]
+                )
+            self._dup_dirty[:] = False
+        return self._dup_fits
+
+    def entry_arrival_vector(self, child: int) -> np.ndarray:
+        """Entry-output arrival on every CPU, hypothetical dup included."""
+        assert self.entry is not None, "engine built without an entry task"
+        via_network = self.arrival_vector(self.entry, child)
+        if not self.hypothetical_entry_dup:
+            return via_network
+        w_entry = self.w[self.entry]
+        dup_ok = self._dup_window_free() & np.isinf(
+            self.local_finish[self.entry]
+        )
+        return np.where(
+            dup_ok & (w_entry < via_network), w_entry, via_network
+        )
+
+    def entry_arrival_column(
+        self, children: Sequence[int], proc: int
+    ) -> np.ndarray:
+        """Entry-output arrival on one CPU for a batch of children."""
+        assert self.entry is not None
+        entry = self.entry
+        comms = self._entry_comm[np.asarray(children, dtype=np.intp)]
+        via = np.minimum(
+            self.local_finish[entry, proc], self.best_finish[entry] + comms
+        )
+        if not self.hypothetical_entry_dup:
+            return via
+        if not (
+            self._dup_window_free()[proc]
+            and np.isinf(self.local_finish[entry, proc])
+        ):
+            return via
+        w_entry = self.w[entry, proc]
+        return np.where(w_entry < via, w_entry, via)
+
+    def entry_plan(self, child: int, proc: int) -> Tuple[bool, float]:
+        """Algorithm 1 for one (child, CPU) pair: (duplicate?, arrival).
+
+        Matches :func:`repro.core.duplication.entry_duplication_plan`
+        decision-for-decision against the live schedule.
+        """
+        assert self.entry is not None
+        entry = self.entry
+        comm = self.graph.comm_cost(entry, child)
+        via = min(
+            float(self.local_finish[entry, proc]),
+            float(self.best_finish[entry]) + comm,
+        )
+        if not self.hypothetical_entry_dup:
+            return False, via
+        if np.isfinite(self.local_finish[entry, proc]):
+            return False, via  # a copy is already local
+        if not self._dup_window_free()[proc]:
+            return False, via
+        dup_finish = float(self.w[entry, proc])
+        if dup_finish < via:
+            return True, dup_finish
+        return False, via
+
+    # ------------------------------------------------------------------
+    # EST / EFT for the static-list baselines
+    # ------------------------------------------------------------------
+    def est_eft(
+        self, task: int, insertion: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(EST, EFT) of ``task`` on every CPU against the live schedule."""
+        ready = self.ready_vector(task)
+        costs = self.w[task]
+        timelines = self.schedule.timelines
+        starts = np.array(
+            [
+                timelines[proc].earliest_start_fast(
+                    float(ready[proc]), float(costs[proc]), insertion
+                )
+                for proc in range(len(timelines))
+            ]
+        )
+        return starts, starts + costs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        placed = int(np.isfinite(self.best_finish).sum())
+        return f"EFTEngine(placed={placed}/{self.graph.n_tasks})"
