@@ -38,12 +38,15 @@ __all__ = [
 ENGINE_CHOICES = ("fast", "reference")
 
 
-def make_engine(schedule: Schedule, engine: str) -> Optional["EFTEngine"]:
+def make_engine(schedule: Schedule, engine: str):
     """Resolve a baseline's ``engine=`` parameter to an engine (or None).
 
-    ``"fast"`` builds an :class:`~repro.core.engine.EFTEngine` over the
-    (possibly pre-populated) schedule; ``"reference"`` selects the
-    original scalar code path.
+    ``"fast"`` builds an EFT engine over the (possibly pre-populated)
+    schedule -- the scalar :class:`~repro.core.engine.StaticEFTEngine`
+    over the compiled graph when the compiled layer is enabled, the
+    vectorized :class:`~repro.core.engine.EFTEngine` otherwise (both are
+    bit-identical); ``"reference"`` selects the original scalar code
+    path.
     """
     if engine not in ENGINE_CHOICES:
         raise ValueError(
@@ -51,8 +54,11 @@ def make_engine(schedule: Schedule, engine: str) -> Optional["EFTEngine"]:
         )
     if engine == "reference":
         return None
-    from repro.core.engine import EFTEngine
+    from repro.core.engine import EFTEngine, StaticEFTEngine
+    from repro.model.compiled import compiled_enabled
 
+    if compiled_enabled():
+        return StaticEFTEngine(schedule)
     return EFTEngine(schedule)
 
 
@@ -95,9 +101,15 @@ def place_min_eft(
     the incremental arrays; the selection loop is unchanged so the
     tie-break semantics (strict 1e-12 improvement) stay bit-identical.
     """
+    if procs is None and engine is not None:
+        place_best = getattr(engine, "place_best", None)
+        if place_best is not None:
+            # the scalar engine fuses EST/EFT, the identical selection
+            # loop and the commit into one call frame
+            return place_best(task, insertion, objective)
     graph = schedule.graph
-    candidates = list(procs) if procs is not None else list(graph.procs())
-    if not candidates:
+    candidates = list(procs) if procs is not None else graph.procs()
+    if not len(candidates):
         raise ValueError("no candidate CPUs")
     if engine is not None:
         starts, finishes = engine.est_eft(task, insertion)
@@ -133,6 +145,18 @@ def precedence_safe_order(
     topological position makes the order always precedence-safe without
     altering genuinely ranked decisions.
     """
+    from repro.model.compiled import compile_graph, compiled_enabled
+
+    if compiled_enabled():
+        # identical to the sorted() below: topological position is a
+        # unique secondary key, so the (priority, position) order is
+        # total and lexsort reproduces it exactly
+        compiled = compile_graph(graph)
+        keys = np.asarray(priority, dtype=float)
+        if descending:
+            keys = -keys
+        order = np.lexsort((compiled.topo_position, keys))
+        return order.tolist()
     position = {task: i for i, task in enumerate(graph.topological_order())}
     sign = -1.0 if descending else 1.0
     return sorted(

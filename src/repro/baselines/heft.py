@@ -35,8 +35,16 @@ class HEFT(Scheduler):
         order = precedence_safe_order(graph, ranks, descending=True)
         schedule = Schedule(graph)
         engine = make_engine(schedule, self.engine)
-        for task in order:
-            place_min_eft(
-                schedule, task, insertion=self.insertion, engine=engine
-            )
+        # bind the fused compiled-path placement once per build; the
+        # generic helper would re-dispatch to it on every task
+        place_best = getattr(engine, "place_best", None)
+        if place_best is not None:
+            insertion = self.insertion
+            for task in order:
+                place_best(task, insertion)
+        else:
+            for task in order:
+                place_min_eft(
+                    schedule, task, insertion=self.insertion, engine=engine
+                )
         return schedule

@@ -40,6 +40,9 @@ class PEFT(Scheduler):
 
         schedule = Schedule(graph)
         engine = make_engine(schedule, self.engine)
+        # bind the fused compiled-path placement once per build
+        place_best = getattr(engine, "place_best", None)
+        insertion = self.insertion
         itq = IndependentTaskQueue(graph)
         heap: List[tuple] = []
         for task in itq.ready_tasks():
@@ -47,13 +50,17 @@ class PEFT(Scheduler):
         while heap:
             _, task = heapq.heappop(heap)
             row = table[task]
-            place_min_eft(
-                schedule,
-                task,
-                insertion=self.insertion,
-                objective=lambda proc, eft, row=row: eft + row[proc],
-                engine=engine,
-            )
+            objective = lambda proc, eft, row=row: eft + row[proc]
+            if place_best is not None:
+                place_best(task, insertion, objective)
+            else:
+                place_min_eft(
+                    schedule,
+                    task,
+                    insertion=insertion,
+                    objective=objective,
+                    engine=engine,
+                )
             for released in itq.complete(task):
                 heapq.heappush(heap, (-rank[released], released))
         return schedule

@@ -65,8 +65,15 @@ class SDBATS(Scheduler):
 
         # the engine ingests the entry pre-placement (and its mirrors)
         engine = make_engine(schedule, self.engine)
-        for task in order[1:]:
-            place_min_eft(
-                schedule, task, insertion=self.insertion, engine=engine
-            )
+        # bind the fused compiled-path placement once per build
+        place_best = getattr(engine, "place_best", None)
+        if place_best is not None:
+            insertion = self.insertion
+            for task in order[1:]:
+                place_best(task, insertion)
+        else:
+            for task in order[1:]:
+                place_min_eft(
+                    schedule, task, insertion=self.insertion, engine=engine
+                )
         return schedule

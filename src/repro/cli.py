@@ -74,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--full", action="store_true", help="fig3: include 5000/10000 tasks")
     p_fig.add_argument("--validate", action="store_true", help="feasibility-check every schedule")
     p_fig.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
+    p_fig.add_argument(
+        "--chunk-size",
+        type=int,
+        default=5,
+        help="replications per worker chunk (parallel runs)",
+    )
     p_fig.add_argument("--chart", action="store_true", help="also render an ASCII line chart")
     p_fig.add_argument("--csv", default=None, metavar="FILE", help="also write tidy CSV to FILE")
     _add_obs_args(p_fig)
@@ -83,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--seed", type=int, default=0)
     p_all.add_argument("--full", action="store_true")
     p_all.add_argument("--workers", type=int, default=1)
+    p_all.add_argument(
+        "--chunk-size",
+        type=int,
+        default=5,
+        help="replications per worker chunk (parallel runs)",
+    )
 
     p_sched = sub.add_parser("schedule", help="schedule one workflow instance")
     _add_workflow_args(p_sched)
@@ -160,14 +172,26 @@ def _cmd_figure(
     workers: int = 1,
     chart: bool = False,
     csv_path=None,
+    chunk_size: int = 5,
+    pool=None,
+    definition=None,
 ) -> int:
     from repro.experiments import format_sweep, get_figure, run_sweep
     from repro.experiments.parallel import run_sweep_parallel
 
-    definition = get_figure(key, full=full) if key == "fig3" else get_figure(key)
-    if workers > 1:
+    if definition is None:
+        definition = (
+            get_figure(key, full=full) if key == "fig3" else get_figure(key)
+        )
+    if pool is not None or workers > 1:
         result = run_sweep_parallel(
-            definition, reps=reps, seed=seed, validate=validate, workers=workers
+            definition,
+            reps=reps,
+            seed=seed,
+            validate=validate,
+            workers=workers,
+            chunk_size=chunk_size,
+            pool=pool,
         )
     else:
         result = run_sweep(
@@ -191,16 +215,53 @@ def _cmd_figure(
     return 0
 
 
-def _cmd_all_figures(reps: int, seed: int, full: bool, workers: int = 1) -> int:
-    from repro.experiments import list_figures
+def _cmd_all_figures(
+    reps: int,
+    seed: int,
+    full: bool,
+    workers: int = 1,
+    chunk_size: int = 5,
+) -> int:
+    import multiprocessing
+
+    from repro.experiments import get_figure, list_figures
 
     _cmd_table1()
-    for key in list_figures():
-        print()
-        _cmd_figure(
-            key, reps, seed, full and key == "fig3", validate=False, workers=workers
-        )
-    return 0
+    keys = list_figures()
+    definitions = {
+        key: (get_figure(key, full=full) if key == "fig3" else get_figure(key))
+        for key in keys
+    }
+
+    def run_all(pool=None) -> int:
+        for key in keys:
+            print()
+            _cmd_figure(
+                key,
+                reps,
+                seed,
+                full and key == "fig3",
+                validate=False,
+                workers=workers,
+                chunk_size=chunk_size,
+                pool=pool,
+                definition=definitions[key],
+            )
+        return 0
+
+    try:
+        multiprocessing.get_context("fork")
+        has_fork = True
+    except ValueError:  # pragma: no cover - non-fork platform
+        has_fork = False
+    if workers > 1 and has_fork:
+        # one pool forked up front and reused by every figure, instead
+        # of paying a pool fork/teardown per figure
+        from repro.experiments.parallel import sweep_pool
+
+        with sweep_pool(definitions.values(), workers) as pool:
+            return run_all(pool)
+    return run_all()
 
 
 def _make_workflow(args) -> "object":
@@ -466,10 +527,13 @@ def _dispatch(args) -> int:
                 args.workers,
                 chart=args.chart,
                 csv_path=args.csv,
+                chunk_size=args.chunk_size,
             ),
         )
     if args.command == "all-figures":
-        return _cmd_all_figures(args.reps, args.seed, args.full, args.workers)
+        return _cmd_all_figures(
+            args.reps, args.seed, args.full, args.workers, args.chunk_size
+        )
     if args.command == "schedule":
         return _run_observed(args, lambda: _cmd_schedule(args))
     if args.command == "generate":

@@ -40,9 +40,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
+from repro.model.compiled import compile_graph, compiled_enabled
 from repro.schedule.schedule import Assignment, Schedule
+from repro.schedule.timeline import _EPS, Slot
 
-__all__ = ["EFTEngine"]
+__all__ = ["EFTEngine", "StaticEFTEngine"]
 
 
 class EFTEngine:
@@ -71,7 +74,11 @@ class EFTEngine:
         graph = schedule.graph
         self.graph = graph
         n, p = graph.n_tasks, graph.n_procs
-        self.w = graph.cost_matrix()
+        # compiled layer: share the instance's read-only cost matrix and
+        # CSR parent arrays instead of rebuilding them per engine
+        compiled = compile_graph(graph) if compiled_enabled() else None
+        self._compiled = compiled
+        self.w = compiled.w if compiled is not None else graph.cost_matrix()
         self.local_finish = np.full((n, p), np.inf)
         self.best_finish = np.full(n, np.inf)
         self.avail = np.zeros(p)
@@ -88,13 +95,19 @@ class EFTEngine:
         ] = [None] * n
         # entry -> child communication costs, pre-resolved for the
         # per-step dirty-column refresh
-        self._entry_comm = np.zeros(n)
-        if entry is not None:
-            for child in graph.successors(entry):
-                self._entry_comm[child] = graph.comm_cost(entry, child)
-        for task in graph.tasks():
-            for copy in schedule.copies(task):
-                self.notify(copy)
+        if entry is not None and compiled is not None:
+            self._entry_comm = compiled.entry_comm_vector(entry)
+        else:
+            self._entry_comm = np.zeros(n)
+            if entry is not None:
+                for child in graph.successors(entry):
+                    self._entry_comm[child] = graph.comm_cost(entry, child)
+        # ingest whatever is already committed (order-free: notify is
+        # all min/max updates), without scanning the full task set
+        for assignment in schedule.assignments():
+            self.notify(assignment)
+        for duplicate in schedule.duplicates():
+            self.notify(duplicate)
 
     # ------------------------------------------------------------------
     # state maintenance
@@ -114,6 +127,10 @@ class EFTEngine:
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         cached = self._parents[task]
         if cached is None:
+            if self._compiled is not None:
+                cached = self._compiled.parent_arrays(task, self.entry)
+                self._parents[task] = cached
+                return cached
             parents = self.graph.predecessors(task)
             ids = np.array(parents, dtype=np.intp)
             comms = np.array(
@@ -268,3 +285,181 @@ class EFTEngine:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         placed = int(np.isfinite(self.best_finish).sum())
         return f"EFTEngine(placed={placed}/{self.graph.n_tasks})"
+
+
+_INF = float("inf")
+
+
+class StaticEFTEngine:
+    """Scalar EFT engine for the static-list baselines (compiled path).
+
+    The static baselines (HEFT, PETS, PEFT, SDBATS, ...) issue exactly
+    one query shape: ``est_eft(task)`` across *all* CPUs for a task
+    whose parents are already committed, with small fan-in.  At that
+    scale numpy's per-call dispatch overhead exceeds the arithmetic, so
+    this engine walks the compiled graph's plain-Python list mirrors
+    with float scalars instead.  Every value is bit-identical to
+    :class:`EFTEngine`: the same IEEE-754 float64 operations run in the
+    same order (``min``/``max`` reductions are order-free, and the
+    single ``best_finish + comm`` addition per parent is preserved).
+
+    Like :class:`EFTEngine` it is advisory -- feed committed
+    assignments through :meth:`notify`; construction ingests whatever
+    the schedule already holds (SDBATS pre-places entry duplicates).
+    """
+
+    def __init__(
+        self, schedule: Schedule, compiled: Optional[object] = None
+    ) -> None:
+        self.schedule = schedule
+        graph = schedule.graph
+        self.graph = graph
+        self.compiled = (
+            compiled if compiled is not None else compile_graph(graph)
+        )
+        n = graph.n_tasks
+        self._n_procs = graph.n_procs
+        self._timelines = schedule.timelines
+        # shared read-only mirrors -- never mutated by the engine
+        self._w_rows = self.compiled.w_rows
+        self._parents = self.compiled.pred_lists
+        # per-task local-finish rows materialize on first commit (None
+        # == no copy anywhere == a row of +inf)
+        self.local_finish: List[Optional[List[float]]] = [None] * n
+        self.best_finish: List[float] = [_INF] * n
+        # ingest whatever is already committed (order-free: notify is
+        # all min/max updates), without scanning the full task set
+        for assignment in schedule.assignments():
+            self.notify(assignment)
+        for duplicate in schedule.duplicates():
+            self.notify(duplicate)
+
+    def notify(self, assignment: Assignment) -> None:
+        """Fold a committed assignment into the incremental state."""
+        task, proc, finish = assignment.task, assignment.proc, assignment.finish
+        row = self.local_finish[task]
+        if row is None:
+            row = self.local_finish[task] = [_INF] * self._n_procs
+        if finish < row[proc]:
+            row[proc] = finish
+        if finish < self.best_finish[task]:
+            self.best_finish[task] = finish
+
+    def ready_vector(self, task: int) -> List[float]:
+        """Definition 5 on every CPU: when the task's inputs are present."""
+        parents, comms = self._parents[task]
+        n_procs = self._n_procs
+        ready = [0.0] * n_procs
+        if parents:
+            best_finish = self.best_finish
+            local_finish = self.local_finish
+            for parent, comm in zip(parents, comms):
+                via = best_finish[parent] + comm
+                row = local_finish[parent]
+                if row is None:
+                    # no committed copy: arrival is ``via`` (= +inf)
+                    # on every CPU
+                    for q in range(n_procs):
+                        if via > ready[q]:
+                            ready[q] = via
+                    continue
+                for q in range(n_procs):
+                    arrival = row[q]
+                    if via < arrival:
+                        arrival = via
+                    if arrival > ready[q]:
+                        ready[q] = arrival
+            if ready[0] == _INF:
+                # an unscheduled parent's +inf arrival floods every CPU
+                missing = next(
+                    p for p in parents if best_finish[p] == _INF
+                )
+                raise ValueError(
+                    f"parent {missing} of {task} is not scheduled"
+                )
+        return ready
+
+    def est_eft(
+        self, task: int, insertion: bool = True
+    ) -> Tuple[List[float], List[float]]:
+        """(EST, EFT) of ``task`` on every CPU against the live schedule."""
+        ready = self.ready_vector(task)
+        costs = self._w_rows[task]
+        starts: List[float] = []
+        finishes: List[float] = []
+        for q, timeline in enumerate(self._timelines):
+            cost = costs[q]
+            start = timeline.earliest_start_fast(ready[q], cost, insertion)
+            starts.append(start)
+            finishes.append(start + cost)
+        return starts, finishes
+
+    def place_best(
+        self,
+        task: int,
+        insertion: bool = True,
+        objective=None,
+    ) -> Assignment:
+        """Fused :func:`~repro.baselines.common.place_min_eft` hot path.
+
+        One pass over the CPUs computes EST/EFT and runs the selection
+        loop in place -- the same scalar operations, comparisons and
+        1e-12 strict-improvement tie-break as the generic helper, one
+        call frame instead of four.  Commits the winner and folds it
+        back into the engine state.
+        """
+        ready = self.ready_vector(task)
+        costs = self._w_rows[task]
+        best_proc = -1
+        best_score = _INF
+        best_start = 0.0
+        q = 0
+        for timeline in self._timelines:
+            cost = costs[q]
+            r = ready[q]
+            if r >= timeline._max_end and cost > _EPS and timeline._ends_monotone:
+                # the task becomes ready at or after this CPU's last
+                # finish: the gap scan's bisect lands past every end and
+                # earliest_start_fast returns the ready time unchanged
+                start = r
+            else:
+                start = timeline.earliest_start_fast(r, cost, insertion)
+            finish = start + cost
+            score = objective(q, finish) if objective is not None else finish
+            if score < best_score - 1e-12:
+                best_score = score
+                best_proc = q
+                best_start = start
+            q += 1
+        obs.scoped_count("eft_evaluations", self._n_procs)
+        obs.scoped_count("decisions")
+        # inline commit: statics only place fresh primary copies, so
+        # this is Schedule.place minus the duplicate branch, with the
+        # duration read from the mirror row (exactly float(W[t, p]))
+        schedule = self.schedule
+        if task in schedule._primary:
+            raise ValueError(f"task {task} already has a primary assignment")
+        duration = costs[best_proc]
+        timeline = self._timelines[best_proc]
+        end = best_start + duration
+        if duration > _EPS and best_start >= timeline._max_end:
+            # Timeline.reserve's append-at-end fast path, inlined (same
+            # proof: no overlap possible, (start, end) sorts last, the
+            # end list stays non-decreasing)
+            timeline._slots.append(Slot(best_start, end, task, False))
+            timeline._keys.append((best_start, end))
+            timeline._starts.append(best_start)
+            timeline._ends.append(end)
+            timeline._max_end = end
+            timeline._busy += duration
+            timeline._gap_cache = None
+        else:
+            timeline.reserve(task, best_start, duration)
+        assignment = Assignment(task, best_proc, best_start, end)
+        schedule._primary[task] = assignment
+        self.notify(assignment)
+        return assignment
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        placed = sum(1 for f in self.best_finish if f < _INF)
+        return f"StaticEFTEngine(placed={placed}/{self.graph.n_tasks})"

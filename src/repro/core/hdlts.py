@@ -220,13 +220,16 @@ class HDLTS(Scheduler):
         while ready_ids:
             step += 1
             with obs.phase("eft_vector"):
-                w_ready = w[rl_arr]
                 if insertion:
                     est = est_mat[rl_arr]
                     obs.count(c_scan, est.size)
                 else:
                     est = np.maximum(ready[rl_arr], avail[None, :])
-                eft = est + w_ready
+                # est is a fresh array either way (fancy indexing
+                # copies), so the add can run in place: same ufunc,
+                # same operand order, one allocation less per step
+                eft = est
+                eft += w[rl_arr]
                 obs.count(c_eft, eft.size)
 
             if pv_rule:
@@ -241,9 +244,9 @@ class HDLTS(Scheduler):
                 priorities = np.sqrt(var)
             else:
                 priorities = self._priorities(eft, ready_ids)
-            index = int(np.argmax(priorities))  # first max -> lowest task id
+            index = int(priorities.argmax())  # first max -> lowest task id
             task = ready_ids[index]
-            proc = int(np.argmin(eft[index]))  # first min -> lowest CPU
+            proc = int(eft[index].argmin())  # first min -> lowest CPU
 
             duplicated_on: Tuple[int, ...] = ()
             if (
@@ -276,12 +279,21 @@ class HDLTS(Scheduler):
             # cell already equals it (a materialized duplicate realizes
             # exactly the hypothetical arrival the cell was built from)
             with obs.phase("commit"):
-                start = timelines[proc].earliest_start_fast(
-                    float(ready[task, proc]),
-                    w[task, proc],
-                    insertion=insertion,
-                )
-                assignment = schedule.place(task, proc, start)
+                timeline = timelines[proc]
+                cost = float(w[task, proc])
+                r = float(ready[task, proc])
+                if insertion:
+                    start = timeline.earliest_start_fast(
+                        r, cost, insertion=True
+                    )
+                else:
+                    # append mode: earliest_start_fast reduces to
+                    # max(ready, Avail) on the chosen CPU
+                    avail_p = timeline._max_end
+                    start = r if r > avail_p else avail_p
+                # w mirrors the graph's cost table bit-for-bit, so the
+                # duration pass-through skips place()'s own lookup
+                assignment = schedule.place(task, proc, start, cost)
                 engine.notify(assignment)
             obs.count(c_decide)
 
@@ -322,7 +334,9 @@ class HDLTS(Scheduler):
                     ready[pending_entry, proc] = np.maximum(
                         arrivals, non_entry[pending_entry, proc]
                     )
-                rl_arr = np.array(ready_ids, dtype=np.intp)
+                rl_arr = np.fromiter(
+                    ready_ids, dtype=np.intp, count=len(ready_ids)
+                )
                 if insertion and ready_ids:
                     # CPU ``proc``'s timeline changed (and the pending
                     # entry children's ready column with it): one batch

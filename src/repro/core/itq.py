@@ -54,7 +54,9 @@ class IndependentTaskQueue:
         self._ready.remove(task)
         self._done.add(task)
         released: List[int] = []
-        for succ in self.graph.successors(task):
+        # hot path: read the adjacency list directly instead of paying
+        # successors()'s bounds check and defensive tuple copy per call
+        for succ in self.graph._succ[task]:
             self._remaining[succ] -= 1
             if self._remaining[succ] == 0:
                 self._ready.add(succ)

@@ -6,10 +6,22 @@ across worker processes reproduces the serial result *bit for bit* --
 the property the test suite asserts.
 
 Figure definitions close over local state (graph factories), which does
-not survive pickling; workers therefore receive the definition through
+not survive pickling; workers therefore receive definitions through
 fork-inherited module state (``fork`` is the default start method on
 Linux, where this library targets HPC workloads).  On platforms without
 ``fork`` the runner transparently falls back to serial execution.
+
+Results stream home through ``imap``: chunks are submitted in ``(x,
+rep)`` order and ``imap`` yields them in submission order, so the
+parent folds each chunk into the Welford accumulators the moment it
+arrives -- identical accumulation order to the serial runner (hence
+bit-identical means/stds), without first materializing every chunk
+result like ``pool.map`` did.
+
+:func:`sweep_pool` forks one worker pool usable across *several* sweeps
+(``repro all-figures --workers N`` runs every figure through a single
+pool instead of forking per figure).  All definitions must be
+registered before the fork so the workers inherit them.
 
 Observability: when profiling is enabled (the flag fork-inherits into
 the workers) each worker records into its own scoped registry and ships
@@ -18,7 +30,8 @@ order, so every counter total is bit-identical to the serial runner.
 The parent additionally times each chunk and publishes the balance of
 the decomposition as ``sweep/chunk_wall`` (per-chunk seconds) and
 ``sweep/chunk_imbalance`` (max/mean chunk wall -- 1.0 is a perfectly
-balanced pool).
+balanced pool), alongside the ``sweep/workers`` and
+``sweep/chunk_size`` gauges describing the decomposition itself.
 """
 
 from __future__ import annotations
@@ -26,7 +39,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from typing import Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro import obs
 from repro.experiments.harness import (
@@ -38,24 +52,24 @@ from repro.experiments.harness import (
 from repro.metrics.stats import RunningStats
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["run_sweep_parallel"]
+__all__ = ["run_sweep_parallel", "sweep_pool"]
 
 # fork-inherited worker state: set in the parent right before the pool
 # is created; never mutated while a pool is alive.
 _WORKER_STATE: Dict[str, object] = {}
 
-#: one worker chunk: (x_index, x, rep_lo, rep_hi)
-Chunk = Tuple[int, object, int, int]
+#: one worker chunk:
+#: (definition key, x_index, x, rep_lo, rep_hi, seed, validate)
+Chunk = Tuple[str, int, object, int, int, int, bool]
 #: what a worker sends home: (x_index, values, metrics snapshot, wall)
 ChunkResult = Tuple[int, List[Dict[str, float]], Dict, float]
 
 
 def _run_chunk(chunk: Chunk) -> ChunkResult:
     """Worker: run replications [rep_lo, rep_hi) of x point ``x_index``."""
-    x_index, x, rep_lo, rep_hi = chunk  # type: ignore[misc]
-    definition: SweepDefinition = _WORKER_STATE["definition"]  # type: ignore[assignment]
-    seed: int = _WORKER_STATE["seed"]  # type: ignore[assignment]
-    validate: bool = _WORKER_STATE["validate"]  # type: ignore[assignment]
+    key, x_index, x, rep_lo, rep_hi, seed, validate = chunk
+    definitions: Dict[str, SweepDefinition] = _WORKER_STATE["definitions"]  # type: ignore[assignment]
+    definition = definitions[key]
     started = time.perf_counter()
     with obs.scoped(merge_up=False) as registry:
         values = [
@@ -66,6 +80,32 @@ def _run_chunk(chunk: Chunk) -> ChunkResult:
     return x_index, values, snapshot, time.perf_counter() - started
 
 
+@contextmanager
+def sweep_pool(
+    definitions: Iterable[SweepDefinition], workers: Optional[int] = None
+) -> Iterator[multiprocessing.pool.Pool]:
+    """Fork one worker pool shared by several :func:`run_sweep_parallel` calls.
+
+    Every definition that will run on the pool must be passed here:
+    workers inherit them through the fork, so definitions registered
+    after the pool exists are invisible to the workers.  Raises
+    ``ValueError`` on platforms without the ``fork`` start method.
+    """
+    context = multiprocessing.get_context("fork")
+    n_workers = workers or os.cpu_count() or 1
+    if n_workers < 1:
+        raise ValueError("workers must be >= 1")
+    registry: Dict[str, SweepDefinition] = {}
+    for definition in definitions:
+        registry[definition.key] = definition
+    _WORKER_STATE["definitions"] = registry
+    try:
+        with context.Pool(processes=n_workers) as pool:
+            yield pool
+    finally:
+        _WORKER_STATE.clear()
+
+
 def run_sweep_parallel(
     definition: SweepDefinition,
     reps: int = 30,
@@ -73,6 +113,7 @@ def run_sweep_parallel(
     validate: bool = False,
     workers: Optional[int] = None,
     chunk_size: int = 5,
+    pool: Optional[multiprocessing.pool.Pool] = None,
 ) -> SweepResult:
     """Parallel :func:`~repro.experiments.harness.run_sweep`.
 
@@ -80,46 +121,74 @@ def run_sweep_parallel(
     including the metrics snapshot: counter totals merge by addition, so
     they match a serial run bit for bit.  ``workers`` defaults to the
     CPU count; ``chunk_size`` balances task granularity against dispatch
-    overhead.
+    overhead.  Pass a ``pool`` from :func:`sweep_pool` to reuse one set
+    of forked workers across several sweeps (the definition must have
+    been registered with that pool).
     """
     if reps < 1:
         raise ValueError("reps must be >= 1")
     if workers is not None and workers < 1:
         raise ValueError("workers must be >= 1")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if pool is not None:
+        registered = _WORKER_STATE.get("definitions", {})
+        if definition.key not in registered:  # type: ignore[operator]
+            raise ValueError(
+                f"definition {definition.key!r} is not registered with the "
+                "shared pool; pass it to sweep_pool()"
+            )
+        n_workers = getattr(pool, "_processes", None) or os.cpu_count() or 1
+        return _collect(
+            definition, pool, n_workers, reps, seed, validate, chunk_size
+        )
     try:
-        context = multiprocessing.get_context("fork")
+        multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-fork platform
         return run_sweep(definition, reps, seed, validate)
     n_workers = workers or os.cpu_count() or 1
     if n_workers == 1:
         return run_sweep(definition, reps, seed, validate)
+    with sweep_pool([definition], n_workers) as own_pool:
+        return _collect(
+            definition, own_pool, n_workers, reps, seed, validate, chunk_size
+        )
 
+
+def _collect(
+    definition: SweepDefinition,
+    pool,
+    n_workers: int,
+    reps: int,
+    seed: int,
+    validate: bool,
+    chunk_size: int,
+) -> SweepResult:
+    """Submit the chunks and stream-accumulate results in order."""
     chunks: List[Chunk] = []
     for i, x in enumerate(definition.x_values):
         for lo in range(0, reps, chunk_size):
-            chunks.append((i, x, lo, min(lo + chunk_size, reps)))
-
-    _WORKER_STATE["definition"] = definition
-    _WORKER_STATE["seed"] = seed
-    _WORKER_STATE["validate"] = validate
-    try:
-        with context.Pool(processes=n_workers) as pool:
-            results = pool.map(_run_chunk, chunks)
-    finally:
-        _WORKER_STATE.clear()
+            chunks.append(
+                (definition.key, i, x, lo, min(lo + chunk_size, reps), seed, validate)
+            )
 
     sweep = SweepResult(definition=definition, reps=reps, seed=seed)
     for x in definition.x_values:
         sweep.stats[x] = {
             name: RunningStats() for name in definition.schedulers
         }
-    # accumulate in deterministic (x, rep) order for bit-exact means;
-    # pool.map preserves submission order, which is already (x, rep)
-    by_x: Dict[int, List[Dict[str, float]]] = {}
     merged = MetricsRegistry()
     bus = obs.get_bus()
-    for chunk, (x_index, values, snapshot, wall) in zip(chunks, results):
-        by_x.setdefault(x_index, []).extend(values)
+    # chunks are submitted in (x, rep) order and imap yields them in
+    # submission order: accumulating as results stream home therefore
+    # feeds the Welford accumulators in exactly the serial order.
+    for chunk, (x_index, values, snapshot, wall) in zip(
+        chunks, pool.imap(_run_chunk, chunks)
+    ):
+        accumulators = sweep.stats[chunk[2]]
+        for rep_values in values:
+            for name, value in rep_values.items():
+                accumulators[name].add(value)
         if snapshot:
             merged.merge(snapshot)
         if obs.enabled():
@@ -128,15 +197,11 @@ def run_sweep_parallel(
             bus.emit(
                 "sweep.chunk",
                 figure=definition.key,
-                x=chunk[1],
-                rep_lo=chunk[2],
-                rep_hi=chunk[3],
+                x=chunk[2],
+                rep_lo=chunk[3],
+                rep_hi=chunk[4],
                 wall_s=wall,
             )
-    for i, x in enumerate(definition.x_values):
-        for values in by_x[i]:
-            for name, value in values.items():
-                sweep.stats[x][name].add(value)
 
     if obs.enabled():
         chunk_timer = merged.timer("sweep/chunk_wall")
@@ -145,6 +210,7 @@ def run_sweep_parallel(
                 chunk_timer.max / chunk_timer.mean
             )
         merged.gauge("sweep/workers").set(n_workers)
+        merged.gauge("sweep/chunk_size").set(chunk_size)
     if merged:
         sweep.metrics = merged.snapshot()
         # keep an enclosing observability session in the loop, exactly

@@ -34,6 +34,44 @@ from repro.model.task_graph import TaskGraph
 __all__ = ["RandomDAGGenerator", "generate_random_graph"]
 
 
+def _weighted_sample_noreplace(
+    rng: np.random.Generator, k: int, cdf: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """``rng.choice(n, size=k, replace=False, p=weights)``, draw-exact.
+
+    Re-implements numpy's weighted no-replacement branch on top of the
+    same ``rng.random()`` calls so the bit-generator stream (and with it
+    every downstream draw) is untouched, while letting the caller hoist
+    the cdf across calls that share one weight vector.  The dedupe is an
+    order-preserving set pass -- exactly what numpy's
+    ``unique(return_index=True)`` + ``take`` computes.  Guarded by an
+    oracle test against ``Generator.choice`` itself
+    (``tests/generator/test_random_dag.py``).
+    """
+    found = np.zeros(k, dtype=np.int64)
+    n_uniq = 0
+    p = None
+    while n_uniq < k:
+        x = rng.random((k - n_uniq,))
+        if n_uniq > 0:
+            # collision retry: zero out what we already took and
+            # rebuild the cdf, exactly as numpy does on its p copy
+            if p is None:
+                p = weights.copy()
+            p[found[0:n_uniq]] = 0
+            cdf = np.cumsum(p)
+            cdf /= cdf[-1]
+        new = cdf.searchsorted(x, side="right")
+        lst = new.tolist()
+        if len(set(lst)) != len(lst):
+            seen: set = set()
+            kept = [v for v in lst if not (v in seen or seen.add(v))]
+            new = np.array(kept, dtype=np.int64)
+        found[n_uniq:n_uniq + new.size] = new
+        n_uniq += new.size
+    return found
+
+
 class RandomDAGGenerator:
     """Reusable generator bound to one configuration."""
 
@@ -94,19 +132,27 @@ class RandomDAGGenerator:
             return pool
 
         for li in range(len(levels) - 1):
+            # the candidate pool and its bias weights depend only on the
+            # level, so build them once and share across the level's
+            # sources (the rng.choice draw sequence is unchanged)
+            pool = later_pool(li)
+            k = min(density, len(pool))
+            if k == 0:
+                continue
+            # bias: draw with 80% weight on the immediate next level
+            next_n = len(levels[li + 1])
+            weights = np.full(len(pool), 0.2 / max(1, len(pool) - next_n))
+            weights[:next_n] = 0.8 / next_n
+            weights /= weights.sum()
+            # every source in the level samples with the same weight
+            # vector, so the cdf is hoisted too; the draw-exact sampler
+            # keeps the rng.choice bit stream unchanged
+            cdf = np.cumsum(weights)
+            cdf /= cdf[-1]
             for src in levels[li]:
-                pool = later_pool(li)
-                k = min(density, len(pool))
-                if k == 0:
-                    continue
-                # bias: draw with 80% weight on the immediate next level
-                next_n = len(levels[li + 1])
-                weights = np.full(len(pool), 0.2 / max(1, len(pool) - next_n))
-                weights[:next_n] = 0.8 / next_n
-                weights /= weights.sum()
-                targets = rng.choice(len(pool), size=k, replace=False, p=weights)
-                for t in targets:
-                    key = (src, pool[int(t)])
+                targets = _weighted_sample_noreplace(rng, k, cdf, weights)
+                for t in targets.tolist():
+                    key = (src, pool[t])
                     if key not in seen:
                         seen.add(key)
                         edges.append(key)
@@ -155,12 +201,20 @@ class RandomDAGGenerator:
                 low[:, None], high[:, None], size=(cfg.v, cfg.n_procs)
             )
 
-        graph = TaskGraph(cfg.n_procs)
-        for tid in range(cfg.v):
-            graph.add_task(w[tid])
-        for src, dst in edge_list:
-            graph.add_edge(src, dst, float(mean_costs[src] * cfg.ccr))
-        return graph
+        # bulk-build the graph: same rows, edges and insertion order the
+        # incremental add_task/add_edge path produced, without per-item
+        # validation.  No RNG draws happen past this point, so the draw
+        # sequence (and with it every sweep result) is unchanged.
+        edge_src = [src for src, _ in edge_list]
+        edge_dst = [dst for _, dst in edge_list]
+        if edge_list:
+            src_arr = np.fromiter(edge_src, dtype=np.intp, count=len(edge_src))
+            edge_costs = (mean_costs[src_arr] * cfg.ccr).tolist()
+        else:
+            edge_costs = []
+        return TaskGraph._bulk(
+            cfg.n_procs, list(w), None, edge_src, edge_dst, edge_costs
+        )
 
 
 def generate_random_graph(

@@ -9,6 +9,12 @@ model every scheduler consumes.
 """
 
 from repro.model.task_graph import TaskGraph, Edge
+from repro.model.compiled import (
+    CompiledGraph,
+    compile_graph,
+    compiled_enabled,
+    use_compiled,
+)
 from repro.model.platform import Platform, Workflow, compile_workflow
 from repro.model.attributes import (
     mean_execution_time,
@@ -29,6 +35,10 @@ from repro.model.profile import GraphProfile, graph_profile
 __all__ = [
     "TaskGraph",
     "Edge",
+    "CompiledGraph",
+    "compile_graph",
+    "compiled_enabled",
+    "use_compiled",
     "Platform",
     "Workflow",
     "compile_workflow",

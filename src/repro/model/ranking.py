@@ -5,6 +5,14 @@ et al., TPDS 2002) parameterized by the per-task node weight, so SDBATS can
 reuse the same recursion with the standard deviation of the cost row instead
 of its mean.  ``optimistic_cost_table`` is PEFT's OCT (Arabnejad & Barbosa,
 TPDS 2014).
+
+Each function dispatches to the level-batched CSR kernels of
+:mod:`repro.model.compiled` when the compiled layer is enabled (the
+default): ranks computed with default weights are then cached per graph
+instance, so every scheduler of a paired-comparison replication shares
+one pass.  Cached arrays are returned read-only.  The ``*_reference``
+variants keep the original per-node recursions -- the differential
+suite asserts the two are bit-identical.
 """
 
 from __future__ import annotations
@@ -13,7 +21,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.model.attributes import mean_execution_times, std_execution_times
+from repro.model.attributes import mean_execution_times
+from repro.model.compiled import compile_graph, compiled_enabled
 from repro.model.task_graph import TaskGraph
 
 __all__ = [
@@ -21,6 +30,9 @@ __all__ = [
     "downward_rank",
     "optimistic_cost_table",
     "oct_rank",
+    "upward_rank_reference",
+    "downward_rank_reference",
+    "optimistic_cost_table_reference",
 ]
 
 NodeWeights = Optional[np.ndarray]
@@ -42,8 +54,21 @@ def upward_rank(graph: TaskGraph, weights: NodeWeights = None) -> np.ndarray:
 
     ``weights`` defaults to the mean execution time (HEFT); pass
     ``std_execution_times(graph)`` for the SDBATS variant.  Exit tasks
-    have rank equal to their own weight.
+    have rank equal to their own weight.  With default weights the
+    vector is computed once per graph instance and shared (read-only).
     """
+    if compiled_enabled():
+        compiled = compile_graph(graph)
+        if weights is None:
+            return compiled.upward_rank()
+        return compiled.upward_rank(_node_weights(graph, weights))
+    return upward_rank_reference(graph, weights)
+
+
+def upward_rank_reference(
+    graph: TaskGraph, weights: NodeWeights = None
+) -> np.ndarray:
+    """Per-node recursion for :func:`upward_rank` (bit-identity oracle)."""
     w = _node_weights(graph, weights)
     rank = np.zeros(graph.n_tasks)
     for task in reversed(graph.topological_order()):
@@ -59,6 +84,18 @@ def upward_rank(graph: TaskGraph, weights: NodeWeights = None) -> np.ndarray:
 def downward_rank(graph: TaskGraph, weights: NodeWeights = None) -> np.ndarray:
     """Downward rank: ``rank_d(i) = max_j (rank_d(j) + w(j) + c(j,i))``
     over predecessors ``j``; entry tasks have rank 0 (CPOP)."""
+    if compiled_enabled():
+        compiled = compile_graph(graph)
+        if weights is None:
+            return compiled.downward_rank()
+        return compiled.downward_rank(_node_weights(graph, weights))
+    return downward_rank_reference(graph, weights)
+
+
+def downward_rank_reference(
+    graph: TaskGraph, weights: NodeWeights = None
+) -> np.ndarray:
+    """Per-node recursion for :func:`downward_rank` (bit-identity oracle)."""
     w = _node_weights(graph, weights)
     rank = np.zeros(graph.n_tasks)
     for task in graph.topological_order():
@@ -81,8 +118,16 @@ def optimistic_cost_table(graph: TaskGraph) -> np.ndarray:
         OCT(i, p) = max_{j in succ(i)} min_q [ OCT(j, q) + w(j, q)
                                                + (c(i, j) if q != p else 0) ]
 
-    Exit tasks have an all-zero row.
+    Exit tasks have an all-zero row.  Compiled layer enabled: computed
+    once per graph instance and shared (read-only).
     """
+    if compiled_enabled():
+        return compile_graph(graph).oct_table()
+    return optimistic_cost_table_reference(graph)
+
+
+def optimistic_cost_table_reference(graph: TaskGraph) -> np.ndarray:
+    """Per-node recursion for :func:`optimistic_cost_table` (oracle)."""
     n, p = graph.n_tasks, graph.n_procs
     table = np.zeros((n, p))
     w = graph.cost_matrix()
@@ -109,5 +154,7 @@ def optimistic_cost_table(graph: TaskGraph) -> np.ndarray:
 def oct_rank(graph: TaskGraph, table: Optional[np.ndarray] = None) -> np.ndarray:
     """PEFT priority: average of the task's OCT row over CPUs."""
     if table is None:
-        table = optimistic_cost_table(graph)
+        if compiled_enabled():
+            return compile_graph(graph).oct_rank()
+        table = optimistic_cost_table_reference(graph)
     return table.mean(axis=1)

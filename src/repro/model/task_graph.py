@@ -105,6 +105,44 @@ class TaskGraph:
             raise KeyError(f"unknown task id {tid}")
 
     @classmethod
+    def _bulk(
+        cls,
+        n_procs: int,
+        rows: Sequence[np.ndarray],
+        names: Optional[Sequence[str]],
+        edge_src: Sequence[int],
+        edge_dst: Sequence[int],
+        edge_costs: Sequence[float],
+    ) -> "TaskGraph":
+        """Trusted bulk constructor (package-internal).
+
+        Skips the per-element validation of ``add_task``/``add_edge``;
+        callers (the generator, ``normalized``, ``scaled_comm``)
+        guarantee float64 ``(n_procs,)`` cost rows, valid acyclic edges
+        and Python-float communication costs.  Edge order defines the
+        same ``_succ``/``_pred``/``_comm`` insertion order the
+        incremental path would produce.
+        """
+        graph = cls(n_procs)
+        graph._costs = list(rows)
+        n = len(graph._costs)
+        graph._names = (
+            list(names) if names is not None else [f"T{i + 1}" for i in range(n)]
+        )
+        succ: List[List[int]] = [[] for _ in range(n)]
+        pred: List[List[int]] = [[] for _ in range(n)]
+        comm: Dict[Tuple[int, int], float] = {}
+        for src, dst, cost in zip(edge_src, edge_dst, edge_costs):
+            succ[src].append(dst)
+            pred[dst].append(src)
+            comm[(src, dst)] = cost
+        graph._succ = succ
+        graph._pred = pred
+        graph._comm = comm
+        graph._version += 1
+        return graph
+
+    @classmethod
     def from_arrays(
         cls,
         costs: np.ndarray,
@@ -212,6 +250,17 @@ class TaskGraph:
             self._cache[key] = builder()
         return self._cache[key]
 
+    def derived(self, key: str, builder) -> object:
+        """Version-keyed cache for values derived from this graph.
+
+        ``builder()`` runs at most once per graph version; any mutation
+        (``add_task``/``add_edge``) invalidates every cached value.  The
+        compiled layer (:func:`repro.model.compiled.compile_graph`)
+        stores its per-instance artifact cache here so all schedulers
+        running on the same instance share it.
+        """
+        return self._derived(key, builder)
+
     def topological_order(self) -> Tuple[int, ...]:
         """Kahn topological order; raises ``ValueError`` on a cycle."""
 
@@ -277,24 +326,36 @@ class TaskGraph:
         as the paper's Section III prescribes.  Graphs that are already
         single-entry/single-exit are returned as a structural copy.
         """
-        graph = TaskGraph(self._n_procs)
-        for tid in self.tasks():
-            graph.add_task(self._costs[tid], name=self._names[tid])
+        entries = self.entry_tasks()
+        exits = self.exit_tasks()
+        rows = list(self._costs)
+        names = list(self._names)
+        edge_src: List[int] = []
+        edge_dst: List[int] = []
+        edge_costs: List[float] = []
         for (src, dst), cost in self._comm.items():
-            graph.add_edge(src, dst, cost)
-        entries = graph.entry_tasks()
+            edge_src.append(src)
+            edge_dst.append(dst)
+            edge_costs.append(cost)
         if len(entries) > 1:
-            pseudo = graph.add_task(
-                np.zeros(self._n_procs), name="pseudo_entry"
-            )
+            pseudo = len(rows)
+            rows.append(np.zeros(self._n_procs))
+            names.append("pseudo_entry")
             for t in entries:
-                graph.add_edge(pseudo, t, 0.0)
-        exits = graph.exit_tasks()
+                edge_src.append(pseudo)
+                edge_dst.append(t)
+                edge_costs.append(0.0)
         if len(exits) > 1:
-            pseudo = graph.add_task(np.zeros(self._n_procs), name="pseudo_exit")
+            pseudo = len(rows)
+            rows.append(np.zeros(self._n_procs))
+            names.append("pseudo_exit")
             for t in exits:
-                graph.add_edge(t, pseudo, 0.0)
-        return graph
+                edge_src.append(t)
+                edge_dst.append(pseudo)
+                edge_costs.append(0.0)
+        return TaskGraph._bulk(
+            self._n_procs, rows, names, edge_src, edge_dst, edge_costs
+        )
 
     # ------------------------------------------------------------------
     # conversions / misc
@@ -315,14 +376,19 @@ class TaskGraph:
 
         Handy for CCR sweeps over a fixed topology (Figs 7, 10, 13).
         """
-        if factor < 0:
-            raise ValueError("factor must be >= 0")
-        graph = TaskGraph(self._n_procs)
-        for tid in self.tasks():
-            graph.add_task(self._costs[tid], name=self._names[tid])
-        for (src, dst), cost in self._comm.items():
-            graph.add_edge(src, dst, cost * factor)
-        return graph
+        if factor < 0 or not np.isfinite(factor):
+            raise ValueError("factor must be finite and >= 0")
+        edge_src = [src for (src, _) in self._comm]
+        edge_dst = [dst for (_, dst) in self._comm]
+        edge_costs = [cost * factor for cost in self._comm.values()]
+        return TaskGraph._bulk(
+            self._n_procs,
+            list(self._costs),
+            list(self._names),
+            edge_src,
+            edge_dst,
+            edge_costs,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -47,6 +47,41 @@ def test_invalid_args_rejected():
         run_sweep_parallel(tiny_sweep(), reps=1, workers=0)
 
 
+def test_zero_chunk_size_rejected():
+    with pytest.raises(ValueError, match="chunk_size"):
+        run_sweep_parallel(tiny_sweep(), reps=2, workers=2, chunk_size=0)
+    with pytest.raises(ValueError, match="chunk_size"):
+        run_sweep_parallel(tiny_sweep(), reps=2, workers=2, chunk_size=-3)
+
+
+def test_shared_pool_reused_across_sweeps_matches_serial():
+    """Two sweeps through one sweep_pool equal their serial runs."""
+    from repro.experiments import get_figure
+    from repro.experiments.parallel import sweep_pool
+
+    first, second = tiny_sweep(), get_figure("fig13")
+    with sweep_pool([first, second], workers=2) as pool:
+        a = run_sweep_parallel(first, reps=3, seed=2, pool=pool)
+        b = run_sweep_parallel(second, reps=2, seed=0, pool=pool)
+    sa = run_sweep(first, reps=3, seed=2)
+    sb = run_sweep(second, reps=2, seed=0)
+    for result, serial in ((a, sa), (b, sb)):
+        for x in serial.definition.x_values:
+            for name in serial.definition.schedulers:
+                assert result.stats[x][name].mean == serial.stats[x][name].mean
+                assert result.stats[x][name].std == serial.stats[x][name].std
+                assert result.stats[x][name].n == serial.stats[x][name].n
+
+
+def test_shared_pool_rejects_unregistered_definition():
+    from repro.experiments import get_figure
+    from repro.experiments.parallel import sweep_pool
+
+    with sweep_pool([tiny_sweep()], workers=2) as pool:
+        with pytest.raises(ValueError, match="not registered"):
+            run_sweep_parallel(get_figure("fig13"), reps=2, pool=pool)
+
+
 def test_validate_flag_propagates():
     run_sweep_parallel(tiny_sweep(), reps=2, seed=0, workers=2, validate=True)
 
@@ -89,6 +124,7 @@ class TestMetricsMerge:
         )
         gauges = result.metrics["gauges"]
         assert gauges["sweep/workers"] == 2.0
+        assert gauges["sweep/chunk_size"] == 2.0
         assert gauges["sweep/chunk_imbalance"] >= 1.0
         assert result.metrics["timers"]["sweep/chunk_wall"]["count"] == 4
 

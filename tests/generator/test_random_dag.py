@@ -177,6 +177,77 @@ class TestSingleEntry:
         assert graph.cost_row(graph.entry_task).max() > 0
 
 
+class TestWeightedSampler:
+    """Oracle tests for the hoisted-CDF weighted sampler.
+
+    ``_weighted_sample_noreplace`` re-implements
+    ``Generator.choice(n, size=k, replace=False, p=w)`` so the per-source
+    CDF can be shared across calls; it must consume the *exact* same
+    random stream and return the *exact* same indices as the numpy
+    original, or every downstream sweep result shifts.
+    """
+
+    @staticmethod
+    def _paired_rngs(state):
+        a = np.random.default_rng()
+        a.bit_generator.state = state
+        b = np.random.default_rng()
+        b.bit_generator.state = state
+        return a, b
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_generator_choice_draw_exact(self, seed):
+        from repro.generator.random_dag import _weighted_sample_noreplace
+
+        outer = np.random.default_rng(seed)
+        for _ in range(60):
+            n = int(outer.integers(1, 12))
+            k = int(outer.integers(1, n + 1))
+            # cubed uniforms: heavily skewed weights force the
+            # collision-retry branch of the rejection loop
+            raw = outer.random(n) ** 3 + 1e-9
+            weights = raw / raw.sum()
+            cdf = np.cumsum(weights)
+            cdf /= cdf[-1]
+            a, b = self._paired_rngs(outer.bit_generator.state)
+            expected = a.choice(n, size=k, replace=False, p=weights)
+            got = _weighted_sample_noreplace(b, k, cdf, weights)
+            assert got.tolist() == expected.tolist()
+            # the streams must also END in the same place, else the
+            # next draw in the generator diverges silently
+            assert a.bit_generator.state == b.bit_generator.state
+            outer = a
+
+    def test_exhaustive_draw_with_near_degenerate_weights(self):
+        """k == n with one dominant weight maximizes retry rounds."""
+        from repro.generator.random_dag import _weighted_sample_noreplace
+
+        n = 6
+        weights = np.array([0.95, 0.01, 0.01, 0.01, 0.01, 0.01])
+        weights /= weights.sum()
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        for seed in range(30):
+            state = np.random.default_rng(seed).bit_generator.state
+            a, b = self._paired_rngs(state)
+            expected = a.choice(n, size=n, replace=False, p=weights)
+            got = _weighted_sample_noreplace(b, n, cdf, weights)
+            assert got.tolist() == expected.tolist()
+            assert a.bit_generator.state == b.bit_generator.state
+
+    def test_single_item_universe(self):
+        from repro.generator.random_dag import _weighted_sample_noreplace
+
+        weights = np.array([1.0])
+        cdf = np.cumsum(weights)
+        state = np.random.default_rng(3).bit_generator.state
+        a, b = self._paired_rngs(state)
+        expected = a.choice(1, size=1, replace=False, p=weights)
+        got = _weighted_sample_noreplace(b, 1, cdf, weights)
+        assert got.tolist() == expected.tolist()
+        assert a.bit_generator.state == b.bit_generator.state
+
+
 class TestHeterogeneityModels:
     def test_invalid_model_rejected(self):
         with pytest.raises(ValueError, match="heterogeneity"):

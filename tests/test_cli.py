@@ -16,6 +16,15 @@ class TestParser:
         )
         assert args.key == "fig2" and args.reps == 5 and args.seed == 9
 
+    def test_figure_chunk_size_flag(self):
+        args = build_parser().parse_args(
+            ["figure", "fig2", "--workers", "4", "--chunk-size", "3"]
+        )
+        assert args.workers == 4 and args.chunk_size == 3
+        # default rides along when the flag is omitted
+        assert build_parser().parse_args(["figure", "fig2"]).chunk_size == 5
+        assert build_parser().parse_args(["all-figures"]).chunk_size == 5
+
     def test_schedule_workflow_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["schedule", "--workflow", "bogus"])
@@ -36,6 +45,24 @@ class TestCommands:
 
     def test_figure_validate_flag(self, capsys):
         assert main(["figure", "fig13", "--reps", "1", "--validate"]) == 0
+
+    def test_figure_parallel_chunked(self, capsys):
+        assert (
+            main(
+                [
+                    "figure",
+                    "fig13",
+                    "--reps",
+                    "2",
+                    "--workers",
+                    "2",
+                    "--chunk-size",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "Molecular Dynamics" in capsys.readouterr().out
 
     def test_schedule_paper(self, capsys):
         assert main(["schedule", "--workflow", "paper"]) == 0
