@@ -1,0 +1,63 @@
+"""Cost of the standing correctness kit's oracle pass.
+
+The invariant registry is meant to be cheap enough to run after every
+build in a fuzz campaign (~80 builds/instance across the combo grid),
+so this bench times one full registry pass against the schedule build
+it audits, on a mid-size random instance.
+
+The ``perf``-marked guard at the bottom (deselected by default, run
+with ``-m perf``) pins an absolute ceiling so a quadratic regression in
+an oracle cannot hide inside nightly fuzz wall time.
+"""
+
+import time
+
+import pytest
+
+from conftest import emit
+from repro.core import HDLTS
+from repro.qa.invariants import run_invariants
+from tests.conftest import make_random_graph
+
+#: ``perf`` ceiling: one registry pass on the 300-task instance (seconds)
+REGISTRY_PASS_CEILING = 2.0
+
+
+def _timed(fn, rounds=5):
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_invariant_registry_overhead(benchmark):
+    graph = make_random_graph(seed=0, v=300, n_procs=6)
+    scheduler = HDLTS()
+    prepared = scheduler.prepare(graph)
+    schedule = scheduler.build_schedule(prepared)
+
+    build = _timed(lambda: HDLTS().run(graph))
+    audit = _timed(lambda: run_invariants(prepared, schedule))
+    emit(
+        "qa_invariants",
+        "full invariant registry vs one HDLTS build (300 tasks, 6 CPUs):\n"
+        f"  build : {build * 1e3:7.1f} ms\n"
+        f"  audit : {audit * 1e3:7.1f} ms "
+        f"({audit / build:.2f}x of one build)",
+    )
+    benchmark(lambda: run_invariants(prepared, schedule))
+
+
+@pytest.mark.perf
+def test_registry_pass_stays_subsecond():
+    graph = make_random_graph(seed=1, v=300, n_procs=6)
+    scheduler = HDLTS()
+    prepared = scheduler.prepare(graph)
+    schedule = scheduler.build_schedule(prepared)
+    elapsed = _timed(lambda: run_invariants(prepared, schedule), rounds=3)
+    assert elapsed < REGISTRY_PASS_CEILING, (
+        f"one registry pass took {elapsed:.2f}s on 300 tasks; "
+        f"ceiling is {REGISTRY_PASS_CEILING}s"
+    )

@@ -15,6 +15,7 @@ from typing import List, Tuple
 
 from repro.model.task_graph import TaskGraph
 from repro.schedule.schedule import Schedule
+from repro.schedule.validation import FEASIBILITY_EPS as _EPS
 
 __all__ = [
     "ScheduleDiagnostics",
@@ -23,8 +24,6 @@ __all__ = [
     "load_imbalance",
     "bottleneck_chain",
 ]
-
-_EPS = 1e-6
 
 
 def communication_volume(graph: TaskGraph, schedule: Schedule) -> Tuple[float, float]:

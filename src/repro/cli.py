@@ -133,6 +133,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the machine-readable profile document to FILE",
     )
 
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="invariant fuzz campaign over every scheduler and engine combo",
+    )
+    p_fuzz.add_argument("--instances", type=int, default=100,
+                        help="random DAG instances to draw")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (instance i uses seed [seed, i])")
+    p_fuzz.add_argument(
+        "--schedulers", default=None, metavar="A,B,...",
+        help="comma-separated registry names (default: every scheduler)",
+    )
+    p_fuzz.add_argument(
+        "--corpus", default=None, metavar="FILE",
+        help="append shrunk reproducers to this JSONL corpus file",
+    )
+    p_fuzz.add_argument(
+        "--emit-golden", default=None, metavar="FILE", dest="emit_golden",
+        help="pin every instance's makespans as golden corpus entries",
+    )
+    p_fuzz.add_argument(
+        "--inject", default=None, choices=["wrong-duration", "early-start"],
+        help="corrupt every schedule post-build (oracle smoke test; "
+        "violations become the expected outcome)",
+    )
+    p_fuzz.add_argument(
+        "--metamorphic-every", type=int, default=4, dest="metamorphic_every",
+        help="run the metamorphic battery every k-th instance (0 = never)",
+    )
+    p_fuzz.add_argument(
+        "--no-exact", action="store_false", dest="exact",
+        help="skip the branch-and-bound oracle on tiny instances",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_false", dest="shrink",
+        help="report failures without delta-debugging them first",
+    )
+    p_fuzz.add_argument("--quiet", action="store_true",
+                        help="suppress per-instance progress lines")
+    _add_obs_args(p_fuzz)
+
     p_dyn = sub.add_parser("dynamic", help="online vs static under uncertainty")
     p_dyn.add_argument("--sigma", type=float, default=0.3, help="relative execution-time noise")
     p_dyn.add_argument("--fail-proc", type=int, default=None)
@@ -147,6 +188,43 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # ----------------------------------------------------------------------
+def _cmd_fuzz(args) -> int:
+    from repro.qa.fuzz import FuzzConfig, run_campaign
+
+    config = FuzzConfig(
+        instances=args.instances,
+        seed=args.seed,
+        schedulers=(
+            [n.strip() for n in args.schedulers.split(",") if n.strip()]
+            if args.schedulers
+            else None
+        ),
+        exact=args.exact,
+        metamorphic_every=args.metamorphic_every,
+        corpus_path=args.corpus,
+        golden_path=args.emit_golden,
+        inject=args.inject,
+        shrink=args.shrink,
+    )
+    progress = None if args.quiet else print
+    report = run_campaign(config, progress=progress)
+    print(report.format())
+    if args.inject is not None:
+        # the smoke test *expects* the oracles to catch the corruption
+        if report.ok:
+            print(
+                "error: injected corruption was not caught by any invariant",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"injection '{args.inject}' caught on "
+            f"{len(report.violations)} builds (as expected)"
+        )
+        return 0
+    return 0 if report.ok else 1
+
+
 def _cmd_table1() -> int:
     from repro.core.trace import format_trace
     from repro.experiments.report import format_makespans
@@ -542,6 +620,8 @@ def _dispatch(args) -> int:
         return _cmd_export(args)
     if args.command == "diagnose":
         return _cmd_diagnose(args)
+    if args.command == "fuzz":
+        return _run_observed(args, lambda: _cmd_fuzz(args))
     if args.command == "dynamic":
         return _run_observed(args, lambda: _cmd_dynamic(args))
     if args.command == "profile":

@@ -14,7 +14,11 @@ Everything a list scheduler needs to *commit* decisions lives here:
 
 from repro.schedule.timeline import ProcessorTimeline, Slot
 from repro.schedule.schedule import Assignment, Schedule
-from repro.schedule.validation import ScheduleError, validate_schedule
+from repro.schedule.validation import (
+    FEASIBILITY_EPS,
+    ScheduleError,
+    validate_schedule,
+)
 from repro.schedule.simulator import ScheduleSimulator, SimulationResult
 from repro.schedule.gantt import render_gantt
 from repro.schedule.contention import ContentionSimulator, ContentionResult
@@ -24,6 +28,7 @@ __all__ = [
     "Slot",
     "Assignment",
     "Schedule",
+    "FEASIBILITY_EPS",
     "ScheduleError",
     "validate_schedule",
     "ScheduleSimulator",

@@ -70,6 +70,45 @@ class ScheduleSimulator:
         queues = self._extract_queues(schedule)
         return self.run_queues(queues, duration_fn, release_time)
 
+    def replay_violations(self, schedule: Schedule) -> List[str]:
+        """Replay ``schedule``'s decisions; list every disagreement.
+
+        Eager re-execution of the committed placement and per-CPU order
+        can never *delay* a feasible schedule: every task starts no
+        later than its analytic start (parents finish no later, and the
+        CPU frees up no later), so a simulated finish -- or the whole
+        simulated makespan -- exceeding the analytic value beyond
+        ``FEASIBILITY_EPS`` means the schedule's book-kept times are
+        inconsistent with its own decisions.  Append-based schedules
+        replay exactly; insertion-based ones may only improve.
+
+        Returns human-readable problem strings (empty = agreement); a
+        simulator failure (deadlocked queues, never-executed tasks) is
+        itself reported rather than raised.
+        """
+        from repro.schedule.validation import FEASIBILITY_EPS
+
+        try:
+            sim = self.run(schedule)
+        except (DeadlockError, ValueError, KeyError) as err:
+            return [f"replay failed: {err}"]
+        problems: List[str] = []
+        span = schedule.makespan
+        if sim.makespan > span + FEASIBILITY_EPS:
+            problems.append(
+                f"replayed makespan {sim.makespan:.6f} exceeds analytic "
+                f"makespan {span:.6f}"
+            )
+        for task in self.graph.tasks():
+            analytic = schedule.finish_of(task)
+            realized = sim.finish_times[task]
+            if realized > analytic + FEASIBILITY_EPS:
+                problems.append(
+                    f"task {task} replays to finish {realized:.6f}, after "
+                    f"its analytic finish {analytic:.6f}"
+                )
+        return problems
+
     def _extract_queues(self, schedule: Schedule) -> List[List[Tuple[int, bool]]]:
         """Per-CPU execution order.
 

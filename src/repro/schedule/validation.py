@@ -18,9 +18,17 @@ from typing import List
 from repro.model.task_graph import TaskGraph
 from repro.schedule.schedule import Schedule
 
-__all__ = ["ScheduleError", "validate_schedule"]
+__all__ = ["FEASIBILITY_EPS", "ScheduleError", "validate_schedule"]
 
-_EPS = 1e-6
+#: The single feasibility tolerance shared by every independent checker:
+#: this validator, the simulator's replay cross-check
+#: (:meth:`repro.schedule.simulator.ScheduleSimulator.replay_violations`),
+#: the diagnostics report and the QA invariant registry
+#: (:mod:`repro.qa.invariants`) all import it, so "feasible" means the
+#: same thing everywhere.
+FEASIBILITY_EPS = 1e-6
+
+_EPS = FEASIBILITY_EPS
 
 
 class ScheduleError(ValueError):

@@ -205,6 +205,58 @@ class TestDuplicationWindowRegression:
         online = OnlineHDLTS().execute(graph).makespan
         assert offline == online == 1.0
 
+    def test_duplicate_record_pinned_in_idle_window(self):
+        """Pin the fix's mechanism, not just the makespan: the online
+        run must materialize an entry duplicate over exactly [0, W) on a
+        CPU other than the entry's primary CPU."""
+        from repro.dynamic.online import OnlineHDLTS
+
+        graph = self._build(
+            3,
+            [
+                [1.0, 1.0, 1.0],
+                [1.0, 1.0, 0.0],
+                [1.0, 2.0, 0.0],
+                [0.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0],
+            ],
+            [
+                (0, 1, 1.0),
+                (0, 2, 0.0),
+                (0, 3, 0.0),
+                (0, 4, 0.0),
+                (1, 5, 0.0),
+                (2, 5, 0.0),
+                (3, 5, 0.0),
+                (4, 5, 0.0),
+            ],
+        )
+        result = OnlineHDLTS().execute(graph)
+        dups = [r for r in result.records if r.duplicate and not r.lost]
+        assert dups, "the fixed executor must duplicate the entry task"
+        assert {d.task for d in dups} == {0}
+        primary_proc = result.proc_of[0]
+        for dup in dups:
+            assert dup.proc != primary_proc
+            assert dup.start == 0.0
+            assert dup.finish == pytest.approx(graph.cost(0, dup.proc))
+
+    def test_regression_graphs_are_in_the_golden_corpus(self):
+        """The same three shrunk graphs replay from tests/corpus/ too,
+        as ``online_offline`` entries -- keep both in sync."""
+        from pathlib import Path
+
+        from repro.qa.corpus import read_corpus
+
+        path = Path(__file__).parent.parent / "corpus" / "regressions.jsonl"
+        ids = {e.id for e in read_corpus(path) if e.kind == "online_offline"}
+        assert {
+            "online-dup-window-1",
+            "online-dup-window-2",
+            "online-dup-window-3",
+        } <= ids
+
     def test_zero_duration_slot_does_not_block_duplicate(self):
         """A zero-cost task at t=0 leaves the duplication window idle."""
         from repro.dynamic.online import OnlineHDLTS

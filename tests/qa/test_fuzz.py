@@ -1,0 +1,137 @@
+"""Tests for the fuzz campaign driver.
+
+The quick campaigns here run unmarked (they are the smoke test that the
+driver itself works); the broad campaign at the bottom carries the
+``fuzz`` marker and only runs when explicitly selected (``-m fuzz``),
+e.g. by the nightly CI job.
+"""
+
+import numpy as np
+import pytest
+
+from repro.qa.corpus import read_corpus, replay_entry
+from repro.qa.fuzz import FuzzConfig, _draw_graph, run_campaign
+
+
+class TestConfig:
+    def test_default_schedulers_is_whole_registry(self):
+        from repro.baselines.registry import SCHEDULER_FACTORIES
+
+        assert FuzzConfig().scheduler_names() == list(SCHEDULER_FACTORIES)
+
+    def test_unknown_inject_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown inject mode"):
+            run_campaign(FuzzConfig(instances=1, inject="swap-cpus"))
+
+    def test_instances_replay_deterministically(self):
+        config = FuzzConfig(seed=3)
+        a = _draw_graph(np.random.default_rng([3, 7]), 7, config)
+        b = _draw_graph(np.random.default_rng([3, 7]), 7, config)
+        assert np.array_equal(a.cost_matrix(), b.cost_matrix())
+        assert [(e.src, e.dst, e.cost) for e in a.edges()] == [
+            (e.src, e.dst, e.cost) for e in b.edges()
+        ]
+
+
+class TestQuickCampaign:
+    def test_small_campaign_is_green(self):
+        config = FuzzConfig(
+            instances=4,
+            seed=1,
+            schedulers=["HDLTS", "HEFT", "CPOP"],
+            metamorphic_every=2,
+            metamorphic_schedulers=("HDLTS", "CPOP"),
+        )
+        report = run_campaign(config)
+        assert report.ok, report.format()
+        assert report.instances == 4
+        assert report.builds > 0
+        assert report.exact_checks > 0  # instances 0 and 3 are tiny
+        assert report.metamorphic_runs == 4  # 2 schedulers x instances 0, 2
+        assert "0 violations" in report.format()
+
+    def test_progress_callback_fires(self):
+        lines = []
+        run_campaign(
+            FuzzConfig(instances=10, seed=2, schedulers=["HEFT"], exact=False),
+            progress=lines.append,
+        )
+        assert lines and "[10/10]" in lines[0]
+
+
+class TestInjection:
+    @pytest.mark.parametrize("mode", ["wrong-duration", "early-start"])
+    def test_injected_corruption_is_caught(self, mode):
+        config = FuzzConfig(
+            instances=2,
+            seed=0,
+            schedulers=["HDLTS"],
+            inject=mode,
+            exact=False,
+            shrink=False,
+        )
+        report = run_campaign(config)
+        assert not report.ok
+        # every corrupted build must be flagged (injection may skip a
+        # degenerate schedule, but then it leaves a note, not silence)
+        assert len(report.violations) + len(report.notes) >= report.builds
+        for violation in report.violations:
+            assert violation.stage == "invariant"
+            assert violation.problems
+
+    def test_injected_violation_is_shrunk_and_replayable(self, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        config = FuzzConfig(
+            instances=1,
+            seed=0,
+            schedulers=["HDLTS"],
+            inject="wrong-duration",
+            exact=False,
+            corpus_path=str(corpus),
+        )
+        report = run_campaign(config)
+        assert not report.ok
+        violation = report.violations[0]
+        assert violation.shrunk_tasks is not None
+        assert violation.shrunk_tasks <= violation.graph_tasks
+        assert violation.corpus_id is not None
+
+        entries = read_corpus(corpus)
+        assert len(entries) == len(report.violations)
+        entry = entries[0]
+        assert entry.kind == "violation"
+        assert entry.id == violation.corpus_id
+        assert entry.scheduler == "HDLTS"
+        assert len(entry.graph["tasks"]) == violation.shrunk_tasks
+        # the clean build on the shrunk graph passes every invariant:
+        # the corpus entry guards against a *real* regression appearing
+        assert replay_entry(entry) == []
+
+
+class TestGoldenEmission:
+    def test_golden_entries_pin_default_combo_makespans(self, tmp_path):
+        golden = tmp_path / "golden.jsonl"
+        config = FuzzConfig(
+            instances=2,
+            seed=5,
+            schedulers=["HDLTS", "HEFT"],
+            exact=False,
+            metamorphic_every=0,
+            golden_path=str(golden),
+        )
+        report = run_campaign(config)
+        assert report.ok
+        entries = read_corpus(golden)
+        assert len(entries) == 2
+        for entry in entries:
+            assert entry.kind == "golden"
+            assert set(entry.expected["makespans"]) == {"HDLTS", "HEFT"}
+            assert replay_entry(entry) == []
+
+
+@pytest.mark.fuzz
+class TestBroadCampaign:
+    def test_full_registry_campaign(self):
+        """The nightly sweep: every scheduler, every combo, exact oracle."""
+        report = run_campaign(FuzzConfig(instances=50, seed=0))
+        assert report.ok, report.format()

@@ -1,0 +1,191 @@
+"""Unit tests for the invariant oracle registry.
+
+Two halves: (a) every invariant passes on known-good schedules from every
+registered scheduler; (b) every invariant catches a hand-crafted
+corruption of exactly the kind it exists to see.
+"""
+
+import pytest
+
+from repro.baselines.registry import SCHEDULER_FACTORIES, make_scheduler
+from repro.qa.invariants import (
+    GENERAL_DUPLICATION,
+    INVARIANTS,
+    invariant_names,
+    invariants_for,
+    register_invariant,
+    run_invariants,
+)
+from repro.schedule.schedule import Schedule
+from repro.schedule.validation import ScheduleError
+
+
+EXPECTED_NAMES = [
+    "feasibility",
+    "cp_lower_bound",
+    "work_lower_bound",
+    "work_upper_bound",
+    "duplicate_consistency",
+    "entry_duplication",
+    "metrics_consistency",
+    "simulator_replay",
+]
+
+
+class TestRegistry:
+    def test_builtin_names_registered_in_order(self):
+        assert invariant_names() == EXPECTED_NAMES
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_invariant("feasibility", "dupe")(lambda g, s: [])
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="no_such_invariant"):
+            run_invariants(None, None, names=["no_such_invariant"])
+
+    def test_invariants_for_exempts_general_duplication(self):
+        assert "DHEFT" in GENERAL_DUPLICATION
+        assert "entry_duplication" not in invariants_for("DHEFT")
+        assert set(invariants_for("DHEFT")) == set(EXPECTED_NAMES) - {
+            "entry_duplication"
+        }
+        assert invariants_for("HDLTS") == EXPECTED_NAMES
+        # case-insensitive prefix match
+        assert "entry_duplication" not in invariants_for("dheft")
+
+    def test_subset_selection(self, fig1):
+        schedule = make_scheduler("HDLTS").run(fig1).schedule
+        report = run_invariants(fig1, schedule, names=["feasibility"])
+        assert report.checked == ("feasibility",)
+        assert report.ok
+
+
+class TestKnownGoodSchedules:
+    def test_every_registered_scheduler_passes(self, fig1):
+        for name, factory in SCHEDULER_FACTORIES.items():
+            scheduler = factory()
+            prepared = scheduler.prepare(fig1)
+            schedule = scheduler.build_schedule(prepared)
+            report = run_invariants(prepared, schedule, invariants_for(name))
+            assert report.ok, f"{name}: {report.format()}"
+
+    def test_report_format_and_raise(self, fig1):
+        schedule = make_scheduler("HDLTS").run(fig1).schedule
+        report = run_invariants(fig1, schedule)
+        assert "invariants hold" in report.format()
+        report.raise_if_failed()  # must not raise
+
+    def test_random_graph_passes(self):
+        from tests.conftest import make_random_graph
+
+        graph = make_random_graph(seed=7, v=30, n_procs=3)
+        schedule = make_scheduler("HEFT").run(graph).schedule
+        assert run_invariants(graph, schedule).ok
+
+
+def _violations(graph, schedule, name):
+    report = run_invariants(graph, schedule, names=[name])
+    return report.violations.get(name, [])
+
+
+class TestEachInvariantCatchesItsCorruption:
+    def test_feasibility_missing_task(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)
+        problems = _violations(diamond, schedule, "feasibility")
+        assert any("not scheduled" in p for p in problems)
+
+    def test_cp_lower_bound_catches_impossibly_fast_schedule(self, diamond):
+        # every task squeezed into a sliver: beats the min-cost chain
+        schedule = Schedule(diamond)
+        for i, task in enumerate(diamond.tasks()):
+            schedule.place(task, 0, i * 0.01, duration=0.01)
+        assert _violations(diamond, schedule, "cp_lower_bound")
+
+    def test_work_lower_bound_catches_impossibly_fast_schedule(self, diamond):
+        schedule = Schedule(diamond)
+        for i, task in enumerate(diamond.tasks()):
+            schedule.place(task, 0, i * 0.01, duration=0.01)
+        assert _violations(diamond, schedule, "work_lower_bound")
+
+    def test_work_upper_bound_catches_uncovered_idle_time(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)
+        schedule.place(1, 0, 2.0)
+        schedule.place(2, 1, 3.0)
+        schedule.place(3, 1, 1e6)  # a day of unexplained idle time
+        assert _violations(diamond, schedule, "work_upper_bound")
+
+    def test_duplicate_without_primary(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)
+        schedule.place(1, 0, 2.0)
+        schedule.place(2, 1, 3.0)
+        schedule.place(3, 1, 7.0)
+        # a duplicate of a task is legal; one with no primary is not --
+        # remove the primary after committing the duplicate
+        schedule.place(2, 0, 5.0, duplicate=True)
+        schedule.unplace(2)
+        problems = _violations(diamond, schedule, "duplicate_consistency")
+        assert any("no primary copy" in p for p in problems)
+
+    def test_two_copies_on_one_cpu(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)
+        schedule.place(0, 0, 10.0, duplicate=True)  # same CPU, again
+        schedule.place(1, 0, 2.0)
+        schedule.place(2, 1, 3.0)
+        schedule.place(3, 1, 7.0)
+        problems = _violations(diamond, schedule, "duplicate_consistency")
+        assert any("two copies on one CPU" in p for p in problems)
+
+    def test_entry_duplication_rejects_non_entry_duplicate(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)
+        schedule.place(1, 0, 2.0)
+        schedule.place(2, 1, 3.0)
+        schedule.place(2, 0, 5.0, duplicate=True)  # C has a parent
+        schedule.place(3, 1, 7.0)
+        problems = _violations(diamond, schedule, "entry_duplication")
+        assert any("entry tasks only" in p for p in problems)
+
+    def test_entry_duplication_rejects_late_window(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)
+        schedule.place(0, 1, 5.0, duplicate=True)  # entry, but not [0, W)
+        schedule.place(1, 0, 2.0)
+        schedule.place(2, 1, 9.0)
+        schedule.place(3, 1, 13.0)
+        problems = _violations(diamond, schedule, "entry_duplication")
+        assert any("[0, W)" in p for p in problems)
+
+    def test_metrics_consistency_catches_slr_below_one(self, diamond):
+        schedule = Schedule(diamond)
+        for i, task in enumerate(diamond.tasks()):
+            schedule.place(task, 0, i * 0.01, duration=0.01)
+        problems = _violations(diamond, schedule, "metrics_consistency")
+        assert any("SLR" in p for p in problems)
+
+    def test_simulator_replay_catches_early_start(self, diamond):
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)   # A finish 2; B's data reaches P2 at 7
+        schedule.place(1, 1, 1.0)   # B starts on P2 before its data
+        schedule.place(2, 1, 3.0)
+        schedule.place(3, 1, 7.0)
+        assert _violations(diamond, schedule, "simulator_replay")
+
+    def test_checks_run_independently(self, diamond):
+        """A feasibility failure doesn't suppress the bound checks."""
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0, duration=0.01)
+        schedule.place(1, 0, 0.02, duration=0.01)
+        schedule.place(2, 0, 0.04, duration=0.01)
+        schedule.place(3, 0, 0.06, duration=0.01)
+        report = run_invariants(diamond, schedule)
+        assert "feasibility" in report.violations
+        assert "cp_lower_bound" in report.violations
+        problems = report.all_problems()
+        assert any(p.startswith("[feasibility]") for p in problems)
+        with pytest.raises(ScheduleError):
+            report.raise_if_failed()

@@ -1,0 +1,150 @@
+"""Unit tests for the metamorphic transform battery."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import make_scheduler
+from repro.model.task_graph import TaskGraph
+from repro.qa.metamorphic import (
+    DEFAULT_TRANSFORMS,
+    CcrRescale,
+    CpuPermutation,
+    TaskRelabeling,
+    UniformScaling,
+    ZeroCostEdgeInsertion,
+    run_metamorphic,
+    schedule_signature,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestTransformGuards:
+    def test_uniform_scaling_requires_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            UniformScaling(3.0)
+        UniformScaling(0.25)  # negative powers are fine
+
+    def test_ccr_rescale_requires_factor_at_least_one(self):
+        with pytest.raises(ValueError, match="factor >= 1"):
+            CcrRescale(0.5)
+
+    def test_relabeling_skips_tiny_graphs(self, rng):
+        graph = TaskGraph(2)
+        a = graph.add_task([1, 2])
+        b = graph.add_task([2, 1])
+        graph.add_edge(a, b, 1.0)
+        assert TaskRelabeling().derive(graph, rng) is None
+
+    def test_relabeling_skips_multi_exit_graphs(self, rng):
+        # two exit tasks -> two all-zero OCT rows -> structural ties
+        graph = TaskGraph(2)
+        a = graph.add_task([1.0, 2.0])
+        b = graph.add_task([2.0, 1.5])
+        c = graph.add_task([1.5, 2.5])
+        graph.add_edge(a, b, 1.0)
+        graph.add_edge(a, c, 2.0)
+        assert TaskRelabeling().derive(graph, rng) is None
+
+    def test_relabeling_excludes_tie_prone_schedulers(self):
+        transform = TaskRelabeling()
+        assert not transform.applies_to("PEFT")
+        assert not transform.applies_to("CPOP")
+        assert not transform.applies_to("peft-lookahead")
+        assert transform.applies_to("HDLTS")
+        assert transform.applies_to("HEFT")
+
+    def test_cpu_permutation_skips_single_cpu(self, rng):
+        graph = TaskGraph(1)
+        graph.add_task([1.0])
+        assert CpuPermutation().derive(graph, rng) is None
+
+    def test_zero_cost_edge_needs_distance_two_descendant(self, rng):
+        graph = TaskGraph(2)
+        a = graph.add_task([1, 2])
+        b = graph.add_task([2, 1])
+        graph.add_edge(a, b, 1.0)  # no path of length >= 2 anywhere
+        assert ZeroCostEdgeInsertion().derive(graph, rng) is None
+
+    def test_ccr_rescale_skips_edgeless_graphs(self, rng):
+        graph = TaskGraph(2)
+        graph.add_task([1, 2])
+        assert CcrRescale(2.0).derive(graph, rng) is None
+
+
+class TestRelationsHold:
+    """The battery assumes continuous (tie-free) costs, as drawn by the
+    fuzz campaign's generator: on integer-cost graphs like Fig. 1, equal
+    EFTs across CPUs tie-break by processor index and a permuted column
+    can legitimately land elsewhere."""
+
+    @pytest.mark.parametrize("name", ["HDLTS", "HEFT"])
+    def test_battery_clean_on_random_graphs(self, name, rng):
+        from tests.conftest import make_random_graph
+
+        for seed in (11, 23):
+            graph = make_random_graph(seed=seed, v=20, n_procs=3)
+            results = run_metamorphic(
+                lambda: make_scheduler(name), graph, rng, scheduler_name=name
+            )
+            assert len(results) == len(DEFAULT_TRANSFORMS)
+            for result in results:
+                assert result.ok, (
+                    f"{name}/{result.transform}: {result.problems}"
+                )
+            assert any(r.applied for r in results)
+
+    def test_tie_prone_scheduler_gets_relabeling_skipped(self, rng):
+        from tests.conftest import make_random_graph
+
+        graph = make_random_graph(seed=11, v=20, n_procs=3)
+        results = run_metamorphic(
+            lambda: make_scheduler("PEFT"), graph, rng, scheduler_name="PEFT"
+        )
+        by_name = {r.transform: r for r in results}
+        assert not by_name["task_relabeling"].applied
+        assert by_name["task_relabeling"].ok
+        # the other transforms still apply and still hold
+        assert by_name["cpu_permutation"].applied
+        assert all(r.ok for r in results)
+
+    def test_scaling_catches_a_lying_scheduler(self, fig1, rng):
+        """A scheduler whose makespan ignores the costs must be flagged."""
+
+        class Liar:
+            def prepare(self, graph):
+                return graph
+
+            def build_schedule(self, graph):
+                from repro.schedule.schedule import Schedule
+
+                schedule = Schedule(graph)
+                t = 0.0
+                for task in graph.tasks():
+                    schedule.place(task, 0, t, duration=1.0)  # fixed lie
+                    t += 1.0
+                return schedule
+
+        results = run_metamorphic(lambda: Liar(), fig1, rng)
+        scale = [r for r in results if r.transform == "scale_x2" and r.applied]
+        assert scale and not scale[0].ok
+
+
+class TestScheduleSignature:
+    def test_identical_rebuilds_share_a_signature(self, fig1):
+        a = make_scheduler("HDLTS").run(fig1).schedule
+        b = make_scheduler("HDLTS").run(fig1).schedule
+        assert schedule_signature(a) == schedule_signature(b)
+
+    def test_signature_sees_every_copy(self, diamond):
+        from repro.schedule.schedule import Schedule
+
+        schedule = Schedule(diamond)
+        schedule.place(0, 0, 0.0)
+        schedule.place(0, 1, 0.0, duplicate=True)
+        sig = schedule_signature(schedule)
+        assert len(sig[0]) == 2
+        assert {entry[0] for entry in sig[0]} == {0, 1}

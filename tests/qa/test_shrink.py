@@ -1,0 +1,72 @@
+"""Unit tests for the greedy graph shrinker."""
+
+import numpy as np
+
+from repro.model.task_graph import TaskGraph
+from repro.qa.shrink import shrink_graph
+from tests.conftest import make_random_graph
+
+
+def test_shrinks_task_count_to_predicate_minimum():
+    graph = make_random_graph(seed=0, v=30, n_procs=3)
+    shrunk = shrink_graph(graph, lambda g: g.n_tasks >= 5)
+    assert shrunk.n_tasks == 5
+    assert shrunk.n_procs >= 1
+
+
+def test_shrinks_cpu_columns():
+    graph = make_random_graph(seed=1, v=10, n_procs=4)
+    shrunk = shrink_graph(graph, lambda g: g.n_procs >= 2)
+    assert shrunk.n_procs == 2
+
+
+def test_drops_edges_and_zeroes_comm():
+    graph = make_random_graph(seed=2, v=12, n_procs=3)
+    assert graph.n_edges > 1
+    shrunk = shrink_graph(
+        graph, lambda g: any(e.cost > 0 for e in g.edges())
+    )
+    # one costly edge is all the predicate needs
+    assert sum(1 for e in shrunk.edges() if e.cost > 0) == 1
+    assert shrunk.n_tasks == 2
+
+
+def test_result_always_satisfies_predicate():
+    graph = make_random_graph(seed=3, v=20, n_procs=3)
+    total = graph.cost_matrix().sum()
+    predicate = lambda g: g.cost_matrix().sum() >= total * 0.25
+    shrunk = shrink_graph(graph, predicate)
+    assert predicate(shrunk)
+    assert shrunk.n_tasks <= graph.n_tasks
+
+
+def test_exception_in_predicate_means_does_not_fail():
+    graph = make_random_graph(seed=4, v=8, n_procs=2)
+
+    def explosive(candidate: TaskGraph) -> bool:
+        if candidate.n_tasks < graph.n_tasks:
+            raise RuntimeError("boom")
+        return True
+
+    shrunk = shrink_graph(graph, explosive)
+    # every task removal "did not fail" (raised), so none were kept
+    assert shrunk.n_tasks == graph.n_tasks
+
+
+def test_rounds_costs_to_integers_when_allowed():
+    graph = make_random_graph(seed=5, v=6, n_procs=2)
+    shrunk = shrink_graph(graph, lambda g: g.n_tasks >= 2)
+    costs = shrunk.cost_matrix()
+    assert np.allclose(costs, np.round(costs))
+
+
+def test_attempt_budget_respected():
+    graph = make_random_graph(seed=6, v=25, n_procs=3)
+    calls = []
+
+    def counting(candidate: TaskGraph) -> bool:
+        calls.append(1)
+        return candidate.n_tasks >= 2
+
+    shrink_graph(graph, counting, max_attempts=10)
+    assert len(calls) <= 11  # budget, plus at most one fixpoint recheck

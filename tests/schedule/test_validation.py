@@ -2,8 +2,13 @@
 
 import pytest
 
-from repro.schedule.schedule import Schedule
-from repro.schedule.validation import ScheduleError, validate_schedule
+from repro.schedule.schedule import Assignment, Schedule
+from repro.schedule.timeline import Slot
+from repro.schedule.validation import (
+    FEASIBILITY_EPS,
+    ScheduleError,
+    validate_schedule,
+)
 
 
 def complete_diamond_schedule(diamond) -> Schedule:
@@ -78,6 +83,67 @@ def test_all_violations_collected(diamond):
         assert len(err.problems) >= 3
     else:
         pytest.fail("expected ScheduleError")
+
+
+def _force_copy(schedule, task, proc, start, duration):
+    """Inject a duplicate copy bypassing the timeline's overlap guard.
+
+    ``place``/``reserve`` refuse the corrupt states the validator exists
+    to catch, so these tests write the slot and assignment directly.
+    """
+    schedule.timelines[proc]._slots.append(
+        Slot(start, start + duration, task, True)
+    )
+    schedule._duplicates.setdefault(task, []).append(
+        Assignment(task, proc, start, start + duration, True)
+    )
+
+
+def test_overlapping_duplicate_copies_reported(diamond):
+    schedule = complete_diamond_schedule(diamond)
+    # a duplicate of A on P1 over [1, 5) collides with C's [3, 7) slot
+    _force_copy(schedule, 0, 1, 1.0, 4.0)
+    with pytest.raises(ScheduleError, match="overlaps"):
+        validate_schedule(diamond, schedule)
+
+
+def test_duplicate_before_time_zero_reported(diamond):
+    schedule = complete_diamond_schedule(diamond)
+    _force_copy(schedule, 0, 1, -4.0, 4.0)
+    with pytest.raises(ScheduleError, match="before time 0"):
+        validate_schedule(diamond, schedule)
+
+
+def test_wrong_duplicate_duration_reported(diamond):
+    schedule = complete_diamond_schedule(diamond)
+    # W(A, P2) is 4; a 2.5-long duplicate fits P2's idle [0, 3) window
+    # without overlapping, so only the duration check can see it
+    schedule.place(0, 1, 0.0, duration=2.5, duplicate=True)
+    with pytest.raises(ScheduleError, match="expected W"):
+        validate_schedule(diamond, schedule)
+
+
+def test_sub_epsilon_duration_error_tolerated(diamond):
+    schedule = Schedule(diamond)
+    schedule.place(0, 0, 0.0, duration=2.0 + FEASIBILITY_EPS / 2)
+    schedule.place(1, 0, 2.0 + FEASIBILITY_EPS / 2)
+    schedule.place(2, 1, 3.0 + FEASIBILITY_EPS)
+    schedule.place(3, 1, 7.0 + FEASIBILITY_EPS)
+    validate_schedule(diamond, schedule)  # within the shared tolerance
+
+
+def test_multi_violation_accumulation_exact_count(diamond):
+    schedule = Schedule(diamond)
+    schedule.place(0, 0, 0.0, duration=5.0)  # wrong duration (W is 2)
+    schedule.place(1, 1, 0.0)                # precedence: data arrives at 10
+    # tasks 2 and 3 missing: one problem each
+    with pytest.raises(ScheduleError) as excinfo:
+        validate_schedule(diamond, schedule)
+    problems = excinfo.value.problems
+    assert len(problems) == 4
+    assert sum("expected W" in p for p in problems) == 1
+    assert sum("before data from parent" in p for p in problems) == 1
+    assert sum("not scheduled" in p for p in problems) == 2
 
 
 def test_every_scheduler_output_validates(fig1):

@@ -39,6 +39,10 @@ from repro.workflows import (
 )
 from tests.test_engine_differential import schedule_signature
 
+# long-running property suite: marked slow (still in the default run,
+# deselect explicitly with -m 'not slow' for a quick loop)
+pytestmark = pytest.mark.slow
+
 ALL_SCHEDULERS = tuple(SCHEDULER_FACTORIES)
 #: GA runs a full evolutionary loop per build (~0.5 s); it gets its own
 #: scaled-down Hypothesis case below instead of riding the broad sweep.

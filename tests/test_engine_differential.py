@@ -32,6 +32,10 @@ from repro.generator import GeneratorConfig, generate_random_graph
 from repro.model.task_graph import TaskGraph
 from repro.workflows.paper_example import paper_example_graph
 
+# long-running property suite: marked slow (still in the default run,
+# deselect explicitly with -m 'not slow' for a quick loop)
+pytestmark = pytest.mark.slow
+
 
 def schedule_signature(schedule):
     """Every committed copy of every task, exact floats -- the object of

@@ -29,6 +29,10 @@ from repro.schedule.simulator import ScheduleSimulator
 from repro.schedule.timeline import ProcessorTimeline
 from repro.schedule.validation import validate_schedule
 
+# long-running property suite: marked slow (still in the default run,
+# deselect explicitly with -m 'not slow' for a quick loop)
+pytestmark = pytest.mark.slow
+
 
 # ----------------------------------------------------------------------
 # graph strategy: layered DAGs, 1-4 CPUs, arbitrary non-negative costs
