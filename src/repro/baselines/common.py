@@ -21,12 +21,14 @@ import numpy as np
 
 from repro import obs
 from repro.model.task_graph import TaskGraph
+from repro.runtime.context import ENGINE_CHOICES, resolve_engine
 from repro.schedule.schedule import Assignment, Schedule
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.engine import EFTEngine
 
 __all__ = [
+    "ENGINE_CHOICES",
     "est_eft",
     "eft_vector",
     "make_engine",
@@ -34,24 +36,19 @@ __all__ = [
     "precedence_safe_order",
 ]
 
-#: the engine selector accepted by every ported baseline
-ENGINE_CHOICES = ("fast", "reference")
 
-
-def make_engine(schedule: Schedule, engine: str):
+def make_engine(schedule: Schedule, engine: Optional[str] = None):
     """Resolve a baseline's ``engine=`` parameter to an engine (or None).
 
-    ``"fast"`` builds an EFT engine over the (possibly pre-populated)
-    schedule -- the scalar :class:`~repro.core.engine.StaticEFTEngine`
-    over the compiled graph when the compiled layer is enabled, the
-    vectorized :class:`~repro.core.engine.EFTEngine` otherwise (both are
+    ``None`` defers to the active run context.  ``"fast"`` builds an
+    EFT engine over the (possibly pre-populated) schedule -- the scalar
+    :class:`~repro.core.engine.StaticEFTEngine` over the compiled graph
+    when the compiled layer is enabled, the vectorized
+    :class:`~repro.core.engine.EFTEngine` otherwise (both are
     bit-identical); ``"reference"`` selects the original scalar code
     path.
     """
-    if engine not in ENGINE_CHOICES:
-        raise ValueError(
-            f"engine must be one of {ENGINE_CHOICES}, got {engine!r}"
-        )
+    engine = resolve_engine(engine)
     if engine == "reference":
         return None
     from repro.core.engine import EFTEngine, StaticEFTEngine

@@ -17,6 +17,8 @@ from CPU selection.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.baselines.common import make_engine
@@ -24,6 +26,7 @@ from repro.core.base import Scheduler
 from repro.core.itq import IndependentTaskQueue
 from repro.model.attributes import mean_execution_times
 from repro.model.task_graph import TaskGraph
+from repro.runtime.context import resolve_engine
 from repro.schedule.schedule import Schedule
 
 __all__ = ["DLS"]
@@ -34,9 +37,11 @@ class DLS(Scheduler):
 
     name = "DLS"
 
-    def __init__(self, insertion: bool = True, engine: str = "fast") -> None:
+    def __init__(
+        self, insertion: bool = True, engine: Optional[str] = None
+    ) -> None:
         self.insertion = insertion
-        self.engine = engine
+        self.engine = resolve_engine(engine)
 
     def static_levels(self, graph: TaskGraph) -> np.ndarray:
         """Mean-cost longest path to the exit, communication excluded."""

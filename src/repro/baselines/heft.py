@@ -11,10 +11,13 @@ in-text claim.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.baselines.common import make_engine, place_min_eft, precedence_safe_order
 from repro.core.base import Scheduler
 from repro.model.ranking import upward_rank
 from repro.model.task_graph import TaskGraph
+from repro.runtime.context import resolve_engine
 from repro.schedule.schedule import Schedule
 
 __all__ = ["HEFT"]
@@ -25,9 +28,11 @@ class HEFT(Scheduler):
 
     name = "HEFT"
 
-    def __init__(self, insertion: bool = True, engine: str = "fast") -> None:
+    def __init__(
+        self, insertion: bool = True, engine: Optional[str] = None
+    ) -> None:
         self.insertion = insertion
-        self.engine = engine
+        self.engine = resolve_engine(engine)
 
     def build_schedule(self, graph: TaskGraph) -> Schedule:
         """Schedule ``graph`` with classic HEFT."""

@@ -12,13 +12,14 @@ starts at its true EST on the chosen CPU.  Complexity O(V^2 * P).
 from __future__ import annotations
 
 import heapq
-from typing import List
+from typing import List, Optional
 
 from repro.baselines.common import make_engine, place_min_eft
 from repro.core.base import Scheduler
 from repro.core.itq import IndependentTaskQueue
 from repro.model.ranking import oct_rank, optimistic_cost_table
 from repro.model.task_graph import TaskGraph
+from repro.runtime.context import resolve_engine
 from repro.schedule.schedule import Schedule
 
 __all__ = ["PEFT"]
@@ -29,9 +30,11 @@ class PEFT(Scheduler):
 
     name = "PEFT"
 
-    def __init__(self, insertion: bool = True, engine: str = "fast") -> None:
+    def __init__(
+        self, insertion: bool = True, engine: Optional[str] = None
+    ) -> None:
         self.insertion = insertion
-        self.engine = engine
+        self.engine = resolve_engine(engine)
 
     def build_schedule(self, graph: TaskGraph) -> Schedule:
         """Schedule ``graph`` with the OCT-driven PEFT policy."""

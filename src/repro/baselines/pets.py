@@ -16,7 +16,7 @@ minimum insertion-based EFT.  Complexity O((V+E)(P + log V)).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.model.attributes import mean_execution_times
 from repro.model.compiled import compile_graph, compiled_enabled
 from repro.model.levels import level_decomposition
 from repro.model.task_graph import TaskGraph
+from repro.runtime.context import resolve_engine
 from repro.schedule.schedule import Schedule
 
 __all__ = ["PETS"]
@@ -37,13 +38,16 @@ class PETS(Scheduler):
     name = "PETS"
 
     def __init__(
-        self, insertion: bool = True, variant: str = "drc", engine: str = "fast"
+        self,
+        insertion: bool = True,
+        variant: str = "drc",
+        engine: Optional[str] = None,
     ) -> None:
         if variant not in ("drc", "rpt"):
             raise ValueError(f"variant must be 'drc' or 'rpt', got {variant!r}")
         self.insertion = insertion
         self.variant = variant
-        self.engine = engine
+        self.engine = resolve_engine(engine)
 
     # ------------------------------------------------------------------
     def ranks(self, graph: TaskGraph) -> np.ndarray:

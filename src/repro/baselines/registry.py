@@ -81,6 +81,22 @@ def _factories() -> Dict[str, Callable[[], Scheduler]]:
 
 SCHEDULER_FACTORIES: Dict[str, Callable[[], Scheduler]] = _factories()
 
+
+def _fold_names(
+    factories: Dict[str, Callable[[], Scheduler]]
+) -> Dict[str, List[str]]:
+    """Case-folded name -> registry names sharing that folding."""
+    folded: Dict[str, List[str]] = {}
+    for registered in factories:
+        folded.setdefault(registered.lower(), []).append(registered)
+    return folded
+
+
+#: case-insensitive lookup table, built once -- not per make_scheduler
+#: call.  A folding mapping to several registry names is *ambiguous*
+#: and only resolvable by its exact name.
+_FOLDED: Dict[str, List[str]] = _fold_names(SCHEDULER_FACTORIES)
+
 #: the algorithms evaluated throughout the paper's Section V
 PAPER_SET = ("HDLTS", "HEFT", "PETS", "PEFT", "SDBATS")
 
@@ -94,12 +110,20 @@ def make_scheduler(name: str) -> Scheduler:
     """Instantiate a scheduler by registry name.
 
     Exact names win; otherwise a unique case-insensitive match is
-    accepted (``hdlts`` -> ``HDLTS``) so CLI use stays forgiving.
+    accepted (``hdlts`` -> ``HDLTS``) so CLI use stays forgiving.  A
+    folding shared by several registered names is ambiguous and raises,
+    naming the candidates.
     """
     factory = SCHEDULER_FACTORIES.get(name)
     if factory is None:
-        folded = {k.lower(): f for k, f in SCHEDULER_FACTORIES.items()}
-        factory = folded.get(name.lower())
+        candidates = _FOLDED.get(name.lower(), [])
+        if len(candidates) == 1:
+            factory = SCHEDULER_FACTORIES[candidates[0]]
+        elif len(candidates) > 1:
+            raise KeyError(
+                f"ambiguous scheduler name {name!r}: matches "
+                f"{', '.join(sorted(candidates))} (use the exact name)"
+            )
     if factory is None:
         known = ", ".join(SCHEDULER_FACTORIES)
         raise KeyError(f"unknown scheduler {name!r}; known: {known}")

@@ -15,6 +15,8 @@ Mapping is insertion-based min-EFT over the rank-descending static list.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.baselines.common import make_engine, place_min_eft, precedence_safe_order
@@ -22,6 +24,7 @@ from repro.core.base import Scheduler
 from repro.model.attributes import std_execution_times
 from repro.model.ranking import upward_rank
 from repro.model.task_graph import TaskGraph
+from repro.runtime.context import resolve_engine
 from repro.schedule.schedule import Schedule
 
 __all__ = ["SDBATS"]
@@ -36,11 +39,11 @@ class SDBATS(Scheduler):
         self,
         insertion: bool = True,
         duplicate_entry: bool = True,
-        engine: str = "fast",
+        engine: Optional[str] = None,
     ) -> None:
         self.insertion = insertion
         self.duplicate_entry = duplicate_entry
-        self.engine = engine
+        self.engine = resolve_engine(engine)
 
     def build_schedule(self, graph: TaskGraph) -> Schedule:
         """Schedule ``graph`` with SDBATS (std ranks + entry duplication)."""

@@ -5,10 +5,16 @@ Commands
 table1        reproduce Table I and the Fig. 1 makespan comparison
 figure KEY    run one evaluation figure (fig2..fig14) and print the table
 all-figures   run every figure (EXPERIMENTS.md is generated from this)
+run KEY       run a figure inside a resumable run directory (checkpointed)
+resume DIR    resume an interrupted ``run`` from its chunk ledger
 schedule      schedule one workflow instance and show the Gantt chart
 generate      draw a random task graph and print its shape statistics
 dynamic       online-HDLTS vs static-schedule comparison under noise/failures
 profile       run schedulers under full instrumentation, print the breakdown
+
+Every invocation builds one :class:`~repro.runtime.context.RunContext`
+from its flags and activates it for the whole command -- no process
+globals are flipped; see docs/architecture.md.
 
 The ``schedule``, ``figure`` and ``dynamic`` commands accept
 ``--events FILE`` (stream every observability event as JSONL) and
@@ -45,6 +51,27 @@ def _add_workflow_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    """Worker-pool knobs shared by figure/all-figures/run."""
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=5,
+        help="replications per worker chunk (parallel runs)",
+    )
+    parser.add_argument(
+        "--start-method",
+        default=None,
+        dest="start_method",
+        choices=["fork", "spawn", "forkserver", "serial"],
+        help="worker pool start method (default: fork where available, "
+        "then spawn, else serial)",
+    )
+
+
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     """Observability flags shared by schedule/figure/dynamic."""
     parser.add_argument(
@@ -73,13 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--seed", type=int, default=0)
     p_fig.add_argument("--full", action="store_true", help="fig3: include 5000/10000 tasks")
     p_fig.add_argument("--validate", action="store_true", help="feasibility-check every schedule")
-    p_fig.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
-    p_fig.add_argument(
-        "--chunk-size",
-        type=int,
-        default=5,
-        help="replications per worker chunk (parallel runs)",
-    )
+    _add_parallel_args(p_fig)
     p_fig.add_argument("--chart", action="store_true", help="also render an ASCII line chart")
     p_fig.add_argument("--csv", default=None, metavar="FILE", help="also write tidy CSV to FILE")
     _add_obs_args(p_fig)
@@ -88,13 +109,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--reps", type=int, default=30)
     p_all.add_argument("--seed", type=int, default=0)
     p_all.add_argument("--full", action="store_true")
-    p_all.add_argument("--workers", type=int, default=1)
-    p_all.add_argument(
-        "--chunk-size",
-        type=int,
-        default=5,
-        help="replications per worker chunk (parallel runs)",
+    _add_parallel_args(p_all)
+
+    p_run = sub.add_parser(
+        "run", help="run one figure checkpointed into a resumable run directory"
     )
+    p_run.add_argument("key", help="figure key (fig2 .. fig14)")
+    p_run.add_argument("--reps", type=int, default=30, help="replications per point")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--full", action="store_true", help="fig3: include 5000/10000 tasks")
+    p_run.add_argument("--validate", action="store_true", help="feasibility-check every schedule")
+    _add_parallel_args(p_run)
+    p_run.add_argument(
+        "--run-dir", default=None, dest="run_dir", metavar="DIR",
+        help="run directory holding manifest + chunk ledger (default runs/KEY)",
+    )
+    p_run.add_argument("--csv", default=None, metavar="FILE", help="also write tidy CSV to FILE")
+
+    p_res = sub.add_parser(
+        "resume", help="resume an interrupted run from its chunk ledger"
+    )
+    p_res.add_argument("run_dir", metavar="RUN_DIR", help="directory written by 'repro run'")
+    p_res.add_argument("--csv", default=None, metavar="FILE", help="also write tidy CSV to FILE")
 
     p_sched = sub.add_parser("schedule", help="schedule one workflow instance")
     _add_workflow_args(p_sched)
@@ -241,6 +277,15 @@ def _cmd_table1() -> int:
     return 0
 
 
+def _chunk_progress(key: str):
+    """A chunk-completion callback printing sweep progress to stderr."""
+
+    def progress(done: int, total: int) -> None:
+        print(f"  .. {key}: chunk {done}/{total}", file=sys.stderr)
+
+    return progress
+
+
 def _cmd_figure(
     key: str,
     reps: int,
@@ -253,6 +298,7 @@ def _cmd_figure(
     chunk_size: int = 5,
     pool=None,
     definition=None,
+    start_method=None,
 ) -> int:
     from repro.experiments import format_sweep, get_figure, run_sweep
     from repro.experiments.parallel import run_sweep_parallel
@@ -270,6 +316,8 @@ def _cmd_figure(
             workers=workers,
             chunk_size=chunk_size,
             pool=pool,
+            start_method=start_method,
+            progress=_chunk_progress(definition.key),
         )
     else:
         result = run_sweep(
@@ -299,10 +347,11 @@ def _cmd_all_figures(
     full: bool,
     workers: int = 1,
     chunk_size: int = 5,
+    start_method=None,
 ) -> int:
-    import multiprocessing
-
     from repro.experiments import get_figure, list_figures
+    from repro.experiments.parallel import _resolve_start_method
+    from repro.runtime.context import current_context
 
     _cmd_table1()
     keys = list_figures()
@@ -327,19 +376,94 @@ def _cmd_all_figures(
             )
         return 0
 
-    try:
-        multiprocessing.get_context("fork")
-        has_fork = True
-    except ValueError:  # pragma: no cover - non-fork platform
-        has_fork = False
-    if workers > 1 and has_fork:
-        # one pool forked up front and reused by every figure, instead
-        # of paying a pool fork/teardown per figure
+    method = _resolve_start_method(start_method, current_context())
+    if workers > 1 and method != "serial":
+        # one pool created up front and reused by every figure, instead
+        # of paying a pool start/teardown per figure
         from repro.experiments.parallel import sweep_pool
 
-        with sweep_pool(definitions.values(), workers) as pool:
+        with sweep_pool(
+            definitions.values(), workers, start_method=method
+        ) as pool:
             return run_all(pool)
     return run_all()
+
+
+def _default_run_dir(key: str) -> str:
+    import os
+
+    return os.path.join("runs", key)
+
+
+def _finish_run(session, definition, result, csv_path=None) -> int:
+    """Print the sweep table (and optional CSV) for a completed run."""
+    from repro.experiments import format_sweep
+
+    print(format_sweep(result))
+    if csv_path:
+        from repro.experiments.export import sweep_to_csv
+
+        sweep_to_csv(result, csv_path)
+        print(f"(csv written to {csv_path})", file=sys.stderr)
+    print(f"(run directory: {session.path})", file=sys.stderr)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments import get_figure
+    from repro.experiments.parallel import run_sweep_parallel
+    from repro.runtime.context import current_context
+    from repro.runtime.session import ExperimentSession
+
+    definition = (
+        get_figure(args.key, full=args.full)
+        if args.key == "fig3"
+        else get_figure(args.key)
+    )
+    run_dir = args.run_dir or _default_run_dir(args.key)
+    session = ExperimentSession.create(
+        run_dir, current_context(), [definition], reps=args.reps
+    )
+    with session:
+        result = run_sweep_parallel(
+            definition,
+            reps=args.reps,
+            seed=args.seed,
+            validate=args.validate,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            start_method=args.start_method,
+            progress=_chunk_progress(definition.key),
+            session=session,
+        )
+    return _finish_run(session, definition, result, csv_path=args.csv)
+
+
+def _cmd_resume(args) -> int:
+    from repro.experiments.parallel import run_sweep_parallel
+    from repro.runtime.context import activate
+    from repro.runtime.session import ExperimentSession
+
+    session = ExperimentSession.open(args.run_dir)
+    context = session.context
+    code = 0
+    with activate(context), session:
+        for definition in session.definitions:
+            result = run_sweep_parallel(
+                definition,
+                reps=session.reps,
+                seed=context.seed,
+                validate=context.validate,
+                workers=context.workers,
+                chunk_size=context.chunk_size,
+                start_method=context.start_method,
+                progress=_chunk_progress(definition.key),
+                session=session,
+            )
+            code = _finish_run(
+                session, definition, result, csv_path=args.csv
+            ) or code
+    return code
 
 
 def _make_workflow(args) -> "object":
@@ -549,11 +673,49 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _context_from_args(args):
+    """One :class:`~repro.runtime.context.RunContext` from the CLI flags.
+
+    Every command activates this for its whole run; commands without a
+    given knob inherit the default.
+    """
+    from repro.runtime.context import DEFAULT_CONTEXT
+
+    return DEFAULT_CONTEXT.with_(
+        seed=getattr(args, "seed", DEFAULT_CONTEXT.seed),
+        validate=bool(getattr(args, "validate", False)),
+        metrics=bool(getattr(args, "metrics", False)),
+        events=getattr(args, "events", None),
+        workers=getattr(args, "workers", DEFAULT_CONTEXT.workers),
+        chunk_size=getattr(args, "chunk_size", DEFAULT_CONTEXT.chunk_size),
+        start_method=getattr(args, "start_method", None),
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments and dispatch; returns the process exit code."""
+    from repro.runtime.context import activate
+
     args = build_parser().parse_args(argv)
     try:
-        return _dispatch(args)
+        with activate(_context_from_args(args)):
+            return _dispatch(args)
+    except KeyboardInterrupt:
+        if args.command == "run":
+            run_dir = args.run_dir or _default_run_dir(args.key)
+            print(
+                f"\ninterrupted; completed chunks are checkpointed -- "
+                f"resume with: repro resume {run_dir}",
+                file=sys.stderr,
+            )
+        elif args.command == "resume":
+            print(
+                f"\ninterrupted; resume again with: repro resume {args.run_dir}",
+                file=sys.stderr,
+            )
+        else:
+            print("\ninterrupted", file=sys.stderr)
+        return 130
     except KeyError as err:
         print(f"error: {err.args[0] if err.args else err}", file=sys.stderr)
         return 2
@@ -561,7 +723,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {err}", file=sys.stderr)
         return 2
     except OSError as err:
-        # unwritable --events / --json / --out destinations
+        # unwritable --events / --json / --out destinations, clobbered
+        # or missing run directories
         print(f"error: {err}", file=sys.stderr)
         return 2
 
@@ -606,12 +769,22 @@ def _dispatch(args) -> int:
                 chart=args.chart,
                 csv_path=args.csv,
                 chunk_size=args.chunk_size,
+                start_method=args.start_method,
             ),
         )
     if args.command == "all-figures":
         return _cmd_all_figures(
-            args.reps, args.seed, args.full, args.workers, args.chunk_size
+            args.reps,
+            args.seed,
+            args.full,
+            args.workers,
+            args.chunk_size,
+            start_method=args.start_method,
         )
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
     if args.command == "schedule":
         return _run_observed(args, lambda: _cmd_schedule(args))
     if args.command == "generate":

@@ -45,6 +45,7 @@ from repro.core.engine import EFTEngine
 from repro.core.itq import IndependentTaskQueue
 from repro.core.trace import TraceRecorder, TraceStep
 from repro.model.task_graph import TaskGraph
+from repro.runtime.context import resolve_engine
 from repro.schedule.schedule import Schedule
 
 __all__ = ["HDLTS", "PriorityRule"]
@@ -84,9 +85,11 @@ class HDLTS(Scheduler):
         Keep a per-step :class:`~repro.core.trace.TraceStep` record
         (costs memory on big graphs; required to print Table I).
     engine:
-        ``"fast"`` (incremental vectorized engine, the default) or
-        ``"reference"`` (the original per-parent/CPU loops).  Both
-        produce bit-identical schedules; see docs/performance.md.
+        ``"fast"`` (incremental vectorized engine) or ``"reference"``
+        (the original per-parent/CPU loops); ``None`` (the default)
+        defers to the active :class:`~repro.runtime.context.RunContext`
+        (``"fast"`` unless overridden).  Both produce bit-identical
+        schedules; see docs/performance.md.
     """
 
     name = "HDLTS"
@@ -97,12 +100,9 @@ class HDLTS(Scheduler):
         use_insertion: bool = False,
         priority: PriorityRule = PriorityRule.PENALTY_VALUE,
         record_trace: bool = False,
-        engine: str = "fast",
+        engine: Optional[str] = None,
     ) -> None:
-        if engine not in ("fast", "reference"):
-            raise ValueError(
-                f"engine must be 'fast' or 'reference', got {engine!r}"
-            )
+        engine = resolve_engine(engine)
         self.duplicate_entry = duplicate_entry
         self.use_insertion = use_insertion
         self.priority = PriorityRule(priority)

@@ -9,6 +9,7 @@
 * :mod:`repro.experiments.report` -- text rendering of sweep results.
 """
 
+from repro.experiments.graphspec import GraphSpec, register_graph_factory
 from repro.experiments.harness import (
     SweepDefinition,
     SweepResult,
@@ -16,7 +17,7 @@ from repro.experiments.harness import (
     run_single_point,
     run_replication,
 )
-from repro.experiments.parallel import run_sweep_parallel
+from repro.experiments.parallel import run_sweep_parallel, sweep_pool
 from repro.experiments.figures import FIGURES, get_figure, list_figures
 from repro.experiments.table1 import table1_trace, fig1_makespans
 from repro.experiments.report import format_sweep, format_makespans, winners
@@ -27,12 +28,15 @@ from repro.experiments.claims import PAPER_CLAIMS, evaluate_claim, evaluate_all
 from repro.experiments.significance import ComparisonResult, compare_schedulers
 
 __all__ = [
+    "GraphSpec",
+    "register_graph_factory",
     "SweepDefinition",
     "SweepResult",
     "run_sweep",
     "run_single_point",
     "run_replication",
     "run_sweep_parallel",
+    "sweep_pool",
     "FIGURES",
     "get_figure",
     "list_figures",

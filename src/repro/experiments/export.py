@@ -21,7 +21,12 @@ PathLike = Union[str, pathlib.Path]
 
 
 def sweep_to_csv(result: SweepResult, path: Optional[PathLike] = None) -> str:
-    """Serialize a sweep as tidy CSV; optionally write it to ``path``."""
+    """Serialize a sweep as tidy CSV; optionally write it to ``path``.
+
+    Columns come straight from :meth:`SweepResult.as_rows`, whose rows
+    are self-describing (they carry ``x_label`` and ``metric``), so
+    this writer needs no side channel back to the definition.
+    """
     buffer = io.StringIO()
     writer = csv.writer(buffer, lineterminator="\n")
     writer.writerow(
@@ -33,7 +38,7 @@ def sweep_to_csv(result: SweepResult, path: Optional[PathLike] = None) -> str:
                 result.definition.key,
                 row["x"],
                 row["scheduler"],
-                result.definition.metric,
+                row["metric"],
                 f"{row['mean']:.6f}",
                 f"{row['std']:.6f}",
                 row["n"],

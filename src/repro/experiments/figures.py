@@ -7,6 +7,12 @@ paper is silent we use the Table II midpoint defaults -- v=100, alpha=1,
 density=3, CCR=1, 4 CPUs, W_dag=50, beta=1 -- and record that choice in
 EXPERIMENTS.md.
 
+Every figure's graph factory is a declarative
+:class:`~repro.experiments.graphspec.GraphSpec` (registered factory
+name + parameters), not a closure: definitions pickle, ship to
+``spawn``/``forkserver`` workers, and serialize into run manifests --
+while building graphs bit-identical to the original closures.
+
 ``fig3`` defaults to task sizes up to 1000; pass ``full=True`` to include
 the paper's 5000/10000-task points (minutes of pure-Python runtime).
 """
@@ -15,24 +21,18 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-import numpy as np
-
+from repro.experiments.graphspec import GraphSpec
 from repro.experiments.harness import SweepDefinition
-from repro.generator.parameters import GeneratorConfig
-from repro.generator.random_dag import generate_random_graph
-from repro.workflows.fft import fft_topology
-from repro.workflows.molecular import molecular_dynamics_topology
-from repro.workflows.montage import montage_topology
-from repro.workflows.topology import realize_topology
 
 __all__ = ["FIGURES", "get_figure", "list_figures"]
 
-# Table II midpoint defaults (see module docstring).  ``single_entry``:
-# the paper's worked example and its entry-duplication pillar presume a
-# real entry task; random graphs folded under a zero-cost pseudo entry
-# would make Algorithm 1 a no-op, so the random-workflow figures draw
-# single-entry graphs (EXPERIMENTS.md discusses the multi-entry variant).
-_BASE = GeneratorConfig(single_entry=True)
+# Table II midpoint defaults ride on the factories' GeneratorConfig
+# defaults.  ``single_entry``: the paper's worked example and its
+# entry-duplication pillar presume a real entry task; random graphs
+# folded under a zero-cost pseudo entry would make Algorithm 1 a no-op,
+# so the random-workflow figures draw single-entry graphs
+# (EXPERIMENTS.md discusses the multi-entry variant).
+_RANDOM_BASE = {"single_entry": True}
 _EFFICIENCY_CCR = 3.0  # the paper pins CCR=3 for efficiency-vs-CPUs sweeps
 
 
@@ -40,16 +40,13 @@ _EFFICIENCY_CCR = 3.0  # the paper pins CCR=3 for efficiency-vs-CPUs sweeps
 # random-workflow figures (Section V-B)
 # ----------------------------------------------------------------------
 def _fig2() -> SweepDefinition:
-    def make(ccr, rng):
-        return generate_random_graph(_BASE.with_(ccr=float(ccr)), rng)
-
     return SweepDefinition(
         key="fig2",
         title="Average SLR of random application workflows vs CCR",
         x_label="CCR",
         x_values=(1.0, 2.0, 3.0, 4.0, 5.0),
         metric="slr",
-        make_graph=make,
+        graph=GraphSpec("random", {"axis": "ccr", **_RANDOM_BASE}),
         description="v=100, alpha=1, density=3, 4 CPUs, W_dag=50, beta=1, single entry",
     )
 
@@ -59,31 +56,25 @@ def _fig3(full: bool = False) -> SweepDefinition:
     if full:
         sizes = sizes + (5000, 10000)
 
-    def make(v, rng):
-        return generate_random_graph(_BASE.with_(v=int(v)), rng)
-
     return SweepDefinition(
         key="fig3",
         title="Average SLR of random application workflows vs task size",
         x_label="tasks",
         x_values=sizes,
         metric="slr",
-        make_graph=make,
+        graph=GraphSpec("random", {"axis": "v", **_RANDOM_BASE}),
         description="alpha=1, density=3, CCR=1, 4 CPUs, single entry (full=True adds 5000/10000)",
     )
 
 
 def _fig4() -> SweepDefinition:
-    def make(n_procs, rng):
-        return generate_random_graph(_BASE.with_(n_procs=int(n_procs)), rng)
-
     return SweepDefinition(
         key="fig4",
         title="Efficiency of random application workflows vs number of CPUs",
         x_label="CPUs",
         x_values=(2, 4, 6, 8, 10),
         metric="efficiency",
-        make_graph=make,
+        graph=GraphSpec("random", {"axis": "n_procs", **_RANDOM_BASE}),
         description="v=100, alpha=1, density=3, CCR=1, W_dag=50, beta=1, single entry",
     )
 
@@ -91,12 +82,6 @@ def _fig4() -> SweepDefinition:
 # ----------------------------------------------------------------------
 # FFT figures (Section V-C.1)
 # ----------------------------------------------------------------------
-def _fft_graph(m: int, n_procs: int, ccr: float, rng: np.random.Generator):
-    return realize_topology(
-        fft_topology(m), n_procs, rng=rng, ccr=ccr, beta=1.0, w_dag=50.0
-    )
-
-
 def _fig6() -> SweepDefinition:
     return SweepDefinition(
         key="fig6",
@@ -104,7 +89,7 @@ def _fig6() -> SweepDefinition:
         x_label="points",
         x_values=(4, 8, 16, 32),
         metric="slr",
-        make_graph=lambda m, rng: _fft_graph(int(m), 4, 1.0, rng),
+        graph=GraphSpec("fft", {"axis": "m", "n_procs": 4, "ccr": 1.0}),
         description="FFT m=4..32 (15..223 tasks), CCR=1, 4 CPUs",
     )
 
@@ -116,7 +101,7 @@ def _fig7() -> SweepDefinition:
         x_label="CCR",
         x_values=(1.0, 2.0, 3.0, 4.0, 5.0),
         metric="slr",
-        make_graph=lambda ccr, rng: _fft_graph(16, 4, float(ccr), rng),
+        graph=GraphSpec("fft", {"axis": "ccr", "m": 16, "n_procs": 4}),
         description="FFT m=16 (95 tasks), 4 CPUs",
     )
 
@@ -128,53 +113,42 @@ def _fig8() -> SweepDefinition:
         x_label="CPUs",
         x_values=(2, 4, 6, 8, 10),
         metric="efficiency",
-        make_graph=lambda p, rng: _fft_graph(16, int(p), _EFFICIENCY_CCR, rng),
+        graph=GraphSpec(
+            "fft", {"axis": "n_procs", "m": 16, "ccr": _EFFICIENCY_CCR}
+        ),
         description="FFT m=16 (the paper's choice), CCR=3",
     )
 
 
 # ----------------------------------------------------------------------
-# Montage figures (Section V-C.2)
+# Montage figures (Section V-C.2): the paper evaluates both the 50- and
+# 100-node fixed structures, alternating per instance
 # ----------------------------------------------------------------------
-_MONTAGE_SIZES = (50, 100)  # the paper evaluates both fixed structures
-
-
-def _montage_graph(size: int, n_procs: int, ccr: float, rng):
-    return realize_topology(
-        montage_topology(size), n_procs, rng=rng, ccr=ccr, beta=1.0, w_dag=50.0
-    )
-
-
 def _fig10() -> SweepDefinition:
-    def make(ccr, rng):
-        # alternate between the 50- and 100-node structures so the
-        # average covers both, as the paper's text describes
-        size = _MONTAGE_SIZES[int(rng.integers(len(_MONTAGE_SIZES)))]
-        return _montage_graph(size, 5, float(ccr), rng)
-
     return SweepDefinition(
         key="fig10",
         title="Average SLR of Montage workflows vs CCR",
         x_label="CCR",
         x_values=(1.0, 2.0, 3.0, 4.0, 5.0),
         metric="slr",
-        make_graph=make,
+        graph=GraphSpec(
+            "montage", {"axis": "ccr", "sizes": [50, 100], "n_procs": 5}
+        ),
         description="Montage 50/100 nodes, 5 CPUs (paper's setting)",
     )
 
 
 def _fig11() -> SweepDefinition:
-    def make(p, rng):
-        size = _MONTAGE_SIZES[int(rng.integers(len(_MONTAGE_SIZES)))]
-        return _montage_graph(size, int(p), _EFFICIENCY_CCR, rng)
-
     return SweepDefinition(
         key="fig11",
         title="Efficiency of Montage workflows vs number of CPUs",
         x_label="CPUs",
         x_values=(2, 4, 6, 8, 10),
         metric="efficiency",
-        make_graph=make,
+        graph=GraphSpec(
+            "montage",
+            {"axis": "n_procs", "sizes": [50, 100], "ccr": _EFFICIENCY_CCR},
+        ),
         description="Montage 50/100 nodes, CCR=3 (paper's setting)",
     )
 
@@ -182,17 +156,6 @@ def _fig11() -> SweepDefinition:
 # ----------------------------------------------------------------------
 # Molecular-dynamics figures (Section V-C.3)
 # ----------------------------------------------------------------------
-def _md_graph(n_procs: int, ccr: float, rng):
-    return realize_topology(
-        molecular_dynamics_topology(),
-        n_procs,
-        rng=rng,
-        ccr=ccr,
-        beta=1.0,
-        w_dag=50.0,
-    )
-
-
 def _fig13() -> SweepDefinition:
     return SweepDefinition(
         key="fig13",
@@ -200,7 +163,7 @@ def _fig13() -> SweepDefinition:
         x_label="CCR",
         x_values=(1.0, 2.0, 3.0, 4.0, 5.0),
         metric="slr",
-        make_graph=lambda ccr, rng: _md_graph(4, float(ccr), rng),
+        graph=GraphSpec("molecular", {"axis": "ccr", "n_procs": 4}),
         description="fixed 41-task MD graph, 4 CPUs",
     )
 
@@ -212,7 +175,9 @@ def _fig14() -> SweepDefinition:
         x_label="CPUs",
         x_values=(2, 4, 6, 8, 10),
         metric="efficiency",
-        make_graph=lambda p, rng: _md_graph(int(p), _EFFICIENCY_CCR, rng),
+        graph=GraphSpec(
+            "molecular", {"axis": "n_procs", "ccr": _EFFICIENCY_CCR}
+        ),
         description="fixed 41-task MD graph, CCR=3 (paper's setting)",
     )
 

@@ -1,0 +1,189 @@
+"""Declarative graph specs: named factories instead of closures.
+
+A :class:`~repro.experiments.harness.SweepDefinition` used to close
+over a local graph-factory function, which meant figure definitions
+only survived ``fork`` (closures do not pickle) and a run could not be
+written to a manifest.  A :class:`GraphSpec` replaces the closure with
+*data*: the name of a registered factory plus its keyword parameters.
+Specs pickle, serialize to JSON, ship to ``spawn``/``forkserver``
+workers, and rebuild bit-identical graphs anywhere.
+
+Factories receive ``(x, rng, **params)`` where ``x`` is the sweep's
+current x-axis value; the ``axis`` parameter names which knob ``x``
+drives (``"ccr"``, ``"v"``, ``"n_procs"``, ``"m"``, ...).  Axis values
+are cast exactly as the original closures did (``int`` for counts,
+``float`` otherwise), so spec-built graphs are bit-identical to the
+closure-built ones for the same RNG stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.generator.parameters import GeneratorConfig
+from repro.generator.random_dag import generate_random_graph
+from repro.model.task_graph import TaskGraph
+from repro.workflows.fft import fft_topology
+from repro.workflows.molecular import molecular_dynamics_topology
+from repro.workflows.montage import montage_topology
+from repro.workflows.topology import realize_topology
+
+__all__ = [
+    "GraphSpec",
+    "register_graph_factory",
+    "graph_factory_names",
+]
+
+GraphFactoryFn = Callable[..., TaskGraph]
+
+_FACTORIES: Dict[str, GraphFactoryFn] = {}
+
+#: axes cast to int (counts); every other axis is cast to float
+_INT_AXES = frozenset({"v", "n_procs", "density", "m"})
+
+
+def _cast_axis(axis: str, x) -> object:
+    """Cast an x-axis value the way the original closures did."""
+    return int(x) if axis in _INT_AXES else float(x)
+
+
+def register_graph_factory(name: str) -> Callable[[GraphFactoryFn], GraphFactoryFn]:
+    """Register ``fn(x, rng, **params) -> TaskGraph`` under ``name``."""
+
+    def decorate(fn: GraphFactoryFn) -> GraphFactoryFn:
+        if name in _FACTORIES:
+            raise ValueError(f"graph factory {name!r} already registered")
+        _FACTORIES[name] = fn
+        return fn
+
+    return decorate
+
+
+def graph_factory_names() -> Tuple[str, ...]:
+    """Names of every registered graph factory."""
+    return tuple(_FACTORIES)
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A graph factory as data: registered name + JSON-able parameters."""
+
+    factory: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # copy defensively; specs are treated as immutable values
+        object.__setattr__(self, "params", dict(self.params))
+
+    def build(self, x, rng: np.random.Generator) -> TaskGraph:
+        """Materialize the graph for x-axis value ``x``."""
+        try:
+            fn = _FACTORIES[self.factory]
+        except KeyError:
+            known = ", ".join(_FACTORIES) or "(none)"
+            raise KeyError(
+                f"unknown graph factory {self.factory!r}; known: {known}"
+            ) from None
+        return fn(x, rng, **self.params)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Manifest form: ``{"factory": ..., "params": {...}}``."""
+        return {"factory": self.factory, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "GraphSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(
+            factory=str(data["factory"]), params=dict(data.get("params", {}))
+        )
+
+
+# ----------------------------------------------------------------------
+# the built-in factories (everything the paper's figures need)
+# ----------------------------------------------------------------------
+@register_graph_factory("random")
+def _random_graph(x, rng, *, axis: str, **config) -> TaskGraph:
+    """Table II random DAG with ``axis`` driven by the x value.
+
+    ``config`` holds :class:`GeneratorConfig` field overrides (the
+    figure's fixed parameters); the swept axis is applied on top.
+    """
+    base = GeneratorConfig(**config)
+    return generate_random_graph(
+        base.with_(**{axis: _cast_axis(axis, x)}), rng
+    )
+
+
+def _topology_params(x, axis: str, fixed: Dict[str, object]) -> Dict[str, object]:
+    params = dict(fixed)
+    params[axis] = _cast_axis(axis, x)
+    return params
+
+
+@register_graph_factory("fft")
+def _fft_graph(
+    x,
+    rng,
+    *,
+    axis: str,
+    m: int = 16,
+    n_procs: int = 4,
+    ccr: float = 1.0,
+    beta: float = 1.0,
+    w_dag: float = 50.0,
+) -> TaskGraph:
+    """FFT butterfly workflow; ``axis`` in {"m", "n_procs", "ccr"}."""
+    p = _topology_params(
+        x, axis, {"m": m, "n_procs": n_procs, "ccr": ccr}
+    )
+    return realize_topology(
+        fft_topology(p["m"]), p["n_procs"], rng=rng,
+        ccr=p["ccr"], beta=beta, w_dag=w_dag,
+    )
+
+
+@register_graph_factory("montage")
+def _montage_graph(
+    x,
+    rng,
+    *,
+    axis: str,
+    sizes=(50, 100),
+    n_procs: int = 5,
+    ccr: float = 1.0,
+    beta: float = 1.0,
+    w_dag: float = 50.0,
+) -> TaskGraph:
+    """Montage mosaic workflow, drawing the structure size per instance.
+
+    The size draw happens *before* cost realization, exactly like the
+    original closure, so the RNG stream (and every cost) is unchanged.
+    """
+    p = _topology_params(x, axis, {"n_procs": n_procs, "ccr": ccr})
+    size = sizes[int(rng.integers(len(sizes)))]
+    return realize_topology(
+        montage_topology(int(size)), p["n_procs"], rng=rng,
+        ccr=p["ccr"], beta=beta, w_dag=w_dag,
+    )
+
+
+@register_graph_factory("molecular")
+def _molecular_graph(
+    x,
+    rng,
+    *,
+    axis: str,
+    n_procs: int = 4,
+    ccr: float = 1.0,
+    beta: float = 1.0,
+    w_dag: float = 50.0,
+) -> TaskGraph:
+    """The fixed 41-task molecular-dynamics workflow."""
+    p = _topology_params(x, axis, {"n_procs": n_procs, "ccr": ccr})
+    return realize_topology(
+        molecular_dynamics_topology(), p["n_procs"], rng=rng,
+        ccr=p["ccr"], beta=beta, w_dag=w_dag,
+    )

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro import obs
 from repro.baselines.registry import PAPER_SET, make_scheduler
+from repro.experiments.graphspec import GraphSpec
 from repro.metrics.metrics import efficiency, slr
 from repro.metrics.stats import RunningStats
 from repro.model.compiled import compile_graph, compiled_enabled
@@ -32,6 +33,7 @@ __all__ = [
 ]
 
 GraphFactory = Callable[[object, np.random.Generator], TaskGraph]
+OptionalFactory = Optional[GraphFactory]
 
 _METRICS: Dict[str, Callable[[TaskGraph, float], float]] = {
     "slr": slr,
@@ -42,16 +44,25 @@ _METRICS: Dict[str, Callable[[TaskGraph, float], float]] = {
 
 @dataclass(frozen=True)
 class SweepDefinition:
-    """A reproducible experiment: one figure of the paper."""
+    """A reproducible experiment: one figure of the paper.
+
+    The graph factory comes in one of two forms: the declarative
+    ``graph`` spec (a :class:`~repro.experiments.graphspec.GraphSpec`,
+    the preferred form -- the definition then pickles, ships to any
+    worker start method, and serializes into run manifests) or a legacy
+    ``make_graph`` closure (fork-only, unserializable; kept for ad-hoc
+    local sweeps).
+    """
 
     key: str
     title: str
     x_label: str
     x_values: Tuple
     metric: str
-    make_graph: GraphFactory
+    make_graph: OptionalFactory = None
     schedulers: Tuple[str, ...] = PAPER_SET
     description: str = ""
+    graph: Optional[GraphSpec] = None
 
     def __post_init__(self) -> None:
         if self.metric not in _METRICS:
@@ -60,6 +71,54 @@ class SweepDefinition:
             )
         if not self.x_values:
             raise ValueError("sweep needs at least one x value")
+        if (self.make_graph is None) == (self.graph is None):
+            raise ValueError(
+                "exactly one of make_graph (closure) or graph (GraphSpec) "
+                "must be given"
+            )
+
+    def build_graph(self, x, rng: np.random.Generator) -> TaskGraph:
+        """Materialize the instance for x point ``x`` from ``rng``."""
+        if self.graph is not None:
+            return self.graph.build(x, rng)
+        return self.make_graph(x, rng)
+
+    @property
+    def portable(self) -> bool:
+        """True when the definition can be pickled/serialized (spec form)."""
+        return self.graph is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Manifest form; requires the declarative ``graph`` spec."""
+        if self.graph is None:
+            raise ValueError(
+                f"definition {self.key!r} uses a make_graph closure and "
+                "cannot be serialized; give it a GraphSpec instead"
+            )
+        return {
+            "key": self.key,
+            "title": self.title,
+            "x_label": self.x_label,
+            "x_values": list(self.x_values),
+            "metric": self.metric,
+            "schedulers": list(self.schedulers),
+            "description": self.description,
+            "graph": self.graph.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepDefinition":
+        """Rebuild a definition from :meth:`to_dict` output."""
+        return cls(
+            key=str(data["key"]),
+            title=str(data["title"]),
+            x_label=str(data["x_label"]),
+            x_values=tuple(data["x_values"]),
+            metric=str(data["metric"]),
+            schedulers=tuple(data["schedulers"]),
+            description=str(data.get("description", "")),
+            graph=GraphSpec.from_dict(data["graph"]),
+        )
 
 
 @dataclass
@@ -87,13 +146,20 @@ class SweepResult:
         return [self.stats[x][scheduler].mean for x in self.definition.x_values]
 
     def as_rows(self) -> List[Dict[str, object]]:
-        """Flat records (x, scheduler, mean, std, n) for serialization."""
+        """Flat self-describing records for serialization.
+
+        Each row carries the axis name (``x_label``) and the metric next
+        to the values, so a row dropped into a CSV/JSON file needs no
+        side channel back to the definition.
+        """
         rows: List[Dict[str, object]] = []
         for x in self.definition.x_values:
             for name, acc in self.stats[x].items():
                 rows.append(
                     {
                         "x": x,
+                        "x_label": self.definition.x_label,
+                        "metric": self.definition.metric,
                         "scheduler": name,
                         "mean": acc.mean,
                         "std": acc.std,
@@ -122,7 +188,7 @@ def run_replication(
     observing = obs.enabled() or bus.active
     started = time.perf_counter() if observing else 0.0
     rng = np.random.default_rng([seed, x_index, rep])
-    graph = definition.make_graph(x, rng)
+    graph = definition.build_graph(x, rng)
     if len(graph.entry_tasks()) != 1 or len(graph.exit_tasks()) != 1:
         graph = graph.normalized()
     if compiled_enabled():

@@ -5,11 +5,16 @@ an independent ``(seed, x_index, rep)`` RNG stream, so chunking them
 across worker processes reproduces the serial result *bit for bit* --
 the property the test suite asserts.
 
-Figure definitions close over local state (graph factories), which does
-not survive pickling; workers therefore receive definitions through
-fork-inherited module state (``fork`` is the default start method on
-Linux, where this library targets HPC workloads).  On platforms without
-``fork`` the runner transparently falls back to serial execution.
+Workers are configured explicitly, not by fork inheritance: the pool
+initializer ships the active :class:`~repro.runtime.context.RunContext`
+(with the parent's *effective* observability state folded in) plus the
+sweep definitions to every worker, which :func:`~repro.runtime.context
+.adopt`\\ s the context as its own.  Definitions built from declarative
+:class:`~repro.experiments.graphspec.GraphSpec`\\ s pickle, so the pool
+runs under any start method -- ``fork``, ``spawn`` or ``forkserver`` --
+with bit-identical results.  Legacy closure-based definitions still
+work, but only under ``fork`` (the initializer arguments then travel
+through inherited memory instead of pickling).
 
 Results stream home through ``imap``: chunks are submitted in ``(x,
 rep)`` order and ``imap`` yields them in submission order, so the
@@ -18,20 +23,27 @@ arrives -- identical accumulation order to the serial runner (hence
 bit-identical means/stds), without first materializing every chunk
 result like ``pool.map`` did.
 
-:func:`sweep_pool` forks one worker pool usable across *several* sweeps
-(``repro all-figures --workers N`` runs every figure through a single
-pool instead of forking per figure).  All definitions must be
-registered before the fork so the workers inherit them.
+Checkpoint/resume: pass an :class:`~repro.runtime.session
+.ExperimentSession` and every completed chunk is appended durably to
+the session's ledger; on a later run the ledger's chunks are *replayed*
+from disk in submission order, interleaved with freshly computed ones,
+so a killed sweep resumes bit-identically (JSON floats round-trip
+exactly).
 
-Observability: when profiling is enabled (the flag fork-inherits into
-the workers) each worker records into its own scoped registry and ships
-the snapshot home with its chunk; the parent merges them in submission
-order, so every counter total is bit-identical to the serial runner.
-The parent additionally times each chunk and publishes the balance of
-the decomposition as ``sweep/chunk_wall`` (per-chunk seconds) and
-``sweep/chunk_imbalance`` (max/mean chunk wall -- 1.0 is a perfectly
-balanced pool), alongside the ``sweep/workers`` and
-``sweep/chunk_size`` gauges describing the decomposition itself.
+:func:`sweep_pool` creates one worker pool usable across *several*
+sweeps (``repro all-figures --workers N`` runs every figure through a
+single pool instead of spawning per figure).  All definitions must be
+passed at pool creation so the initializer can ship them.
+
+Observability: when profiling is enabled each worker records into its
+own scoped registry and ships the snapshot home with its chunk; the
+parent merges them in submission order, so every counter total is
+bit-identical to the serial runner.  The parent additionally times each
+chunk and publishes the balance of the decomposition as
+``sweep/chunk_wall`` (per-chunk seconds) and ``sweep/chunk_imbalance``
+(max/mean chunk wall -- 1.0 is a perfectly balanced pool), alongside
+the ``sweep/workers`` and ``sweep/chunk_size`` gauges describing the
+decomposition itself.
 """
 
 from __future__ import annotations
@@ -40,7 +52,7 @@ import multiprocessing
 import os
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro import obs
 from repro.experiments.harness import (
@@ -51,11 +63,18 @@ from repro.experiments.harness import (
 )
 from repro.metrics.stats import RunningStats
 from repro.obs.metrics import MetricsRegistry
+from repro.runtime.context import (
+    START_METHODS,
+    RunContext,
+    adopt,
+    current_context,
+)
+from repro.runtime.session import ExperimentSession
 
 __all__ = ["run_sweep_parallel", "sweep_pool"]
 
-# fork-inherited worker state: set in the parent right before the pool
-# is created; never mutated while a pool is alive.
+# worker-process state, installed by the pool initializer (never by
+# fork inheritance): the adopted context plus the definition registry.
 _WORKER_STATE: Dict[str, object] = {}
 
 #: one worker chunk:
@@ -64,12 +83,27 @@ Chunk = Tuple[str, int, object, int, int, int, bool]
 #: what a worker sends home: (x_index, values, metrics snapshot, wall)
 ChunkResult = Tuple[int, List[Dict[str, float]], Dict, float]
 
+#: progress callback: (completed chunks, total chunks)
+ProgressFn = Callable[[int, int], None]
 
-def _run_chunk(chunk: Chunk) -> ChunkResult:
-    """Worker: run replications [rep_lo, rep_hi) of x point ``x_index``."""
-    key, x_index, x, rep_lo, rep_hi, seed, validate = chunk
-    definitions: Dict[str, SweepDefinition] = _WORKER_STATE["definitions"]  # type: ignore[assignment]
-    definition = definitions[key]
+
+def _init_worker(
+    context: RunContext, definitions: List[SweepDefinition]
+) -> None:
+    """Pool initializer: adopt the shipped context, register definitions.
+
+    Under ``fork`` the arguments arrive through inherited memory (so
+    closure-based definitions still work); under ``spawn``/
+    ``forkserver`` they are pickled, which is why portable definitions
+    carry a :class:`~repro.experiments.graphspec.GraphSpec`.
+    """
+    adopt(context)
+    _WORKER_STATE["definitions"] = {d.key: d for d in definitions}
+
+
+def _execute_chunk(definition: SweepDefinition, chunk: Chunk) -> ChunkResult:
+    """Run replications [rep_lo, rep_hi) of x point ``x_index``."""
+    _key, x_index, x, rep_lo, rep_hi, seed, validate = chunk
     started = time.perf_counter()
     with obs.scoped(merge_up=False) as registry:
         values = [
@@ -80,30 +114,108 @@ def _run_chunk(chunk: Chunk) -> ChunkResult:
     return x_index, values, snapshot, time.perf_counter() - started
 
 
+def _run_chunk(chunk: Chunk) -> ChunkResult:
+    """Worker entry point: resolve the definition, run the chunk."""
+    definitions: Dict[str, SweepDefinition] = _WORKER_STATE["definitions"]  # type: ignore[assignment]
+    return _execute_chunk(definitions[chunk[0]], chunk)
+
+
+def _resolve_start_method(
+    start_method: Optional[str], context: RunContext
+) -> str:
+    """Pick the pool start method: explicit > context > fork > spawn > serial.
+
+    An *explicit* ``start_method`` argument is strict: unknown names and
+    platform-unsupported methods raise.  The context's ``start_method``
+    is a default: if the platform lacks it, resolution falls through the
+    auto chain (fork, then spawn, then serial in-process execution).
+    """
+    if start_method is not None:
+        if start_method not in START_METHODS:
+            raise ValueError(
+                f"start_method must be one of {START_METHODS}, "
+                f"got {start_method!r}"
+            )
+        if start_method != "serial":
+            multiprocessing.get_context(start_method)  # raises if unsupported
+        return start_method
+    if context.start_method is not None:
+        if context.start_method == "serial":
+            return "serial"
+        try:
+            multiprocessing.get_context(context.start_method)
+            return context.start_method
+        except ValueError:
+            pass  # fall through to the auto chain
+    for candidate in ("fork", "spawn"):
+        try:
+            multiprocessing.get_context(candidate)
+        except ValueError:  # pragma: no cover - platform dependent
+            continue
+        return candidate
+    return "serial"
+
+
+def _default_workers(workers: Optional[int], context: RunContext) -> int:
+    """Explicit ``workers`` > a parallel context > the CPU count."""
+    if workers is not None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        return workers
+    if context.workers > 1:
+        return context.workers
+    return os.cpu_count() or 1
+
+
 @contextmanager
 def sweep_pool(
-    definitions: Iterable[SweepDefinition], workers: Optional[int] = None
+    definitions: Iterable[SweepDefinition],
+    workers: Optional[int] = None,
+    start_method: Optional[str] = None,
+    context: Optional[RunContext] = None,
 ) -> Iterator[multiprocessing.pool.Pool]:
-    """Fork one worker pool shared by several :func:`run_sweep_parallel` calls.
+    """One worker pool shared by several :func:`run_sweep_parallel` calls.
 
-    Every definition that will run on the pool must be passed here:
-    workers inherit them through the fork, so definitions registered
-    after the pool exists are invisible to the workers.  Raises
-    ``ValueError`` on platforms without the ``fork`` start method.
+    Every definition that will run on the pool must be passed here: the
+    pool initializer ships them to the workers, so definitions appearing
+    after the pool exists are invisible to it.  ``start_method`` (or
+    ``context.start_method``) picks how workers start; under anything
+    but ``fork`` every definition must be portable (declarative
+    ``graph`` spec, not a closure).  The shipped context is the active
+    one with the parent's *effective* observability state folded in, so
+    ``obs.enable()`` in the parent still reaches spawn-started workers.
     """
-    context = multiprocessing.get_context("fork")
-    n_workers = workers or os.cpu_count() or 1
-    if n_workers < 1:
-        raise ValueError("workers must be >= 1")
-    registry: Dict[str, SweepDefinition] = {}
-    for definition in definitions:
-        registry[definition.key] = definition
-    _WORKER_STATE["definitions"] = registry
-    try:
-        with context.Pool(processes=n_workers) as pool:
-            yield pool
-    finally:
-        _WORKER_STATE.clear()
+    definitions = list(definitions)
+    registry: Dict[str, SweepDefinition] = {
+        d.key: d for d in definitions
+    }
+    ctx = context if context is not None else current_context()
+    method = _resolve_start_method(start_method, ctx)
+    if method == "serial":
+        raise ValueError(
+            "start method resolved to 'serial'; a worker pool cannot be "
+            "created (run the sweeps through run_sweep_parallel instead)"
+        )
+    if method != "fork":
+        closures = sorted(d.key for d in definitions if not d.portable)
+        if closures:
+            raise ValueError(
+                f"definitions {closures} use make_graph closures, which "
+                f"cannot be shipped to {method!r} workers; give them a "
+                "GraphSpec or use start_method='fork'"
+            )
+    n_workers = _default_workers(workers, ctx)
+    effective = ctx.with_(
+        metrics=obs.enabled(), workers=n_workers, start_method=method
+    )
+    mp_context = multiprocessing.get_context(method)
+    with mp_context.Pool(
+        processes=n_workers,
+        initializer=_init_worker,
+        initargs=(effective, definitions),
+    ) as pool:
+        pool._repro_definitions = registry  # type: ignore[attr-defined]
+        yield pool
 
 
 def run_sweep_parallel(
@@ -114,45 +226,77 @@ def run_sweep_parallel(
     workers: Optional[int] = None,
     chunk_size: int = 5,
     pool: Optional[multiprocessing.pool.Pool] = None,
+    start_method: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
+    session: Optional[ExperimentSession] = None,
 ) -> SweepResult:
     """Parallel :func:`~repro.experiments.harness.run_sweep`.
 
     Identical output to the serial runner for the same ``seed`` --
     including the metrics snapshot: counter totals merge by addition, so
     they match a serial run bit for bit.  ``workers`` defaults to the
-    CPU count; ``chunk_size`` balances task granularity against dispatch
+    active context's worker count (the CPU count when the context says
+    serial); ``chunk_size`` balances task granularity against dispatch
     overhead.  Pass a ``pool`` from :func:`sweep_pool` to reuse one set
-    of forked workers across several sweeps (the definition must have
-    been registered with that pool).
+    of workers across several sweeps (the definition must have been
+    registered with that pool).
+
+    ``progress`` is called as ``progress(done, total)`` after every
+    completed chunk.  ``session`` makes the run resumable: completed
+    chunks are appended durably to the session ledger, and chunks
+    already present in the ledger are replayed from disk instead of
+    recomputed -- in submission order, so the resumed result is
+    bit-identical to an uninterrupted run.
     """
     if reps < 1:
         raise ValueError("reps must be >= 1")
-    if workers is not None and workers < 1:
-        raise ValueError("workers must be >= 1")
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     if pool is not None:
-        registered = _WORKER_STATE.get("definitions", {})
-        if definition.key not in registered:  # type: ignore[operator]
+        registered = getattr(pool, "_repro_definitions", {})
+        if definition.key not in registered:
             raise ValueError(
                 f"definition {definition.key!r} is not registered with the "
                 "shared pool; pass it to sweep_pool()"
             )
         n_workers = getattr(pool, "_processes", None) or os.cpu_count() or 1
         return _collect(
-            definition, pool, n_workers, reps, seed, validate, chunk_size
+            definition, pool, n_workers, reps, seed, validate, chunk_size,
+            progress=progress, session=session,
         )
-    try:
-        multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-fork platform
-        return run_sweep(definition, reps, seed, validate)
-    n_workers = workers or os.cpu_count() or 1
-    if n_workers == 1:
-        return run_sweep(definition, reps, seed, validate)
-    with sweep_pool([definition], n_workers) as own_pool:
+    ctx = current_context()
+    n_workers = _default_workers(workers, ctx)
+    method = _resolve_start_method(start_method, ctx)
+    if method == "serial" or n_workers == 1:
+        if session is None and progress is None:
+            return run_sweep(definition, reps, seed, validate)
+        # in-process chunk execution: same chunk decomposition (so the
+        # ledger keys line up with any parallel run) without a pool
         return _collect(
-            definition, own_pool, n_workers, reps, seed, validate, chunk_size
+            definition, None, 1, reps, seed, validate, chunk_size,
+            progress=progress, session=session,
         )
+    with sweep_pool(
+        [definition], n_workers, start_method=method
+    ) as own_pool:
+        return _collect(
+            definition, own_pool, n_workers, reps, seed, validate, chunk_size,
+            progress=progress, session=session,
+        )
+
+
+def _chunk_plan(
+    definition: SweepDefinition, reps: int, seed: int, validate: bool,
+    chunk_size: int,
+) -> List[Chunk]:
+    """The sweep's chunk decomposition, in submission (= serial) order."""
+    chunks: List[Chunk] = []
+    for i, x in enumerate(definition.x_values):
+        for lo in range(0, reps, chunk_size):
+            chunks.append(
+                (definition.key, i, x, lo, min(lo + chunk_size, reps), seed, validate)
+            )
+    return chunks
 
 
 def _collect(
@@ -163,14 +307,15 @@ def _collect(
     seed: int,
     validate: bool,
     chunk_size: int,
+    progress: Optional[ProgressFn] = None,
+    session: Optional[ExperimentSession] = None,
 ) -> SweepResult:
-    """Submit the chunks and stream-accumulate results in order."""
-    chunks: List[Chunk] = []
-    for i, x in enumerate(definition.x_values):
-        for lo in range(0, reps, chunk_size):
-            chunks.append(
-                (definition.key, i, x, lo, min(lo + chunk_size, reps), seed, validate)
-            )
+    """Stream-accumulate chunk results (live or ledger-replayed) in order."""
+    chunks = _chunk_plan(definition, reps, seed, validate, chunk_size)
+    completed = (
+        session.completed_chunks(definition.key) if session is not None else {}
+    )
+    live = [c for c in chunks if (c[1], c[3], c[4]) not in completed]
 
     sweep = SweepResult(definition=definition, reps=reps, seed=seed)
     for x in definition.x_values:
@@ -179,12 +324,24 @@ def _collect(
         }
     merged = MetricsRegistry()
     bus = obs.get_bus()
+    if pool is not None:
+        live_iter = pool.imap(_run_chunk, live)
+    else:
+        live_iter = (_execute_chunk(definition, c) for c in live)
     # chunks are submitted in (x, rep) order and imap yields them in
-    # submission order: accumulating as results stream home therefore
-    # feeds the Welford accumulators in exactly the serial order.
-    for chunk, (x_index, values, snapshot, wall) in zip(
-        chunks, pool.imap(_run_chunk, chunks)
-    ):
+    # submission order; ledger-replayed chunks interleave at exactly the
+    # position they were originally submitted.  Accumulating in this
+    # order therefore feeds the Welford accumulators in exactly the
+    # serial order, live and replayed runs alike.
+    done, total = 0, len(chunks)
+    for chunk in chunks:
+        key = (chunk[1], chunk[3], chunk[4])
+        row = completed.get(key)
+        replayed = row is not None
+        if replayed:
+            values, snapshot, wall = row["values"], row["metrics"], row["wall"]
+        else:
+            _x_index, values, snapshot, wall = next(live_iter)
         accumulators = sweep.stats[chunk[2]]
         for rep_values in values:
             for name, value in rep_values.items():
@@ -193,6 +350,11 @@ def _collect(
             merged.merge(snapshot)
         if obs.enabled():
             merged.timer("sweep/chunk_wall").observe(wall)
+        if session is not None and not replayed:
+            session.record_chunk(
+                definition.key, chunk[1], chunk[2], chunk[3], chunk[4],
+                values, snapshot, wall,
+            )
         if bus.active:
             bus.emit(
                 "sweep.chunk",
@@ -201,7 +363,11 @@ def _collect(
                 rep_lo=chunk[3],
                 rep_hi=chunk[4],
                 wall_s=wall,
+                replayed=replayed,
             )
+        done += 1
+        if progress is not None:
+            progress(done, total)
 
     if obs.enabled():
         chunk_timer = merged.timer("sweep/chunk_wall")

@@ -28,10 +28,13 @@ order (``comm + rank``, ``(rank + w) + comm``, ...) term for term.
 
 Compiled views are cached on the graph through its version-keyed
 derived cache, so mutating the graph invalidates the compiled form
-automatically.  The module-level switch :func:`use_compiled` disables
-the whole layer (schedulers fall back to the object-graph code paths);
-the differential tests and the throughput benchmark use it to pit the
-two paths against each other on identical inputs.
+automatically.  Whether consumers route through the layer at all is a
+field of the active :class:`~repro.runtime.context.RunContext`
+(``compiled=True`` by default): the differential tests and the
+throughput benchmark flip it to pit the two paths against each other on
+identical inputs, and the parallel sweep runner ships it to workers so
+every start method agrees.  :func:`use_compiled` survives as a thin
+deprecated shim over the context.
 """
 
 from __future__ import annotations
@@ -42,6 +45,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.model.task_graph import TaskGraph
+from repro.runtime.context import activate, current_context
 
 __all__ = [
     "CompiledGraph",
@@ -50,31 +54,33 @@ __all__ = [
     "use_compiled",
 ]
 
-#: module switch: when False every consumer ignores the compiled layer
-_ENABLED = True
-
 
 def compiled_enabled() -> bool:
-    """True when consumers should route through the compiled layer."""
-    return _ENABLED
+    """True when consumers should route through the compiled layer.
+
+    Reads the active :class:`~repro.runtime.context.RunContext` -- no
+    process-global switch; worker processes see whatever context was
+    shipped to them.
+    """
+    return current_context().compiled
 
 
 @contextmanager
 def use_compiled(enabled: bool) -> Iterator[None]:
     """Scoped override of the compiled-layer switch.
 
+    .. deprecated::
+        Thin shim over ``activate(current_context().with_(compiled=...))``
+        kept for existing callers; new code should derive and activate a
+        :class:`~repro.runtime.context.RunContext` instead.
+
     ``use_compiled(False)`` reproduces the pre-compiled code paths
     exactly (per-run ``cost_matrix()`` copies, scalar rank recursions,
     dict-based parent walks) -- the oracle the differential suite and
     ``benchmarks/bench_compile_cache.py`` compare against.
     """
-    global _ENABLED
-    previous = _ENABLED
-    _ENABLED = bool(enabled)
-    try:
+    with activate(current_context().with_(compiled=bool(enabled))):
         yield
-    finally:
-        _ENABLED = previous
 
 
 def compile_graph(graph: TaskGraph) -> "CompiledGraph":

@@ -107,7 +107,7 @@ class ObsSession:
         self._sink: Optional[JsonlSink] = None
         self._unsubscribe = None
         self._scope = None
-        self._was_enabled = False
+        self._enabled_scope = None
         self.snapshot: Dict[str, Dict[str, object]] = {}
         self.n_events = 0
 
@@ -116,8 +116,11 @@ class ObsSession:
             self._sink = JsonlSink(self._events_path)
             self._unsubscribe = get_bus().subscribe(self._sink)
         if self._metrics:
-            self._was_enabled = enabled()
-            enable()
+            # force recording on for the block, restoring the previous
+            # override on exit (symmetric even when the active RunContext
+            # already has metrics=True)
+            self._enabled_scope = enabled_scope(True)
+            self._enabled_scope.__enter__()
             self._scope = scoped(merge_up=False)
             self._registry = self._scope.__enter__()
         return self
@@ -126,8 +129,7 @@ class ObsSession:
         if self._scope is not None:
             self.snapshot = self._registry.snapshot()
             self._scope.__exit__(None, None, None)
-            if not self._was_enabled:
-                disable()
+            self._enabled_scope.__exit__(None, None, None)
         if self._unsubscribe is not None:
             self._unsubscribe()
         if self._sink is not None:

@@ -7,10 +7,17 @@ and ``@instrumented`` wraps a whole function the same way.
 
 The switch is the whole design: profiling defaults to *off*, and a
 disabled :func:`phase` returns one shared no-op context manager -- no
-allocation, no clock read, one module-level bool test -- so the
+allocation, no clock read, one cheap enabled test -- so the
 instrumented hot paths of the schedulers cost nothing in production
-runs.  :func:`enable` flips measurement on for a ``repro profile`` run,
-a ``--metrics`` CLI session or a benchmark.
+runs.
+
+Whether recording is on resolves in two steps: an explicit module
+override (:func:`enable` / :func:`disable` -- the legacy process-global
+toggles, now deprecated shims) wins when set; otherwise the ``metrics``
+field of the active :class:`~repro.runtime.context.RunContext` decides.
+A CLI run therefore turns measurement on by *activating a context*, and
+the parallel sweep runner ships that context to worker processes --
+under any pool start method, not just ``fork``.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from contextlib import contextmanager
 from typing import Callable, Iterator, List, Optional
 
 from repro.obs import metrics as _metrics
+from repro.runtime.context import current_context as _current_context
 
 __all__ = [
     "enable",
@@ -34,39 +42,53 @@ __all__ = [
     "current_scope",
 ]
 
-_enabled = False
+#: explicit legacy override: None defers to the active RunContext
+_override: Optional[bool] = None
 _stack: List[str] = []
 
 
 def enable() -> None:
-    """Turn phase timing and counter recording on (process-wide)."""
-    global _enabled
-    _enabled = True
+    """Force phase timing and counter recording on (process-wide).
+
+    .. deprecated::
+        Prefer activating a :class:`~repro.runtime.context.RunContext`
+        with ``metrics=True``; this shim sets a process-global override
+        that wins over any context.
+    """
+    global _override
+    _override = True
 
 
 def disable() -> None:
-    """Turn phase timing and counter recording off."""
-    global _enabled
-    _enabled = False
+    """Clear the override set by :func:`enable`.
+
+    Recording then falls back to the active run context (off under the
+    default context) -- matching the legacy off-after-disable behavior
+    while staying composable with context activation.
+    """
+    global _override
+    _override = None
     _stack.clear()
 
 
 def enabled() -> bool:
     """Whether the profiling layer is currently recording."""
-    return _enabled
+    if _override is not None:
+        return _override
+    return _current_context().metrics
 
 
 @contextmanager
 def enabled_scope(flag: bool = True) -> Iterator[None]:
-    """Temporarily set the enabled flag (restores the previous state)."""
-    global _enabled
-    previous = _enabled
-    _enabled = flag
+    """Temporarily force the enabled state (restores the previous one)."""
+    global _override
+    previous = _override
+    _override = flag
     try:
         yield
     finally:
-        _enabled = previous
-        if not _enabled:
+        _override = previous
+        if not enabled():
             _stack.clear()
 
 
@@ -115,19 +137,19 @@ def phase(name: str):
     Returns the shared no-op singleton when profiling is disabled, so a
     hot loop pays only the ``enabled`` test.
     """
-    if not _enabled:
+    if not enabled():
         return _NOOP
     return _Phase(name)
 
 
 def current_scope() -> Optional[str]:
     """Root of the active phase stack (the scheduler name inside a run)."""
-    return _stack[0] if _enabled and _stack else None
+    return _stack[0] if _stack and enabled() else None
 
 
 def count(name: str, n: int = 1) -> None:
     """Increment a counter, but only while profiling is enabled."""
-    if _enabled:
+    if enabled():
         _metrics.get_metrics().counter(name).inc(n)
 
 
@@ -137,7 +159,7 @@ def scoped_count(name: str, n: int = 1) -> None:
     Lets shared helpers (e.g. the baselines' EFT machinery) attribute
     counts to whichever scheduler's run they execute inside.
     """
-    if _enabled:
+    if enabled():
         root = _stack[0] if _stack else None
         key = f"{root}/{name}" if root else name
         _metrics.get_metrics().counter(key).inc(n)
@@ -154,7 +176,7 @@ def instrumented(name: Optional[str] = None) -> Callable:
 
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
-            if not _enabled:
+            if not enabled():
                 return fn(*args, **kwargs)
             with _Phase(phase_name):
                 return fn(*args, **kwargs)

@@ -1,0 +1,39 @@
+"""Run-context architecture: explicit, picklable execution state.
+
+Two pieces (see docs/architecture.md):
+
+* :mod:`repro.runtime.context` -- the frozen :class:`RunContext`
+  (seed, engine, compiled layer, validation, observability flags,
+  worker decomposition) held in a context variable.  Readers across the
+  model/obs/experiments layers consult it instead of process-global
+  toggles; the parallel runner ships it to workers explicitly, which is
+  what makes ``spawn``/``forkserver`` pools bit-identical to ``fork``.
+* :mod:`repro.runtime.session` -- the :class:`ExperimentSession`: a run
+  directory with a ``manifest.json`` (config + resolved sweep specs)
+  and a crash-safe ``chunks.jsonl`` ledger that ``repro resume``
+  replays.
+"""
+
+from repro.runtime.context import (
+    DEFAULT_CONTEXT,
+    ENGINE_CHOICES,
+    START_METHODS,
+    RunContext,
+    activate,
+    adopt,
+    current_context,
+    resolve_engine,
+)
+from repro.runtime.session import ExperimentSession
+
+__all__ = [
+    "DEFAULT_CONTEXT",
+    "ENGINE_CHOICES",
+    "START_METHODS",
+    "RunContext",
+    "activate",
+    "adopt",
+    "current_context",
+    "resolve_engine",
+    "ExperimentSession",
+]

@@ -1,0 +1,161 @@
+"""The run context: one frozen, picklable description of *how* to run.
+
+Every knob that used to live in scattered process-global toggles --
+``repro.model.compiled._ENABLED``, the :mod:`repro.obs` enable flag, the
+engine default baked into each scheduler's signature, worker counts
+threaded through function arguments -- is a field of one immutable
+:class:`RunContext`.  The active context lives in a :mod:`contextvars`
+variable, so
+
+* readers (``compiled_enabled()``, ``obs.enabled()``, engine
+  resolution) cost one ``ContextVar.get`` on the hot path,
+* :func:`activate` scopes an override exactly like the old context
+  managers did, and
+* a context **pickles**: the parallel sweep runner ships it to worker
+  processes explicitly (the pool initializer calls :func:`adopt`), which
+  is what makes ``spawn``/``forkserver`` start methods produce
+  bit-identical results to ``fork`` -- workers no longer depend on
+  fork-inherited module state.
+
+The old global toggles (``use_compiled()``, ``obs.enable()``/
+``obs.disable()``) survive as thin deprecated shims over this module;
+see docs/architecture.md for the migration path.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Iterator, Optional
+
+__all__ = [
+    "ENGINE_CHOICES",
+    "START_METHODS",
+    "RunContext",
+    "DEFAULT_CONTEXT",
+    "current_context",
+    "activate",
+    "adopt",
+    "resolve_engine",
+]
+
+#: the EFT-engine implementations schedulers can run on
+ENGINE_CHOICES = ("fast", "reference")
+
+#: accepted pool start methods; ``None`` = auto (fork where available,
+#: then spawn, else serial), ``"serial"`` = never create a pool
+START_METHODS = ("fork", "spawn", "forkserver", "serial")
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Declarative execution configuration for one run.
+
+    Frozen and built from plain values only, so a context pickles, ships
+    to any worker process, serializes into a run manifest, and
+    round-trips through JSON (:meth:`to_dict` / :meth:`from_dict`).
+    """
+
+    #: base seed of the run's RNG streams
+    seed: int = 0
+    #: default EFT engine for schedulers constructed without an explicit
+    #: ``engine=`` argument ("fast" or "reference")
+    engine: str = "fast"
+    #: route consumers through the compiled CSR graph layer
+    compiled: bool = True
+    #: feasibility-check every schedule produced by the harness
+    validate: bool = False
+    #: record observability metrics (counters/timers/phases)
+    metrics: bool = False
+    #: JSONL event-sink path (parent process only; informational for
+    #: workers -- sinks are never re-opened in worker processes)
+    events: Optional[str] = None
+    #: worker processes for parallel sweeps (1 = serial)
+    workers: int = 1
+    #: replications per worker chunk
+    chunk_size: int = 5
+    #: pool start method; ``None`` picks fork > spawn > serial
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINE_CHOICES:
+            raise ValueError(
+                f"engine must be one of {ENGINE_CHOICES}, got {self.engine!r}"
+            )
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.start_method is not None and self.start_method not in START_METHODS:
+            raise ValueError(
+                f"start_method must be one of {START_METHODS} or None, "
+                f"got {self.start_method!r}"
+            )
+
+    def with_(self, **kwargs) -> "RunContext":
+        """Functional update, e.g. ``ctx.with_(compiled=False)``."""
+        return replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for manifests (JSON-able, exact)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunContext":
+        """Rebuild a context from :meth:`to_dict` output.
+
+        Unknown keys raise: a manifest written by a newer version with
+        semantics this version cannot honor must not be half-applied.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown RunContext fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+DEFAULT_CONTEXT = RunContext()
+
+_ACTIVE: ContextVar[RunContext] = ContextVar(
+    "repro_run_context", default=DEFAULT_CONTEXT
+)
+
+
+def current_context() -> RunContext:
+    """The :class:`RunContext` governing the calling code."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def activate(context: RunContext) -> Iterator[RunContext]:
+    """Scope ``context`` as the active run context for a block."""
+    token = _ACTIVE.set(context)
+    try:
+        yield context
+    finally:
+        _ACTIVE.reset(token)
+
+
+def adopt(context: RunContext) -> None:
+    """Install ``context`` for the rest of this process's lifetime.
+
+    Used by worker-pool initializers (the shipped context becomes the
+    worker's world) and by CLI entry points that own the whole process.
+    """
+    _ACTIVE.set(context)
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Resolve a scheduler's ``engine=`` parameter.
+
+    ``None`` (the new default) defers to the active context; explicit
+    strings are validated and win over the context.
+    """
+    if engine is None:
+        return current_context().engine
+    if engine not in ENGINE_CHOICES:
+        raise ValueError(
+            f"engine must be one of {ENGINE_CHOICES}, got {engine!r}"
+        )
+    return engine

@@ -1,0 +1,220 @@
+"""Experiment sessions: a run directory that survives crashes.
+
+An :class:`ExperimentSession` owns one run directory:
+
+``manifest.json``
+    What the run *is*: schema tag, package version, the full
+    :class:`~repro.runtime.context.RunContext`, replication count, and
+    every resolved sweep definition (declarative
+    :class:`~repro.experiments.graphspec.GraphSpec`, not closures) --
+    enough to re-create the exact computation on any machine.
+
+``chunks.jsonl``
+    What has already *happened*: one JSON line per completed work chunk
+    (figure key, x index, replication range, per-replication metric
+    values, the chunk's observability snapshot, wall time).  Lines are
+    flushed and fsynced as they complete, so after a crash or
+    ``SIGINT`` the ledger holds every finished chunk.
+
+``repro resume <run-dir>`` re-opens the session, replays finished
+chunks from the ledger into the accumulators *in submission order* --
+the same order a live run folds them -- and computes only the
+remainder.  Replayed floats round-trip through JSON exactly
+(``repr``-based float serialization), so a resumed sweep is
+bit-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.runtime.context import RunContext
+
+__all__ = ["ExperimentSession"]
+
+PathLike = Union[str, pathlib.Path]
+
+#: ledger key: (x_index, rep_lo, rep_hi)
+ChunkKey = Tuple[int, int, int]
+
+
+class ExperimentSession:
+    """One resumable run: a directory with a manifest and a chunk ledger."""
+
+    SCHEMA = "repro.run/1"
+    MANIFEST = "manifest.json"
+    LEDGER = "chunks.jsonl"
+
+    def __init__(
+        self,
+        run_dir: PathLike,
+        context: RunContext,
+        reps: int,
+        definitions: List,
+        created: Optional[str] = None,
+    ) -> None:
+        if reps < 1:
+            raise ValueError("reps must be >= 1")
+        self.path = pathlib.Path(run_dir)
+        self.context = context
+        self.reps = reps
+        self.definitions = list(definitions)
+        self.created = created
+        self._ledger_fh = None
+
+    # -- lifecycle -------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        run_dir: PathLike,
+        context: RunContext,
+        definitions: List,
+        reps: int,
+    ) -> "ExperimentSession":
+        """Start a fresh run directory; refuses to clobber an existing one.
+
+        Every definition must carry a declarative graph spec
+        (:attr:`SweepDefinition.graph`): closures cannot be written to a
+        manifest, and a run that cannot be described cannot be resumed.
+        """
+        path = pathlib.Path(run_dir)
+        manifest = path / cls.MANIFEST
+        if manifest.exists():
+            raise FileExistsError(
+                f"run directory {path} already holds a manifest; "
+                f"resume it (repro resume {path}) or pick a new directory"
+            )
+        session = cls(
+            path,
+            context,
+            reps,
+            definitions,
+            created=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        )
+        path.mkdir(parents=True, exist_ok=True)
+        tmp = manifest.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(session.manifest_dict(), indent=2) + "\n")
+        os.replace(tmp, manifest)
+        return session
+
+    @classmethod
+    def open(cls, run_dir: PathLike) -> "ExperimentSession":
+        """Re-open an existing run directory from its manifest."""
+        from repro.experiments.harness import SweepDefinition
+
+        path = pathlib.Path(run_dir)
+        manifest = path / cls.MANIFEST
+        if not manifest.exists():
+            raise FileNotFoundError(f"no {cls.MANIFEST} in {path}")
+        doc = json.loads(manifest.read_text())
+        schema = doc.get("schema")
+        if schema != cls.SCHEMA:
+            raise ValueError(
+                f"unsupported run manifest schema {schema!r} "
+                f"(expected {cls.SCHEMA!r})"
+            )
+        context = RunContext.from_dict(doc["context"])
+        definitions = [
+            SweepDefinition.from_dict(entry) for entry in doc["sweeps"]
+        ]
+        return cls(
+            path,
+            context,
+            int(doc["reps"]),
+            definitions,
+            created=doc.get("created"),
+        )
+
+    def manifest_dict(self) -> Dict:
+        """The manifest document (see the module docstring)."""
+        from repro import __version__
+
+        return {
+            "schema": self.SCHEMA,
+            "version": __version__,
+            "created": self.created,
+            "context": self.context.to_dict(),
+            "reps": self.reps,
+            "sweeps": [d.to_dict() for d in self.definitions],
+        }
+
+    def close(self) -> None:
+        """Close the ledger file handle (safe to call repeatedly)."""
+        if self._ledger_fh is not None:
+            self._ledger_fh.close()
+            self._ledger_fh = None
+
+    def __enter__(self) -> "ExperimentSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the chunk ledger ------------------------------------------------
+    def record_chunk(
+        self,
+        key: str,
+        x_index: int,
+        x,
+        rep_lo: int,
+        rep_hi: int,
+        values: List[Dict[str, float]],
+        metrics: Dict,
+        wall: float,
+    ) -> None:
+        """Append one completed chunk to the ledger, durably.
+
+        The line is flushed and fsynced before returning: a chunk the
+        caller saw acknowledged survives any subsequent crash.
+        """
+        if self._ledger_fh is None:
+            self._ledger_fh = open(
+                self.path / self.LEDGER, "a", encoding="utf-8"
+            )
+        row = {
+            "sweep": key,
+            "x_index": x_index,
+            "x": x,
+            "rep_lo": rep_lo,
+            "rep_hi": rep_hi,
+            "values": values,
+            "metrics": metrics,
+            "wall": wall,
+        }
+        self._ledger_fh.write(json.dumps(row) + "\n")
+        self._ledger_fh.flush()
+        os.fsync(self._ledger_fh.fileno())
+
+    def completed_chunks(self, key: str) -> Dict[ChunkKey, Dict]:
+        """Finished chunks of sweep ``key``, from the ledger on disk.
+
+        Tolerates a torn tail: reading stops at the first line that is
+        not valid JSON (a crash mid-append), discarding it and anything
+        after it -- every line before the tear was fsynced whole.
+        """
+        ledger = self.path / self.LEDGER
+        completed: Dict[ChunkKey, Dict] = {}
+        if not ledger.exists():
+            return completed
+        with open(ledger, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    break
+                if row.get("sweep") != key:
+                    continue
+                chunk_key = (
+                    int(row["x_index"]),
+                    int(row["rep_lo"]),
+                    int(row["rep_hi"]),
+                )
+                completed[chunk_key] = row
+        return completed

@@ -23,6 +23,40 @@ def test_unknown_name_raises_with_known_list():
         make_scheduler("NOPE")
 
 
+def test_unknown_name_error_includes_attempted_name():
+    with pytest.raises(KeyError, match="'NOPE'"):
+        make_scheduler("NOPE")
+
+
+def test_case_insensitive_lookup():
+    assert type(make_scheduler("hdlts")).__name__ == "HDLTS"
+    assert type(make_scheduler("la-heft")).__name__ == "LookaheadHEFT"
+
+
+def test_folded_table_built_once_at_module_level():
+    from repro.baselines import registry
+
+    assert registry._FOLDED["hdlts"] == ["HDLTS"]
+    # every registered name appears under its folding
+    folded_names = [n for names in registry._FOLDED.values() for n in names]
+    assert sorted(folded_names) == sorted(SCHEDULER_FACTORIES)
+
+
+def test_ambiguous_case_insensitive_match_raises(monkeypatch):
+    from repro.baselines import registry
+
+    factories = dict(SCHEDULER_FACTORIES)
+    factories["hdlts"] = factories["HDLTS"]  # collides with HDLTS when folded
+    monkeypatch.setattr(registry, "SCHEDULER_FACTORIES", factories)
+    monkeypatch.setattr(registry, "_FOLDED", registry._fold_names(factories))
+    # exact names still win outright
+    assert type(registry.make_scheduler("HDLTS")).__name__ == "HDLTS"
+    with pytest.raises(KeyError, match="ambiguous scheduler name 'Hdlts'"):
+        registry.make_scheduler("Hdlts")
+    with pytest.raises(KeyError, match="HDLTS, hdlts"):
+        registry.make_scheduler("Hdlts")
+
+
 def test_paper_set_matches_evaluation_section():
     assert PAPER_SET == ("HDLTS", "HEFT", "PETS", "PEFT", "SDBATS")
 

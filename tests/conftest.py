@@ -9,6 +9,25 @@ from repro.model.task_graph import TaskGraph
 from repro.workflows.paper_example import paper_example_graph
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--start-method",
+        action="store",
+        default=None,
+        choices=["fork", "spawn", "forkserver", "serial"],
+        help="default worker-pool start method for parallel sweep tests "
+        "(adopted into the session's RunContext)",
+    )
+
+
+def pytest_configure(config):
+    method = config.getoption("--start-method", default=None)
+    if method:
+        from repro.runtime.context import DEFAULT_CONTEXT, adopt
+
+        adopt(DEFAULT_CONTEXT.with_(start_method=method))
+
+
 @pytest.fixture
 def fig1() -> TaskGraph:
     """The paper's Fig. 1 graph (10 tasks, 3 CPUs)."""

@@ -46,9 +46,24 @@ def test_figure_graphs_materialize(key):
     definition = get_figure(key)
     rng = np.random.default_rng(0)
     for x in definition.x_values[:2]:  # first two points suffice here
-        graph = definition.make_graph(x, rng)
+        graph = definition.build_graph(x, rng)
         assert graph.n_tasks >= 1
         graph.normalized().topological_order()  # acyclic + normalizable
+
+
+def test_figure_definitions_are_portable():
+    """Every figure ships a declarative GraphSpec and round-trips."""
+    import pickle
+
+    from repro.experiments.harness import SweepDefinition
+
+    for key in sorted(_EXPECTED_KEYS):
+        definition = get_figure(key)
+        assert definition.portable
+        clone = pickle.loads(pickle.dumps(definition))
+        assert clone == definition
+        rebuilt = SweepDefinition.from_dict(definition.to_dict())
+        assert rebuilt == definition
 
 
 def test_paper_parameters_pinned():

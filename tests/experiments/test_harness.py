@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.experiments.graphspec import GraphSpec
 from repro.experiments.harness import SweepDefinition, run_single_point, run_sweep
 from repro.generator.parameters import GeneratorConfig
 from repro.generator.random_dag import generate_random_graph
@@ -10,6 +11,19 @@ from repro.generator.random_dag import generate_random_graph
 
 def tiny_sweep(metric="slr", schedulers=("HDLTS", "HEFT")) -> SweepDefinition:
     """Two-point, two-scheduler sweep used across the experiment tests."""
+    return SweepDefinition(
+        key="tiny",
+        title="tiny test sweep",
+        x_label="CCR",
+        x_values=(1.0, 3.0),
+        metric=metric,
+        graph=GraphSpec("random", {"axis": "ccr", "v": 20, "n_procs": 3}),
+        schedulers=schedulers,
+    )
+
+
+def tiny_closure_sweep() -> SweepDefinition:
+    """The legacy closure form of :func:`tiny_sweep` (fork-only)."""
     def make(ccr, rng):
         return generate_random_graph(
             GeneratorConfig(v=20, ccr=float(ccr), n_procs=3), rng
@@ -20,9 +34,9 @@ def tiny_sweep(metric="slr", schedulers=("HDLTS", "HEFT")) -> SweepDefinition:
         title="tiny test sweep",
         x_label="CCR",
         x_values=(1.0, 3.0),
-        metric=metric,
+        metric="slr",
         make_graph=make,
-        schedulers=schedulers,
+        schedulers=("HDLTS", "HEFT"),
     )
 
 
@@ -77,7 +91,38 @@ class TestRun:
         result = run_sweep(tiny_sweep(), reps=2, seed=0)
         rows = result.as_rows()
         assert len(rows) == 4  # 2 x-values * 2 schedulers
-        assert {"x", "scheduler", "mean", "std", "n"} <= set(rows[0])
+        assert {"x", "x_label", "metric", "scheduler", "mean", "std", "n"} <= set(
+            rows[0]
+        )
+        assert all(row["x_label"] == "CCR" for row in rows)
+        assert all(row["metric"] == "slr" for row in rows)
+
+    def test_closure_and_spec_forms_build_identical_graphs(self):
+        """GraphSpec-built instances match the legacy closure's bit for bit."""
+        spec, closure = tiny_sweep(), tiny_closure_sweep()
+        for x in spec.x_values:
+            a = spec.build_graph(x, np.random.default_rng([7, 0]))
+            b = closure.build_graph(x, np.random.default_rng([7, 0]))
+            assert np.array_equal(a.cost_matrix(), b.cost_matrix())
+            assert list(a.edges()) == list(b.edges())
+
+    def test_exactly_one_factory_form_required(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            SweepDefinition(
+                key="x", title="x", x_label="x", x_values=(1,), metric="slr"
+            )
+        with pytest.raises(ValueError, match="exactly one"):
+            SweepDefinition(
+                key="x", title="x", x_label="x", x_values=(1,), metric="slr",
+                make_graph=lambda x, rng: None,
+                graph=GraphSpec("random", {"axis": "ccr"}),
+            )
+
+    def test_closure_definition_refuses_serialization(self):
+        closure = tiny_closure_sweep()
+        assert not closure.portable
+        with pytest.raises(ValueError, match="closure"):
+            closure.to_dict()
 
     def test_ablation_variant_names_coexist(self):
         """Registry names keep HDLTS ablation variants distinct."""

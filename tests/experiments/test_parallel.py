@@ -60,7 +60,7 @@ def test_shared_pool_reused_across_sweeps_matches_serial():
     from repro.experiments.parallel import sweep_pool
 
     first, second = tiny_sweep(), get_figure("fig13")
-    with sweep_pool([first, second], workers=2) as pool:
+    with sweep_pool([first, second], workers=2, start_method="fork") as pool:
         a = run_sweep_parallel(first, reps=3, seed=2, pool=pool)
         b = run_sweep_parallel(second, reps=2, seed=0, pool=pool)
     sa = run_sweep(first, reps=3, seed=2)
@@ -77,7 +77,7 @@ def test_shared_pool_rejects_unregistered_definition():
     from repro.experiments import get_figure
     from repro.experiments.parallel import sweep_pool
 
-    with sweep_pool([tiny_sweep()], workers=2) as pool:
+    with sweep_pool([tiny_sweep()], workers=2, start_method="fork") as pool:
         with pytest.raises(ValueError, match="not registered"):
             run_sweep_parallel(get_figure("fig13"), reps=2, pool=pool)
 
@@ -119,8 +119,10 @@ class TestMetricsMerge:
             assert parallel_timers[key]["count"] == serial_timers[key]["count"]
 
     def test_parallel_records_chunk_gauges(self):
+        # pinned to a real pool: the gauges describe the decomposition
         result = run_sweep_parallel(
-            tiny_sweep(), reps=4, seed=0, workers=2, chunk_size=2
+            tiny_sweep(), reps=4, seed=0, workers=2, chunk_size=2,
+            start_method="fork",
         )
         gauges = result.metrics["gauges"]
         assert gauges["sweep/workers"] == 2.0

@@ -1,0 +1,122 @@
+"""Unit tests for ExperimentSession: manifest schema and chunk ledger."""
+
+import json
+
+import pytest
+
+from repro.experiments import get_figure
+from repro.runtime.context import RunContext
+from repro.runtime.session import ExperimentSession
+
+
+def _new_session(tmp_path, reps=4, **ctx_kwargs):
+    context = RunContext(**ctx_kwargs)
+    return ExperimentSession.create(
+        tmp_path / "run", context, [get_figure("fig13")], reps=reps
+    )
+
+
+class TestManifest:
+    def test_create_writes_schema_version_context_and_sweeps(self, tmp_path):
+        session = _new_session(tmp_path, reps=6, seed=3, workers=2)
+        doc = json.loads((session.path / ExperimentSession.MANIFEST).read_text())
+        from repro import __version__
+
+        assert doc["schema"] == ExperimentSession.SCHEMA
+        assert doc["version"] == __version__
+        assert doc["reps"] == 6
+        assert doc["context"] == RunContext(seed=3, workers=2).to_dict()
+        assert [s["key"] for s in doc["sweeps"]] == ["fig13"]
+        assert doc["sweeps"][0]["graph"]["factory"] == "molecular"
+        assert doc["created"]
+
+    def test_create_refuses_existing_run_dir(self, tmp_path):
+        _new_session(tmp_path)
+        with pytest.raises(FileExistsError, match="resume"):
+            _new_session(tmp_path)
+
+    def test_open_round_trips(self, tmp_path):
+        created = _new_session(tmp_path, reps=5, seed=9, chunk_size=2)
+        reopened = ExperimentSession.open(created.path)
+        assert reopened.context == created.context
+        assert reopened.reps == 5
+        assert [d.key for d in reopened.definitions] == ["fig13"]
+        assert reopened.definitions[0] == created.definitions[0]
+
+    def test_open_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ExperimentSession.open(tmp_path / "nope")
+
+    def test_open_rejects_unknown_schema(self, tmp_path):
+        session = _new_session(tmp_path)
+        manifest = session.path / ExperimentSession.MANIFEST
+        doc = json.loads(manifest.read_text())
+        doc["schema"] = "repro.run/99"
+        manifest.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="schema"):
+            ExperimentSession.open(session.path)
+
+    def test_closure_definitions_rejected(self, tmp_path):
+        from tests.experiments.test_harness import tiny_closure_sweep
+
+        with pytest.raises(ValueError, match="closure"):
+            ExperimentSession.create(
+                tmp_path / "run", RunContext(), [tiny_closure_sweep()], reps=2
+            )
+
+
+class TestLedger:
+    def test_record_and_replay(self, tmp_path):
+        session = _new_session(tmp_path)
+        values = [{"HDLTS": 1.5, "HEFT": 1.75}]
+        session.record_chunk("fig13", 0, 1.0, 0, 1, values, {}, 0.01)
+        session.record_chunk("fig13", 0, 1.0, 1, 2, values, {}, 0.02)
+        session.close()
+        completed = session.completed_chunks("fig13")
+        assert set(completed) == {(0, 0, 1), (0, 1, 2)}
+        assert completed[(0, 0, 1)]["values"] == values
+
+    def test_floats_round_trip_exactly(self, tmp_path):
+        session = _new_session(tmp_path)
+        value = 1.0 / 3.0 + 1e-16
+        session.record_chunk("fig13", 0, 1.0, 0, 1, [{"HDLTS": value}], {}, 0.0)
+        session.close()
+        replayed = session.completed_chunks("fig13")[(0, 0, 1)]
+        assert replayed["values"][0]["HDLTS"] == value
+
+    def test_other_sweeps_filtered_out(self, tmp_path):
+        session = _new_session(tmp_path)
+        session.record_chunk("fig13", 0, 1.0, 0, 1, [], {}, 0.0)
+        session.record_chunk("other", 0, 1.0, 0, 1, [], {}, 0.0)
+        session.close()
+        assert set(session.completed_chunks("fig13")) == {(0, 0, 1)}
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        session = _new_session(tmp_path)
+        session.record_chunk("fig13", 0, 1.0, 0, 1, [], {}, 0.0)
+        session.record_chunk("fig13", 0, 1.0, 1, 2, [], {}, 0.0)
+        session.close()
+        ledger = session.path / ExperimentSession.LEDGER
+        with open(ledger, "a", encoding="utf-8") as fh:
+            fh.write('{"sweep": "fig13", "x_index": 0, "rep_lo": 2, "rep')
+        completed = session.completed_chunks("fig13")
+        assert set(completed) == {(0, 0, 1), (0, 1, 2)}
+
+    def test_torn_line_discards_everything_after(self, tmp_path):
+        session = _new_session(tmp_path)
+        session.record_chunk("fig13", 0, 1.0, 0, 1, [], {}, 0.0)
+        session.close()
+        ledger = session.path / ExperimentSession.LEDGER
+        whole = json.dumps(
+            {"sweep": "fig13", "x_index": 0, "x": 1.0, "rep_lo": 1,
+             "rep_hi": 2, "values": [], "metrics": {}, "wall": 0.0}
+        )
+        with open(ledger, "a", encoding="utf-8") as fh:
+            fh.write("{broken\n" + whole + "\n")
+        # the line after the tear cannot be trusted to be in order
+        assert set(session.completed_chunks("fig13")) == {(0, 0, 1)}
+
+    def test_context_manager_closes(self, tmp_path):
+        with _new_session(tmp_path) as session:
+            session.record_chunk("fig13", 0, 1.0, 0, 1, [], {}, 0.0)
+        assert session._ledger_fh is None

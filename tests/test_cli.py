@@ -157,6 +157,83 @@ class TestExportAndDiagnose:
         assert "makespan          80.00" in capsys.readouterr().out
 
 
+class TestRunResume:
+    def test_run_creates_manifest_and_ledger(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert (
+            main(
+                [
+                    "run", "fig13", "--reps", "2", "--seed", "0",
+                    "--workers", "2", "--chunk-size", "1",
+                    "--run-dir", str(run_dir),
+                ]
+            )
+            == 0
+        )
+        assert (run_dir / "manifest.json").exists()
+        assert (run_dir / "chunks.jsonl").exists()
+        captured = capsys.readouterr()
+        assert "Molecular Dynamics" in captured.out
+        assert "chunk 10/10" in captured.err
+
+    def test_run_refuses_existing_run_dir(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        args = [
+            "run", "fig13", "--reps", "1", "--run-dir", str(run_dir),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 2
+        assert "resume" in capsys.readouterr().err
+
+    def test_resume_replays_completed_run(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert (
+            main(
+                [
+                    "run", "fig13", "--reps", "2", "--seed", "4",
+                    "--run-dir", str(run_dir),
+                ]
+            )
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert main(["resume", str(run_dir)]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_resume_missing_dir_exits_2(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path / "nope")]) == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_figure_start_method_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "figure", "fig13", "--reps", "2", "--workers", "2",
+                    "--chunk-size", "1", "--start-method", "serial",
+                ]
+            )
+            == 0
+        )
+        assert "Molecular Dynamics" in capsys.readouterr().out
+
+    def test_run_matches_figure_output_table(self, tmp_path, capsys):
+        assert main(["figure", "fig13", "--reps", "2", "--seed", "1"]) == 0
+        table = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "run", "fig13", "--reps", "2", "--seed", "1",
+                    "--workers", "2", "--chunk-size", "1",
+                    "--start-method", "spawn",
+                    "--run-dir", str(tmp_path / "run"),
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == table
+
+
 class TestErrorHandling:
     def test_unknown_scheduler_exits_2(self, capsys):
         assert main(["schedule", "--scheduler", "NOPE"]) == 2

@@ -78,7 +78,7 @@ class TestFullPipeline:
         accs = {name: [] for name in definition.schedulers}
         for rep in range(3):
             rng = np.random.default_rng([7, 0, rep])  # per-rep stream
-            graph = definition.make_graph(definition.x_values[0], rng)
+            graph = definition.build_graph(definition.x_values[0], rng)
             graph = graph.normalized() if len(graph.entry_tasks()) != 1 else graph
             for name in definition.schedulers:
                 run = SCHEDULER_FACTORIES[name]().run(graph)
