@@ -32,7 +32,7 @@ def figure_bench(key: str):
 
         # time a representative single scheduling run (mid x point)
         mid = definition.x_values[len(definition.x_values) // 2]
-        graph = definition.make_graph(mid, np.random.default_rng(1))
+        graph = definition.build_graph(mid, np.random.default_rng(1))
         if len(graph.entry_tasks()) != 1 or len(graph.exit_tasks()) != 1:
             graph = graph.normalized()
         from repro.core import HDLTS

@@ -7,6 +7,8 @@ figure KEY    run one evaluation figure (fig2..fig14) and print the table
 all-figures   run every figure (EXPERIMENTS.md is generated from this)
 run KEY       run a figure inside a resumable run directory (checkpointed)
 resume DIR    resume an interrupted ``run`` from its chunk ledger
+top DIR       live terminal view of a run directory (progress, workers, ETA)
+status DIR    one-shot progress report over a run directory (``--json``)
 schedule      schedule one workflow instance and show the Gantt chart
 generate      draw a random task graph and print its shape statistics
 dynamic       online-HDLTS vs static-schedule comparison under noise/failures
@@ -19,7 +21,11 @@ globals are flipped; see docs/architecture.md.
 The ``schedule``, ``figure`` and ``dynamic`` commands accept
 ``--events FILE`` (stream every observability event as JSONL) and
 ``--metrics`` (record and print counters/timers); ``profile`` is the
-dedicated deep-dive.  See docs/observability.md.
+dedicated deep-dive.  ``run``/``resume`` default their sinks into
+``<run_dir>/telemetry/`` and add ``--trace`` (hierarchical spans merged
+into a Chrome trace); ``schedule --trace-json`` records a phase-level
+trace with the computed schedule's Gantt overlaid.  See
+docs/observability.md.
 """
 
 from __future__ import annotations
@@ -84,6 +90,25 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_run_obs_args(parser: argparse.ArgumentParser) -> None:
+    """Observability flags of run/resume (sinks default into telemetry/)."""
+    parser.add_argument(
+        "--events", nargs="?", const="", default=None, metavar="FILE",
+        help="stream every observability event as JSONL to FILE "
+        "(default: <run_dir>/telemetry/events.jsonl)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="record counters/timers; print them and write a Prometheus "
+        "textfile snapshot to <run_dir>/telemetry/metrics.prom",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record hierarchical spans in every process and merge them "
+        "into a Chrome trace at <run_dir>/telemetry/trace.json",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -125,16 +150,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="run directory holding manifest + chunk ledger (default runs/KEY)",
     )
     p_run.add_argument("--csv", default=None, metavar="FILE", help="also write tidy CSV to FILE")
+    _add_run_obs_args(p_run)
 
     p_res = sub.add_parser(
         "resume", help="resume an interrupted run from its chunk ledger"
     )
     p_res.add_argument("run_dir", metavar="RUN_DIR", help="directory written by 'repro run'")
     p_res.add_argument("--csv", default=None, metavar="FILE", help="also write tidy CSV to FILE")
+    _add_run_obs_args(p_res)
+
+    p_top = sub.add_parser(
+        "top", help="live terminal view of a run directory"
+    )
+    p_top.add_argument("run_dir", metavar="RUN_DIR", help="directory written by 'repro run'")
+    p_top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between repaints (live mode)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit (CI / scripting)",
+    )
+
+    p_status = sub.add_parser(
+        "status", help="one-shot progress report over a run directory"
+    )
+    p_status.add_argument("run_dir", metavar="RUN_DIR", help="directory written by 'repro run'")
+    p_status.add_argument(
+        "--json", action="store_true", dest="json_out",
+        help="emit the machine-readable repro.status/1 document",
+    )
 
     p_sched = sub.add_parser("schedule", help="schedule one workflow instance")
     _add_workflow_args(p_sched)
     p_sched.add_argument("--trace", action="store_true", help="print the step trace (HDLTS only)")
+    p_sched.add_argument(
+        "--trace-json", default=None, metavar="FILE", dest="trace_json",
+        help="record phase-level spans and write a Chrome trace "
+        "(with the schedule's Gantt overlaid) to FILE",
+    )
     _add_obs_args(p_sched)
 
     p_gen = sub.add_parser("generate", help="generate a random DAG, print stats")
@@ -409,10 +463,92 @@ def _finish_run(session, definition, result, csv_path=None) -> int:
     return 0
 
 
+def _run_dir_context(context, args, run_dir):
+    """Fold the run-directory observability flags into ``context``.
+
+    The telemetry directory is always named (heartbeats are cheap and
+    make ``repro top`` work on every run); event streaming, metric
+    snapshots and span tracing stay opt-in.  ``--events`` without a FILE
+    resolves to the conventional ``telemetry/events.jsonl``.
+    """
+    from repro.runtime.telemetry import telemetry_dir
+
+    tdir = telemetry_dir(run_dir)
+    events = getattr(args, "events", None)
+    if events == "":
+        events = str(tdir / "events.jsonl")
+    return context.with_(
+        telemetry=str(tdir),
+        trace=bool(getattr(args, "trace", False)) or context.trace,
+        metrics=bool(getattr(args, "metrics", False)) or context.metrics,
+        events=events or context.events,
+    )
+
+
+def _run_with_telemetry(context, run_dir, command) -> int:
+    """Run ``command()`` with the run directory's sinks attached.
+
+    ``context.events`` streams the bus as JSONL; ``context.metrics``
+    scopes a registry, prints it afterwards and writes a Prometheus
+    textfile snapshot; ``context.trace`` subscribes this process's span
+    sink (workers subscribe their own in the pool initializer) and
+    merges every per-process span file into one Chrome trace.
+    """
+    import os
+
+    from repro import obs
+    from repro.runtime.telemetry import telemetry_dir
+
+    tdir = telemetry_dir(run_dir)
+    tdir.mkdir(parents=True, exist_ok=True)
+    span_sink = None
+    unsubscribe = None
+    if context.trace:
+        span_sink = obs.JsonlSink(str(tdir / f"spans-{os.getpid()}.jsonl"))
+        unsubscribe = obs.subscribe(span_sink, topics=[obs.SPAN_TOPIC])
+    try:
+        with obs.session(
+            events_path=context.events, metrics=context.metrics
+        ) as sess:
+            code = command()
+    finally:
+        if unsubscribe is not None:
+            unsubscribe()
+        if span_sink is not None:
+            span_sink.close()
+    if context.metrics:
+        from repro.obs.export import write_prometheus
+
+        prom_path = tdir / "metrics.prom"
+        write_prometheus(prom_path, sess.snapshot)
+        print()
+        print("observability metrics:")
+        print(obs.format_metrics(sess.snapshot))
+        print(f"(metrics snapshot written to {prom_path})", file=sys.stderr)
+    if context.events:
+        print(
+            f"({sess.n_events} events written to {context.events})",
+            file=sys.stderr,
+        )
+    if context.trace:
+        from repro.obs.export import read_span_records, write_chrome_trace
+
+        records = []
+        for path in sorted(tdir.glob("spans-*.jsonl")):
+            records.extend(read_span_records(path))
+        trace_path = tdir / "trace.json"
+        write_chrome_trace(trace_path, records)
+        print(
+            f"({len(records)} spans merged into {trace_path})",
+            file=sys.stderr,
+        )
+    return code
+
+
 def _cmd_run(args) -> int:
     from repro.experiments import get_figure
     from repro.experiments.parallel import run_sweep_parallel
-    from repro.runtime.context import current_context
+    from repro.runtime.context import activate, current_context
     from repro.runtime.session import ExperimentSession
 
     definition = (
@@ -421,10 +557,12 @@ def _cmd_run(args) -> int:
         else get_figure(args.key)
     )
     run_dir = args.run_dir or _default_run_dir(args.key)
+    context = _run_dir_context(current_context(), args, run_dir)
     session = ExperimentSession.create(
-        run_dir, current_context(), [definition], reps=args.reps
+        run_dir, context, [definition], reps=args.reps
     )
-    with session:
+
+    def execute() -> int:
         result = run_sweep_parallel(
             definition,
             reps=args.reps,
@@ -436,7 +574,10 @@ def _cmd_run(args) -> int:
             progress=_chunk_progress(definition.key),
             session=session,
         )
-    return _finish_run(session, definition, result, csv_path=args.csv)
+        return _finish_run(session, definition, result, csv_path=args.csv)
+
+    with activate(context), session:
+        return _run_with_telemetry(context, run_dir, execute)
 
 
 def _cmd_resume(args) -> int:
@@ -445,9 +586,10 @@ def _cmd_resume(args) -> int:
     from repro.runtime.session import ExperimentSession
 
     session = ExperimentSession.open(args.run_dir)
-    context = session.context
-    code = 0
-    with activate(context), session:
+    context = _run_dir_context(session.context, args, args.run_dir)
+
+    def execute() -> int:
+        code = 0
         for definition in session.definitions:
             result = run_sweep_parallel(
                 definition,
@@ -463,7 +605,29 @@ def _cmd_resume(args) -> int:
             code = _finish_run(
                 session, definition, result, csv_path=args.csv
             ) or code
-    return code
+        return code
+
+    with activate(context), session:
+        return _run_with_telemetry(context, args.run_dir, execute)
+
+
+def _cmd_top(args) -> int:
+    from repro.runtime.telemetry import watch
+
+    return watch(args.run_dir, interval_s=args.interval, once=args.once)
+
+
+def _cmd_status(args) -> int:
+    import json
+
+    from repro.runtime.telemetry import format_top, run_status
+
+    status = run_status(args.run_dir)
+    if args.json_out:
+        print(json.dumps(status, indent=2))
+    else:
+        print(format_top(status))
+    return 0
 
 
 def _make_workflow(args) -> "object":
@@ -505,7 +669,21 @@ def _cmd_schedule(args) -> int:
     scheduler = make_scheduler(args.scheduler)
     if args.trace and hasattr(scheduler, "record_trace"):
         scheduler.record_trace = True
-    result = scheduler.run(graph)
+    if args.trace_json:
+        # phase-level deep dive: every obs.phase() inside the run
+        # becomes a span, and the computed schedule's Gantt is overlaid
+        # as a synthetic sim-time process
+        from repro import obs
+
+        recorder = obs.SpanRecorder()
+        unsubscribe = obs.subscribe(recorder, topics=[obs.SPAN_TOPIC])
+        try:
+            with obs.tracing_scope(True), obs.phase_spans_scope(True):
+                result = scheduler.run(graph)
+        finally:
+            unsubscribe()
+    else:
+        result = scheduler.run(graph)
     validate_schedule(graph, result.schedule)
     report = evaluate(graph, result.schedule)
     print(
@@ -522,6 +700,17 @@ def _cmd_schedule(args) -> int:
     if args.trace and result.trace:
         print()
         print(format_trace(result.trace, extended=True))
+    if args.trace_json:
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(
+            args.trace_json, recorder.records, schedule=result.schedule
+        )
+        print(
+            f"({len(recorder.records)} spans written to {args.trace_json}; "
+            "open in Perfetto or chrome://tracing)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -681,11 +870,15 @@ def _context_from_args(args):
     """
     from repro.runtime.context import DEFAULT_CONTEXT
 
+    # run/resume use --events as an optional-FILE flag ("" = default
+    # path under the run directory); the sentinel is resolved by
+    # _run_dir_context once the run directory is known
+    events = getattr(args, "events", None) or None
     return DEFAULT_CONTEXT.with_(
         seed=getattr(args, "seed", DEFAULT_CONTEXT.seed),
         validate=bool(getattr(args, "validate", False)),
         metrics=bool(getattr(args, "metrics", False)),
-        events=getattr(args, "events", None),
+        events=events,
         workers=getattr(args, "workers", DEFAULT_CONTEXT.workers),
         chunk_size=getattr(args, "chunk_size", DEFAULT_CONTEXT.chunk_size),
         start_method=getattr(args, "start_method", None),
@@ -785,6 +978,10 @@ def _dispatch(args) -> int:
         return _cmd_run(args)
     if args.command == "resume":
         return _cmd_resume(args)
+    if args.command == "top":
+        return _cmd_top(args)
+    if args.command == "status":
+        return _cmd_status(args)
     if args.command == "schedule":
         return _run_observed(args, lambda: _cmd_schedule(args))
     if args.command == "generate":

@@ -77,13 +77,20 @@ class Scheduler(abc.ABC):
 
         The run executes inside an observability phase named after the
         algorithm, so inner ``with phase(...)`` timers nest under e.g.
-        ``HDLTS/eft_vector``, and publishes one ``scheduler.run`` event
-        when anything subscribes to the bus.
+        ``HDLTS/eft_vector``, publishes one ``scheduler.run`` event when
+        anything subscribes to the bus, and opens a ``scheduler.run``
+        span when tracing is on (:mod:`repro.obs.spans`).
         """
         prepared = self.prepare(graph)
         started = time.perf_counter()
-        with obs.phase(self.name):
-            schedule = self.build_schedule(prepared)
+        with obs.span("scheduler.run", name=self.name) as sp:
+            with obs.phase(self.name):
+                schedule = self.build_schedule(prepared)
+            sp.set(
+                n_tasks=prepared.n_tasks,
+                n_procs=prepared.n_procs,
+                makespan=schedule.makespan,
+            )
         elapsed = time.perf_counter() - started
         obs.count(f"{self.name}/runs")
         bus = obs.get_bus()

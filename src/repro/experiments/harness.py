@@ -187,22 +187,26 @@ def run_replication(
     bus = obs.get_bus()
     observing = obs.enabled() or bus.active
     started = time.perf_counter() if observing else 0.0
-    rng = np.random.default_rng([seed, x_index, rep])
-    graph = definition.build_graph(x, rng)
-    if len(graph.entry_tasks()) != 1 or len(graph.exit_tasks()) != 1:
-        graph = graph.normalized()
-    if compiled_enabled():
-        # compile the instance once: the CSR arrays and the artifact
-        # cache (ranks, OCT, CP bound, ...) are shared by every
-        # scheduler in the set and by the metric below
-        compile_graph(graph)
-    values: Dict[str, float] = {}
-    # keyed by *registry* name so ablation variants of one class coexist
-    for name in definition.schedulers:
-        result = make_scheduler(name).run(graph)
-        if validate:
-            validate_schedule(graph, result.schedule)
-        values[name] = metric_fn(graph, result.makespan)
+    with obs.span(
+        "sweep.replication", figure=definition.key, x=x, rep=rep
+    ):
+        rng = np.random.default_rng([seed, x_index, rep])
+        graph = definition.build_graph(x, rng)
+        if len(graph.entry_tasks()) != 1 or len(graph.exit_tasks()) != 1:
+            graph = graph.normalized()
+        if compiled_enabled():
+            # compile the instance once: the CSR arrays and the artifact
+            # cache (ranks, OCT, CP bound, ...) are shared by every
+            # scheduler in the set and by the metric below
+            compile_graph(graph)
+        values: Dict[str, float] = {}
+        # keyed by *registry* name so ablation variants of one class
+        # coexist
+        for name in definition.schedulers:
+            result = make_scheduler(name).run(graph)
+            if validate:
+                validate_schedule(graph, result.schedule)
+            values[name] = metric_fn(graph, result.makespan)
     if observing:
         elapsed = time.perf_counter() - started
         if obs.enabled():
@@ -255,7 +259,9 @@ def run_sweep(
         raise ValueError("reps must be >= 1")
     result = SweepResult(definition=definition, reps=reps, seed=seed)
     bus = obs.get_bus()
-    with obs.scoped() as registry:
+    with obs.scoped() as registry, obs.span(
+        "sweep.run", figure=definition.key, reps=reps
+    ):
         for i, x in enumerate(definition.x_values):
             if progress:
                 progress(f"{definition.key}: {definition.x_label}={x} ({reps} reps)")
@@ -267,9 +273,13 @@ def run_sweep(
                     x=x,
                     reps=reps,
                 )
-            result.stats[x] = run_single_point(
-                definition, x, reps, seed=seed, x_index=i, validate=validate
-            )
+            with obs.span(
+                "sweep.point", figure=definition.key, x=x, reps=reps
+            ):
+                result.stats[x] = run_single_point(
+                    definition, x, reps, seed=seed, x_index=i,
+                    validate=validate,
+                )
         if registry:
             result.metrics = registry.snapshot()
     return result

@@ -70,11 +70,14 @@ from repro.runtime.context import (
     current_context,
 )
 from repro.runtime.session import ExperimentSession
+from repro.runtime.telemetry import HeartbeatWriter
 
 __all__ = ["run_sweep_parallel", "sweep_pool"]
 
 # worker-process state, installed by the pool initializer (never by
-# fork inheritance): the adopted context plus the definition registry.
+# fork inheritance): the adopted context, the definition registry, and
+# (when the context names a telemetry directory) this worker's
+# heartbeat writer and span sink.
 _WORKER_STATE: Dict[str, object] = {}
 
 #: one worker chunk:
@@ -96,16 +99,38 @@ def _init_worker(
     closure-based definitions still work); under ``spawn``/
     ``forkserver`` they are pickled, which is why portable definitions
     carry a :class:`~repro.experiments.graphspec.GraphSpec`.
+
+    When the context names a telemetry directory the worker writes a
+    heartbeat file there after every chunk, and -- when tracing is on --
+    streams its ``span.end`` events into ``spans-<pid>.jsonl`` in the
+    same directory (flushed per chunk: ``Pool.terminate`` must not cost
+    more than the chunk in flight).
     """
     adopt(context)
     _WORKER_STATE["definitions"] = {d.key: d for d in definitions}
+    _WORKER_STATE.pop("heartbeat", None)
+    _WORKER_STATE.pop("span_sink", None)
+    if context.telemetry:
+        heartbeat = HeartbeatWriter(context.telemetry, role="worker")
+        heartbeat.beat(force=True)
+        _WORKER_STATE["heartbeat"] = heartbeat
+        if context.trace:
+            sink = obs.JsonlSink(
+                os.path.join(
+                    context.telemetry, f"spans-{os.getpid()}.jsonl"
+                )
+            )
+            obs.get_bus().subscribe(sink, topics=[obs.SPAN_TOPIC])
+            _WORKER_STATE["span_sink"] = sink
 
 
 def _execute_chunk(definition: SweepDefinition, chunk: Chunk) -> ChunkResult:
     """Run replications [rep_lo, rep_hi) of x point ``x_index``."""
     _key, x_index, x, rep_lo, rep_hi, seed, validate = chunk
     started = time.perf_counter()
-    with obs.scoped(merge_up=False) as registry:
+    with obs.scoped(merge_up=False) as registry, obs.span(
+        "sweep.chunk", figure=_key, x=x, rep_lo=rep_lo, rep_hi=rep_hi
+    ):
         values = [
             run_replication(definition, x, x_index, rep, seed, validate)
             for rep in range(rep_lo, rep_hi)
@@ -117,7 +142,14 @@ def _execute_chunk(definition: SweepDefinition, chunk: Chunk) -> ChunkResult:
 def _run_chunk(chunk: Chunk) -> ChunkResult:
     """Worker entry point: resolve the definition, run the chunk."""
     definitions: Dict[str, SweepDefinition] = _WORKER_STATE["definitions"]  # type: ignore[assignment]
-    return _execute_chunk(definitions[chunk[0]], chunk)
+    result = _execute_chunk(definitions[chunk[0]], chunk)
+    heartbeat = _WORKER_STATE.get("heartbeat")
+    if heartbeat is not None:
+        heartbeat.bump(last_event_ts=time.time())
+    sink = _WORKER_STATE.get("span_sink")
+    if sink is not None:
+        sink.flush()
+    return result
 
 
 def _resolve_start_method(
@@ -206,7 +238,8 @@ def sweep_pool(
             )
     n_workers = _default_workers(workers, ctx)
     effective = ctx.with_(
-        metrics=obs.enabled(), workers=n_workers, start_method=method
+        metrics=obs.enabled(), workers=n_workers, start_method=method,
+        trace=obs.tracing(),
     )
     mp_context = multiprocessing.get_context(method)
     with mp_context.Pool(
@@ -324,6 +357,10 @@ def _collect(
         }
     merged = MetricsRegistry()
     bus = obs.get_bus()
+    ctx = current_context()
+    heartbeat = (
+        HeartbeatWriter(ctx.telemetry, role="main") if ctx.telemetry else None
+    )
     if pool is not None:
         live_iter = pool.imap(_run_chunk, live)
     else:
@@ -334,40 +371,50 @@ def _collect(
     # order therefore feeds the Welford accumulators in exactly the
     # serial order, live and replayed runs alike.
     done, total = 0, len(chunks)
-    for chunk in chunks:
-        key = (chunk[1], chunk[3], chunk[4])
-        row = completed.get(key)
-        replayed = row is not None
-        if replayed:
-            values, snapshot, wall = row["values"], row["metrics"], row["wall"]
-        else:
-            _x_index, values, snapshot, wall = next(live_iter)
-        accumulators = sweep.stats[chunk[2]]
-        for rep_values in values:
-            for name, value in rep_values.items():
-                accumulators[name].add(value)
-        if snapshot:
-            merged.merge(snapshot)
-        if obs.enabled():
-            merged.timer("sweep/chunk_wall").observe(wall)
-        if session is not None and not replayed:
-            session.record_chunk(
-                definition.key, chunk[1], chunk[2], chunk[3], chunk[4],
-                values, snapshot, wall,
-            )
-        if bus.active:
-            bus.emit(
-                "sweep.chunk",
-                figure=definition.key,
-                x=chunk[2],
-                rep_lo=chunk[3],
-                rep_hi=chunk[4],
-                wall_s=wall,
-                replayed=replayed,
-            )
-        done += 1
-        if progress is not None:
-            progress(done, total)
+    with obs.span(
+        "sweep.run", figure=definition.key, reps=reps, workers=n_workers
+    ):
+        for chunk in chunks:
+            key = (chunk[1], chunk[3], chunk[4])
+            row = completed.get(key)
+            replayed = row is not None
+            if replayed:
+                values, snapshot, wall = (
+                    row["values"], row["metrics"], row["wall"]
+                )
+            else:
+                _x_index, values, snapshot, wall = next(live_iter)
+            accumulators = sweep.stats[chunk[2]]
+            for rep_values in values:
+                for name, value in rep_values.items():
+                    accumulators[name].add(value)
+            if snapshot:
+                merged.merge(snapshot)
+            if obs.enabled():
+                merged.timer("sweep/chunk_wall").observe(wall)
+            if session is not None and not replayed:
+                # record_chunk emits the chunk's sweep.chunk event itself
+                session.record_chunk(
+                    definition.key, chunk[1], chunk[2], chunk[3], chunk[4],
+                    values, snapshot, wall,
+                )
+            elif bus.active:
+                bus.emit(
+                    "sweep.chunk",
+                    figure=definition.key,
+                    x=chunk[2],
+                    rep_lo=chunk[3],
+                    rep_hi=chunk[4],
+                    wall_s=wall,
+                    replayed=replayed,
+                )
+            done += 1
+            if heartbeat is not None:
+                heartbeat.bump(last_event_ts=time.time())
+            if progress is not None:
+                progress(done, total)
+    if heartbeat is not None:
+        heartbeat.beat(force=True)
 
     if obs.enabled():
         chunk_timer = merged.timer("sweep/chunk_wall")

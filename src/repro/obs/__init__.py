@@ -50,6 +50,14 @@ from repro.obs.profile import (
     phase,
     scoped_count,
 )
+from repro.obs.spans import (
+    SPAN_TOPIC,
+    SpanRecorder,
+    phase_spans_scope,
+    span,
+    tracing,
+    tracing_scope,
+)
 
 __all__ = [
     "Event",
@@ -76,6 +84,12 @@ __all__ = [
     "count",
     "scoped_count",
     "current_scope",
+    "SPAN_TOPIC",
+    "SpanRecorder",
+    "span",
+    "tracing",
+    "tracing_scope",
+    "phase_spans_scope",
     "session",
     "ObsSession",
 ]

@@ -18,6 +18,7 @@ Event taxonomy (see ``docs/observability.md`` for the payload schemas):
 ``sweep.point``             one x point of a sweep started
 ``sweep.replication``       one replication of one x point finished
 ``sweep.chunk``             one parallel worker chunk finished
+``span.end``                a hierarchical span closed (:mod:`repro.obs.spans`)
 ==========================  ==================================================
 """
 
@@ -154,6 +155,12 @@ class JsonlSink:
         json.dump(event.to_dict(), self._fh, default=_json_default)
         self._fh.write("\n")
         self.n_written += 1
+
+    def flush(self) -> None:
+        """Push buffered lines to disk (worker loops call this between
+        chunks so a terminated pool leaves complete span files)."""
+        if not self._fh.closed:
+            self._fh.flush()
 
     def close(self) -> None:
         """Flush and close the underlying file."""

@@ -28,6 +28,7 @@ from contextlib import contextmanager
 from typing import Callable, Iterator, List, Optional
 
 from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
 from repro.runtime.context import current_context as _current_context
 
 __all__ = [
@@ -108,26 +109,42 @@ _NOOP = _NoopPhase()
 
 
 class _Phase:
-    """An active phase timer; records into the current registry on exit."""
+    """An active phase timer; records into the current registry on exit.
 
-    __slots__ = ("name", "_key", "_started")
+    When the per-phase span bridge is on (:func:`repro.obs.spans
+    .phase_spans_scope`) the phase additionally opens a ``phase`` span,
+    so single-run deep dives land in the Chrome-trace export; the timer
+    itself is only observed while metric recording is enabled.
+    """
+
+    __slots__ = ("name", "_key", "_started", "_record", "_span")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._key = ""
         self._started = 0.0
+        self._record = True
+        self._span = None
 
     def __enter__(self) -> "_Phase":
         _stack.append(self.name)
         self._key = "/".join(_stack)
+        self._record = enabled()
+        if _spans.phase_spans_enabled():
+            self._span = _spans.span("phase", name=self._key)
+            self._span.__enter__()
         self._started = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> bool:
         elapsed = time.perf_counter() - self._started
+        if self._span is not None:
+            self._span.__exit__(None, None, None)
+            self._span = None
         if _stack and _stack[-1] == self.name:
             _stack.pop()
-        _metrics.get_metrics().timer(self._key).observe(elapsed)
+        if self._record:
+            _metrics.get_metrics().timer(self._key).observe(elapsed)
         return False
 
 
@@ -135,9 +152,10 @@ def phase(name: str):
     """Context manager timing a named (nestable) phase.
 
     Returns the shared no-op singleton when profiling is disabled, so a
-    hot loop pays only the ``enabled`` test.
+    hot loop pays only the ``enabled`` test (plus one flag read for the
+    span bridge).
     """
-    if not enabled():
+    if not (enabled() or _spans.phase_spans_enabled()):
         return _NOOP
     return _Phase(name)
 
@@ -176,7 +194,7 @@ def instrumented(name: Optional[str] = None) -> Callable:
 
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
-            if not enabled():
+            if not (enabled() or _spans.phase_spans_enabled()):
                 return fn(*args, **kwargs)
             with _Phase(phase_name):
                 return fn(*args, **kwargs)

@@ -12,6 +12,10 @@ Two pieces (see docs/architecture.md):
   directory with a ``manifest.json`` (config + resolved sweep specs)
   and a crash-safe ``chunks.jsonl`` ledger that ``repro resume``
   replays.
+* :mod:`repro.runtime.telemetry` -- live run observation over that
+  directory: per-process heartbeat files, the ``repro.status/1``
+  status document (:func:`run_status`), and the ``repro top`` terminal
+  view (:func:`format_top`).
 """
 
 from repro.runtime.context import (
@@ -25,6 +29,13 @@ from repro.runtime.context import (
     resolve_engine,
 )
 from repro.runtime.session import ExperimentSession
+from repro.runtime.telemetry import (
+    HeartbeatWriter,
+    format_top,
+    load_heartbeats,
+    run_status,
+    telemetry_dir,
+)
 
 __all__ = [
     "DEFAULT_CONTEXT",
@@ -36,4 +47,9 @@ __all__ = [
     "current_context",
     "resolve_engine",
     "ExperimentSession",
+    "HeartbeatWriter",
+    "format_top",
+    "load_heartbeats",
+    "run_status",
+    "telemetry_dir",
 ]

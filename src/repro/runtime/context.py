@@ -71,6 +71,12 @@ class RunContext:
     #: JSONL event-sink path (parent process only; informational for
     #: workers -- sinks are never re-opened in worker processes)
     events: Optional[str] = None
+    #: telemetry directory of the owning run (heartbeats, span files,
+    #: metric snapshots); workers read it from the shipped context
+    telemetry: Optional[str] = None
+    #: record hierarchical spans (``span.end`` events) -- see
+    #: :mod:`repro.obs.spans`
+    trace: bool = False
     #: worker processes for parallel sweeps (1 = serial)
     workers: int = 1
     #: replications per worker chunk

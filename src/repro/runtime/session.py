@@ -169,8 +169,15 @@ class ExperimentSession:
         """Append one completed chunk to the ledger, durably.
 
         The line is flushed and fsynced before returning: a chunk the
-        caller saw acknowledged survives any subsequent crash.
+        caller saw acknowledged survives any subsequent crash.  Each
+        row carries the wall-clock time it was recorded (``ts``), which
+        is what ``repro top`` derives chunk throughput and the ETA
+        from.  When the event bus has subscribers, the recorded chunk
+        is also announced as a ``sweep.chunk`` event (the quiet bus
+        costs one attribute read).
         """
+        from repro import obs
+
         if self._ledger_fh is None:
             self._ledger_fh = open(
                 self.path / self.LEDGER, "a", encoding="utf-8"
@@ -184,10 +191,23 @@ class ExperimentSession:
             "values": values,
             "metrics": metrics,
             "wall": wall,
+            "ts": time.time(),
         }
         self._ledger_fh.write(json.dumps(row) + "\n")
         self._ledger_fh.flush()
         os.fsync(self._ledger_fh.fileno())
+        bus = obs.get_bus()
+        if bus.active:
+            bus.emit(
+                "sweep.chunk",
+                figure=key,
+                x=x,
+                rep_lo=rep_lo,
+                rep_hi=rep_hi,
+                wall_s=wall,
+                replayed=False,
+                recorded=True,
+            )
 
     def completed_chunks(self, key: str) -> Dict[ChunkKey, Dict]:
         """Finished chunks of sweep ``key``, from the ledger on disk.

@@ -20,7 +20,7 @@ from repro.schedule.validation import (
     validate_schedule,
 )
 from repro.schedule.simulator import ScheduleSimulator, SimulationResult
-from repro.schedule.gantt import render_gantt
+from repro.schedule.gantt import GanttSlot, gantt_lanes, render_gantt
 from repro.schedule.contention import ContentionSimulator, ContentionResult
 
 __all__ = [
@@ -33,6 +33,8 @@ __all__ = [
     "validate_schedule",
     "ScheduleSimulator",
     "SimulationResult",
+    "GanttSlot",
+    "gantt_lanes",
     "render_gantt",
     "ContentionSimulator",
     "ContentionResult",

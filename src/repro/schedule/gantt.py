@@ -1,20 +1,63 @@
-"""ASCII Gantt-chart rendering of a schedule.
+"""Gantt-chart views of a schedule: structured lanes + ASCII rendering.
 
-Purely a human-inspection aid (examples and CLI use it); the renderer has
-no influence on scheduling.  Example output for the paper's Fig. 1 graph::
+:func:`gantt_lanes` extracts the per-CPU occupancy of a
+:class:`~repro.schedule.schedule.Schedule` as plain records -- one lane
+per processor, one labelled interval per committed task copy.  The
+ASCII renderer below and the Chrome-trace exporter
+(:mod:`repro.obs.export`) both draw from it, so a terminal chart and a
+Perfetto overlay show the same schedule.  Example ASCII output for the
+paper's Fig. 1 graph::
 
     P1 |----[T1']--[T3]-[T7]..............................
     P2 |------[T1']---[T4]......[T2]--[T9]--[T8]...[T10]..
     P3 |--[T1]---[T6]........[T5].........................
+
+Neither view has any influence on scheduling.
 """
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.schedule.schedule import Schedule
 
-__all__ = ["render_gantt"]
+__all__ = ["GanttSlot", "gantt_lanes", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class GanttSlot:
+    """One occupied interval of one CPU lane."""
+
+    proc: int
+    label: str
+    start: float
+    end: float
+    duplicate: bool
+
+
+def gantt_lanes(schedule: Schedule) -> List[Tuple[str, List[GanttSlot]]]:
+    """Per-CPU lanes of ``schedule``: ``[(lane label, slots), ...]``.
+
+    Lanes appear in processor order; slots within a lane are sorted by
+    start time.  Duplicate copies keep the convention of a trailing
+    apostrophe on the task label.
+    """
+    lanes: List[Tuple[str, List[GanttSlot]]] = []
+    for timeline in schedule.timelines:
+        slots = [
+            GanttSlot(
+                proc=timeline.proc,
+                label=schedule.graph.name(slot.task)
+                + ("'" if slot.duplicate else ""),
+                start=slot.start,
+                end=slot.end,
+                duplicate=slot.duplicate,
+            )
+            for slot in sorted(timeline.slots(), key=lambda s: s.start)
+        ]
+        lanes.append((f"P{timeline.proc + 1}", slots))
+    return lanes
 
 
 def render_gantt(schedule: Schedule, width: int = 78) -> str:
@@ -25,26 +68,25 @@ def render_gantt(schedule: Schedule, width: int = 78) -> str:
     number of character columns representing the makespan.
     """
     span = schedule.makespan
+    lanes = gantt_lanes(schedule)
     if span <= 0:
-        return "\n".join(f"P{t.proc + 1} | (idle)" for t in schedule.timelines)
+        return "\n".join(f"{label} | (idle)" for label, _ in lanes)
     scale = width / span
     lines: List[str] = []
-    label_width = max(len(f"P{t.proc + 1}") for t in schedule.timelines)
-    for timeline in schedule.timelines:
+    label_width = max(len(label) for label, _ in lanes)
+    for label, slots in lanes:
         row = ["."] * (width + 1)
-        for slot in sorted(timeline.slots(), key=lambda s: s.start):
+        for slot in slots:
             a = int(round(slot.start * scale))
             b = max(a + 1, int(round(slot.end * scale)))
             b = min(b, len(row))
             for i in range(a, b):
                 row[i] = "-"
-            name = schedule.graph.name(slot.task) + ("'" if slot.duplicate else "")
-            text = f"[{name}]"
+            text = f"[{slot.label}]"
             if len(text) <= b - a:
                 mid = a + (b - a - len(text)) // 2
                 row[mid : mid + len(text)] = list(text)
-        label = f"P{timeline.proc + 1}".ljust(label_width)
-        lines.append(f"{label} |{''.join(row)}")
+        lines.append(f"{label.ljust(label_width)} |{''.join(row)}")
     footer = f"{'':{label_width}} 0{'':{max(0, width - 12)}}t={span:.2f}"
     lines.append(footer)
     return "\n".join(lines)

@@ -134,6 +134,69 @@ class TestSnapshotAndMerge:
         snap = registry.snapshot()["timers"]["t"]
         assert math.isfinite(snap["min"]) and math.isfinite(snap["max"])
 
+    def test_empty_timer_merges_as_identity(self):
+        # a worker that touched a timer without observing must not
+        # disturb the parent's extrema or counts
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.timer("t").observe(2.0)
+        b.timer("t")  # created, never observed
+        a.merge(b.snapshot())
+        timer = a.timer("t")
+        assert timer.count == 1 and timer.total == 2.0
+        assert timer.min == 2.0 and timer.max == 2.0
+
+    def test_empty_timer_into_empty_registry(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.timer("t")
+        a.merge(b.snapshot())
+        assert a.timer("t").count == 0
+        snap = a.snapshot()["timers"]["t"]
+        assert math.isfinite(snap["min"]) and math.isfinite(snap["max"])
+
+    def test_single_observation_histogram_round_trips(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.histogram("h", bounds=(1.0, 10.0)).observe(5.0)
+        a.merge(b.snapshot())
+        hist = a.histogram("h", bounds=(1.0, 10.0))
+        assert hist.count == 1
+        assert hist.buckets == [0, 1, 0]
+        assert hist.min == 5.0 and hist.max == 5.0
+        assert hist.mean == 5.0
+
+    def test_merge_into_non_empty_registry_preserves_both(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("c").inc(1)
+        parent.timer("t").observe(1.0)
+        parent.gauge("g").set(1.0)
+        worker.counter("c").inc(2)
+        worker.counter("new").inc(7)
+        worker.timer("t").observe(3.0)
+        worker.histogram("h").observe(0.5)
+        parent.merge(worker.snapshot())
+        assert parent.counter("c").value == 3
+        assert parent.counter("new").value == 7
+        assert parent.timer("t").count == 2
+        assert parent.gauge("g").value == 1.0
+        assert parent.histogram("h").count == 1
+
+    def test_merge_commutes_across_worker_orderings(self):
+        # the parallel collector folds worker snapshots in submission
+        # order; any pool scheduling must produce the same totals
+        workers = []
+        for i in range(4):
+            reg = MetricsRegistry()
+            reg.counter("sweep/replications").inc(i + 1)
+            # binary-exact observations: summation commutes bit-for-bit
+            reg.timer("sweep/replication").observe(0.25 * (i + 1))
+            reg.histogram("h").observe(2.0 ** i)
+            workers.append(reg.snapshot())
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in workers:
+            forward.merge(snap)
+        for snap in reversed(workers):
+            backward.merge(snap)
+        assert forward.snapshot() == backward.snapshot()
+
 
 class TestScopedRegistry:
     def test_scoped_registry_becomes_current(self):

@@ -1,0 +1,182 @@
+"""Unit tests for hierarchical span tracing (repro.obs.spans)."""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.core import HDLTS
+from repro.obs import spans
+from repro.runtime.context import DEFAULT_CONTEXT, activate
+
+
+@pytest.fixture
+def recorder():
+    rec = obs.SpanRecorder()
+    unsubscribe = obs.subscribe(rec, topics=[obs.SPAN_TOPIC])
+    yield rec
+    unsubscribe()
+
+
+class TestQuietPath:
+    def test_span_off_returns_shared_noop(self, recorder):
+        handle = obs.span("sweep.run", figure="fig2")
+        assert handle is spans.NOOP_SPAN
+        with handle as sp:
+            sp.set(anything="ignored")
+        assert recorder.records == []
+
+    def test_tracing_defaults_off(self):
+        assert obs.tracing() is False
+
+    def test_noop_span_is_reentrant(self):
+        with spans.NOOP_SPAN, spans.NOOP_SPAN:
+            pass
+
+
+class TestTracingScope:
+    def test_scope_turns_tracing_on_and_restores(self):
+        with obs.tracing_scope(True):
+            assert obs.tracing() is True
+        assert obs.tracing() is False
+
+    def test_context_trace_field_enables_tracing(self):
+        with activate(DEFAULT_CONTEXT.with_(trace=True)):
+            assert obs.tracing() is True
+        assert obs.tracing() is False
+
+    def test_explicit_override_beats_context(self):
+        with activate(DEFAULT_CONTEXT.with_(trace=True)):
+            with obs.tracing_scope(False):
+                assert obs.tracing() is False
+
+
+class TestSpanRecords:
+    def test_record_shape(self, recorder):
+        with obs.tracing_scope(True):
+            with obs.span("scheduler.run", name="HDLTS"):
+                pass
+        (record,) = recorder.records
+        assert record["event"] == "span.end"
+        assert record["kind"] == "scheduler.run"
+        assert record["name"] == "HDLTS"
+        assert record["pid"] == os.getpid()
+        assert record["span_id"] > 0
+        assert record["parent_id"] == 0
+        assert record["dur_s"] >= 0.0
+        assert record["wall0"] > 0.0
+
+    def test_nesting_parents(self, recorder):
+        with obs.tracing_scope(True):
+            with obs.span("sweep.run"):
+                with obs.span("sweep.point"):
+                    pass
+                with obs.span("sweep.point"):
+                    pass
+        # children close before the parent
+        inner_a, inner_b, outer = recorder.records
+        assert outer["kind"] == "sweep.run"
+        assert inner_a["parent_id"] == outer["span_id"]
+        assert inner_b["parent_id"] == outer["span_id"]
+        assert inner_a["span_id"] != inner_b["span_id"]
+
+    def test_set_attaches_attributes(self, recorder):
+        with obs.tracing_scope(True):
+            with obs.span("scheduler.run") as sp:
+                sp.set(makespan=73.0, n_tasks=10)
+        (record,) = recorder.records
+        assert record["makespan"] == 73.0 and record["n_tasks"] == 10
+
+    def test_exception_recorded_and_propagates(self, recorder):
+        with obs.tracing_scope(True):
+            with pytest.raises(RuntimeError):
+                with obs.span("sweep.chunk"):
+                    raise RuntimeError("boom")
+        (record,) = recorder.records
+        assert record["error"] == "RuntimeError"
+
+    def test_quiet_bus_emits_nothing(self):
+        # tracing on, but nobody subscribed: the span closes silently
+        with obs.tracing_scope(True):
+            with obs.span("sweep.run"):
+                pass
+
+
+class TestPhaseBridge:
+    def test_phases_do_not_span_by_default(self, recorder):
+        with obs.tracing_scope(True):
+            with obs.phase("HDLTS/commit"):
+                pass
+        assert recorder.records == []
+
+    def test_phase_spans_scope_bridges_phases(self, recorder):
+        with obs.tracing_scope(True), obs.phase_spans_scope(True):
+            with obs.phase("eft_vector"):
+                pass
+        (record,) = recorder.records
+        assert record["kind"] == "phase"
+        assert record["name"] == "eft_vector"
+
+    def test_phase_spans_require_tracing(self, recorder):
+        with obs.phase_spans_scope(True):
+            with obs.phase("eft_vector"):
+                pass
+        assert recorder.records == []
+
+    def test_tracing_alone_records_no_timers(self, recorder):
+        # the bridge must not turn metrics recording on as a side effect
+        with obs.scoped(merge_up=False) as registry:
+            with obs.tracing_scope(True), obs.phase_spans_scope(True):
+                with obs.phase("eft_vector"):
+                    pass
+        assert not registry
+        assert len(recorder.records) == 1
+
+
+class TestInstrumentedCode:
+    def test_scheduler_run_emits_span(self, recorder, fig1):
+        with obs.tracing_scope(True):
+            result = HDLTS().run(fig1)
+        kinds = [r["kind"] for r in recorder.records]
+        assert "scheduler.run" in kinds
+        record = next(r for r in recorder.records if r["kind"] == "scheduler.run")
+        assert record["name"] == "HDLTS"
+        assert record["makespan"] == result.makespan
+        assert record["n_tasks"] == fig1.n_tasks
+
+    def test_sweep_hierarchy(self, recorder):
+        from repro.experiments import get_figure, run_sweep
+
+        with obs.tracing_scope(True):
+            run_sweep(get_figure("fig13"), reps=1)
+        by_kind = {}
+        for record in recorder.records:
+            by_kind.setdefault(record["kind"], []).append(record)
+        assert set(by_kind) >= {
+            "sweep.run", "sweep.point", "sweep.replication", "scheduler.run"
+        }
+        run_id = by_kind["sweep.run"][0]["span_id"]
+        assert all(p["parent_id"] == run_id for p in by_kind["sweep.point"])
+        point_ids = {p["span_id"] for p in by_kind["sweep.point"]}
+        assert all(
+            r["parent_id"] in point_ids for r in by_kind["sweep.replication"]
+        )
+        rep_ids = {r["span_id"] for r in by_kind["sweep.replication"]}
+        assert all(
+            s["parent_id"] in rep_ids for s in by_kind["scheduler.run"]
+        )
+
+    def test_tracing_off_is_bit_identical(self, fig1):
+        baseline = HDLTS().run(fig1).makespan
+        with obs.tracing_scope(True):
+            traced = HDLTS().run(fig1).makespan
+        assert traced == baseline
+
+
+class TestSpanRecorder:
+    def test_len_and_records(self, recorder):
+        assert len(recorder) == 0
+        with obs.tracing_scope(True):
+            with obs.span("sweep.chunk"):
+                pass
+        assert len(recorder) == 1

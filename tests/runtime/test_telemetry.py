@@ -1,0 +1,223 @@
+"""Unit tests for run telemetry: heartbeats, run_status, repro top."""
+
+import json
+import time
+
+import pytest
+
+from repro.experiments import get_figure
+from repro.experiments.parallel import run_sweep_parallel
+from repro.runtime.context import RunContext
+from repro.runtime.session import ExperimentSession
+from repro.runtime.telemetry import (
+    HEARTBEAT_SCHEMA,
+    STATUS_SCHEMA,
+    HeartbeatWriter,
+    format_top,
+    load_heartbeats,
+    run_status,
+    telemetry_dir,
+    watch,
+)
+
+
+@pytest.fixture
+def run_dir(tmp_path):
+    return tmp_path / "run"
+
+
+def _new_session(run_dir, reps=4, chunk_size=2, **ctx_kwargs):
+    context = RunContext(chunk_size=chunk_size, **ctx_kwargs)
+    return ExperimentSession.create(
+        run_dir, context, [get_figure("fig13")], reps=reps
+    )
+
+
+class TestHeartbeatWriter:
+    def test_beat_writes_schema_and_resources(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path, role="worker")
+        writer.beat(force=True)
+        doc = json.loads(writer.path.read_text())
+        assert doc["schema"] == HEARTBEAT_SCHEMA
+        assert doc["pid"] == writer.pid
+        assert doc["role"] == "worker"
+        assert doc["rss_kb"] > 0
+        assert doc["cpu_user_s"] >= 0.0
+        assert doc["chunks_done"] == 0
+
+    def test_bump_counts_chunks_exactly(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path)
+        writer.bump()
+        writer.bump(last_event_ts=123.0)
+        doc = json.loads(writer.path.read_text())
+        assert doc["chunks_done"] == 2
+        assert doc["last_event_ts"] == 123.0
+
+    def test_beat_throttles(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path, throttle_s=60.0)
+        writer.beat(force=True)
+        writer.beat(chunks_done=5)  # throttled: file keeps the old count
+        doc = json.loads(writer.path.read_text())
+        assert doc["chunks_done"] == 0
+        writer.beat(force=True)
+        assert json.loads(writer.path.read_text())["chunks_done"] == 5
+
+    def test_no_torn_reads(self, tmp_path):
+        # the atomic tmp+replace protocol never leaves a partial file
+        writer = HeartbeatWriter(tmp_path)
+        for _ in range(20):
+            writer.bump()
+            json.loads(writer.path.read_text())
+
+
+class TestLoadHeartbeats:
+    def test_missing_directory_is_empty(self, run_dir):
+        assert load_heartbeats(run_dir) == []
+
+    def test_skips_garbage_and_foreign_files(self, run_dir):
+        tdir = telemetry_dir(run_dir)
+        HeartbeatWriter(tdir, role="worker").beat(force=True)
+        (tdir / "heartbeat-99999.json").write_text("{half a doc")
+        (tdir / "heartbeat-88888.json").write_text('{"schema": "other"}')
+        beats = load_heartbeats(run_dir)
+        assert len(beats) == 1 and beats[0]["role"] == "worker"
+
+    def test_main_sorts_first(self, run_dir):
+        tdir = telemetry_dir(run_dir)
+        worker = HeartbeatWriter(tdir, role="worker")
+        worker.beat(force=True)
+        # a second process's heartbeat, forged with a different pid
+        doc = json.loads(worker.path.read_text())
+        doc["pid"], doc["role"] = 1, "main"
+        (tdir / "heartbeat-1.json").write_text(json.dumps(doc))
+        roles = [b["role"] for b in load_heartbeats(run_dir)]
+        assert roles == ["main", "worker"]
+
+
+class TestRunStatus:
+    def test_fresh_run_dir(self, run_dir):
+        _new_session(run_dir).close()
+        status = run_status(run_dir)
+        assert status["schema"] == STATUS_SCHEMA
+        assert status["complete"] is False
+        assert status["chunks_done"] == 0
+        # fig13 has 4 x values; reps=4 / chunk_size=2 -> 2 chunks per x
+        definition = get_figure("fig13")
+        assert status["chunks_total"] == len(definition.x_values) * 2
+        assert status["eta_s"] is None  # no walls yet
+
+    def test_interrupted_run_counts_ledger(self, run_dir):
+        session = _new_session(run_dir)
+        values = [{"HDLTS": 1.0}, {"HDLTS": 2.0}]
+        session.record_chunk("fig13", 0, 1.0, 0, 2, values, {}, 0.5)
+        session.record_chunk("fig13", 0, 1.0, 2, 4, values, {}, 0.7)
+        session.close()
+        status = run_status(run_dir)
+        assert status["chunks_done"] == 2
+        assert status["complete"] is False
+        assert status["chunk_wall_mean_s"] == pytest.approx(0.6)
+        assert status["eta_s"] is not None and status["eta_s"] > 0
+        (sweep,) = status["sweeps"]
+        assert sweep["chunks_done"] == 2 and sweep["complete"] is False
+
+    def test_completed_run(self, run_dir):
+        session = _new_session(run_dir)
+        definition = get_figure("fig13")
+        values = [{"HDLTS": 1.0}, {"HDLTS": 2.0}]
+        for i in range(len(definition.x_values)):
+            for lo in (0, 2):
+                session.record_chunk(
+                    "fig13", i, definition.x_values[i], lo, lo + 2,
+                    values, {}, 0.1,
+                )
+        session.close()
+        status = run_status(run_dir)
+        assert status["complete"] is True
+        assert status["chunks_done"] == status["chunks_total"]
+        assert status["eta_s"] is None
+        assert status["stragglers"] == []
+        assert status["throughput_chunks_per_s"] is None or (
+            status["throughput_chunks_per_s"] > 0
+        )
+
+    def test_straggler_flagging(self, run_dir):
+        session = _new_session(run_dir)
+        session.record_chunk(
+            "fig13", 0, 1.0, 0, 2, [{"HDLTS": 1.0}], {}, 0.5
+        )
+        session.close()
+        tdir = telemetry_dir(run_dir)
+        now = time.time()
+        stale = {
+            "schema": HEARTBEAT_SCHEMA, "pid": 41, "role": "worker",
+            "rss_kb": 1, "cpu_user_s": 0.0, "cpu_sys_s": 0.0,
+            "chunks_done": 1, "last_event_ts": None, "ts": now - 3600.0,
+        }
+        fresh = dict(stale, pid=42, ts=now)
+        tdir.mkdir(parents=True)
+        (tdir / "heartbeat-41.json").write_text(json.dumps(stale))
+        (tdir / "heartbeat-42.json").write_text(json.dumps(fresh))
+        status = run_status(run_dir, now=now)
+        assert status["stragglers"] == [41]
+
+    def test_agrees_with_real_run(self, run_dir):
+        session = _new_session(run_dir, reps=2, chunk_size=1)
+        definition = session.definitions[0]
+        with session:
+            run_sweep_parallel(
+                definition, reps=2, seed=0, workers=1, chunk_size=1,
+                session=session, start_method="serial",
+            )
+        status = run_status(run_dir)
+        assert status["complete"] is True
+        assert status["chunks_done"] == len(definition.x_values) * 2
+
+
+class TestFormatTop:
+    @pytest.fixture
+    def status(self, run_dir):
+        session = _new_session(run_dir)
+        session.record_chunk(
+            "fig13", 0, 1.0, 0, 2, [{"HDLTS": 1.0}], {}, 0.5
+        )
+        session.close()
+        HeartbeatWriter(telemetry_dir(run_dir), role="main").beat(force=True)
+        return run_status(run_dir)
+
+    def test_frame_contents(self, status):
+        frame = format_top(status)
+        assert "repro top" in frame
+        assert "[#" in frame  # progress bar
+        assert "1/10" in frame
+        assert "fig13" in frame
+        assert "main" in frame
+        assert "ETA" in frame
+
+    def test_straggler_annotation(self, status):
+        status["stragglers"] = [status["workers"][0]["pid"]]
+        status["workers"][0]["role"] = "worker"
+        assert "STRAGGLER" in format_top(status)
+
+    def test_complete_frame(self, status):
+        status["complete"] = True
+        frame = format_top(status)
+        assert "complete" in frame
+
+
+class TestWatch:
+    def test_once_prints_one_frame(self, run_dir, capsys):
+        _new_session(run_dir).close()
+        assert watch(run_dir, once=True) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out and "\x1b[2J" not in out
+
+    def test_live_exits_on_complete(self, run_dir, capsys):
+        session = _new_session(run_dir, reps=2, chunk_size=2)
+        definition = session.definitions[0]
+        values = [{"HDLTS": 1.0}, {"HDLTS": 2.0}]
+        for i in range(len(definition.x_values)):
+            session.record_chunk(
+                "fig13", i, definition.x_values[i], 0, 2, values, {}, 0.1
+            )
+        session.close()
+        assert watch(run_dir, interval_s=0.01) == 0

@@ -1,8 +1,48 @@
-"""Unit tests for the ASCII Gantt renderer."""
+"""Unit tests for the Gantt lane extractor and ASCII renderer."""
 
 from repro.core import HDLTS
-from repro.schedule.gantt import render_gantt
+from repro.schedule.gantt import GanttSlot, gantt_lanes, render_gantt
 from repro.schedule.schedule import Schedule
+
+
+class TestGanttLanes:
+    def test_one_lane_per_cpu_in_order(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        lanes = gantt_lanes(schedule)
+        assert [label for label, _ in lanes] == ["P1", "P2", "P3"]
+
+    def test_slots_sorted_and_cover_every_copy(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        lanes = gantt_lanes(schedule)
+        total = sum(len(slots) for _, slots in lanes)
+        assert total == sum(len(t.slots()) for t in schedule.timelines)
+        for _, slots in lanes:
+            starts = [s.start for s in slots]
+            assert starts == sorted(starts)
+            assert all(isinstance(s, GanttSlot) for s in slots)
+            assert all(s.end >= s.start for s in slots)
+
+    def test_duplicate_labels_get_apostrophe(self, fig1):
+        schedule = HDLTS().run(fig1).schedule
+        assert schedule.duplicates()
+        dup_slots = [
+            s for _, slots in gantt_lanes(schedule) for s in slots
+            if s.duplicate
+        ]
+        assert dup_slots and all(s.label.endswith("'") for s in dup_slots)
+
+    def test_empty_schedule_gives_empty_lanes(self, diamond):
+        lanes = gantt_lanes(Schedule(diamond))
+        assert [label for label, _ in lanes] == ["P1", "P2"]
+        assert all(slots == [] for _, slots in lanes)
+
+    def test_renderer_consumes_lanes(self, fig1):
+        # the ASCII view and the exporter must agree on lane content
+        schedule = HDLTS().run(fig1).schedule
+        text = render_gantt(schedule, width=120)
+        for _, slots in gantt_lanes(schedule):
+            for slot in slots:
+                assert f"[{slot.label}]" in text
 
 
 def test_empty_schedule_renders_idle(diamond):

@@ -368,3 +368,198 @@ class TestObservability:
         main(["profile", "--workflow", "fig1", "--scheduler", "HDLTS"])
         assert not obs.enabled()
         assert not obs.get_bus().active
+
+
+class TestRunTelemetry:
+    def _run(self, run_dir, *extra):
+        return main(
+            [
+                "run", "fig13", "--reps", "2", "--chunk-size", "1",
+                "--run-dir", str(run_dir), *extra,
+            ]
+        )
+
+    def test_run_writes_heartbeats_by_default(self, tmp_path, capsys):
+        import json
+
+        run_dir = tmp_path / "run"
+        assert self._run(run_dir) == 0
+        beats = list((run_dir / "telemetry").glob("heartbeat-*.json"))
+        assert beats
+        doc = json.loads(beats[0].read_text())
+        assert doc["role"] == "main" and doc["chunks_done"] == 10
+
+    def test_run_trace_produces_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        run_dir = tmp_path / "run"
+        assert self._run(run_dir, "--trace") == 0
+        trace = json.loads((run_dir / "telemetry" / "trace.json").read_text())
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        kinds = {
+            e["cat"] for e in trace["traceEvents"] if e.get("ph") == "X"
+        }
+        assert kinds >= {
+            "sweep.run", "sweep.chunk", "sweep.replication", "scheduler.run"
+        }
+        assert "spans merged into" in capsys.readouterr().err
+
+    def test_run_trace_parallel_has_worker_lanes(self, tmp_path, capsys):
+        import json
+
+        run_dir = tmp_path / "run"
+        assert (
+            self._run(
+                run_dir, "--trace", "--workers", "2",
+                "--start-method", "spawn",
+            )
+            == 0
+        )
+        trace = json.loads((run_dir / "telemetry" / "trace.json").read_text())
+        lanes = [
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "thread_name"
+        ]
+        assert sum(1 for n in lanes if n.startswith("worker ")) == 2
+        assert sum(1 for n in lanes if n.startswith("main ")) == 1
+
+    def test_run_metrics_writes_prometheus_textfile(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert self._run(run_dir, "--metrics") == 0
+        prom = (run_dir / "telemetry" / "metrics.prom").read_text()
+        assert "repro_sweep_replications_total 10" in prom
+        assert "# TYPE repro_sweep_chunk_wall_seconds summary" in prom
+        assert "observability metrics:" in capsys.readouterr().out
+
+    def test_run_events_defaults_into_telemetry_dir(self, tmp_path, capsys):
+        import json
+
+        run_dir = tmp_path / "run"
+        assert self._run(run_dir, "--events") == 0
+        events_path = run_dir / "telemetry" / "events.jsonl"
+        events = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+        ]
+        chunk_events = [e for e in events if e["event"] == "sweep.chunk"]
+        assert len(chunk_events) == 10  # no double emission per chunk
+        assert all(e["recorded"] for e in chunk_events)
+
+    def test_run_events_explicit_path(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        events_path = tmp_path / "ev.jsonl"
+        assert self._run(run_dir, "--events", str(events_path)) == 0
+        assert events_path.exists()
+
+    def test_status_json_on_completed_run(self, tmp_path, capsys):
+        import json
+
+        run_dir = tmp_path / "run"
+        assert self._run(run_dir) == 0
+        capsys.readouterr()
+        assert main(["status", str(run_dir), "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["schema"] == "repro.status/1"
+        assert status["complete"] is True
+        assert status["chunks_done"] == status["chunks_total"] == 10
+
+    def test_status_counts_interrupted_run(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments import get_figure
+        from repro.runtime.context import RunContext
+        from repro.runtime.session import ExperimentSession
+
+        run_dir = tmp_path / "run"
+        session = ExperimentSession.create(
+            run_dir, RunContext(chunk_size=1), [get_figure("fig13")], reps=2
+        )
+        session.record_chunk("fig13", 0, 1.0, 0, 1, [{"HDLTS": 1.0}], {}, 0.1)
+        session.record_chunk("fig13", 0, 1.0, 1, 2, [{"HDLTS": 1.1}], {}, 0.1)
+        session.record_chunk("fig13", 1, 2.0, 0, 1, [{"HDLTS": 1.2}], {}, 0.1)
+        session.close()
+        assert main(["status", str(run_dir), "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["complete"] is False
+        assert status["chunks_done"] == 3
+        assert status["chunks_total"] == 10
+        assert status["eta_s"] > 0
+
+    def test_top_once_on_completed_run(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert self._run(run_dir) == 0
+        capsys.readouterr()
+        assert main(["top", str(run_dir), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out and "10/10" in out and "complete" in out
+
+    def test_top_once_on_interrupted_run(self, tmp_path, capsys):
+        from repro.experiments import get_figure
+        from repro.runtime.context import RunContext
+        from repro.runtime.session import ExperimentSession
+
+        run_dir = tmp_path / "run"
+        session = ExperimentSession.create(
+            run_dir, RunContext(chunk_size=1), [get_figure("fig13")], reps=2
+        )
+        session.record_chunk("fig13", 0, 1.0, 0, 1, [{"HDLTS": 1.0}], {}, 0.1)
+        session.close()
+        assert main(["top", str(run_dir), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "1/10" in out and "running" in out
+
+    def test_top_missing_dir_exits_2(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path / "nope"), "--once"]) == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_resume_inherits_trace_from_manifest(self, tmp_path, capsys):
+        import json
+
+        run_dir = tmp_path / "run"
+        assert self._run(run_dir, "--trace") == 0
+        capsys.readouterr()
+        assert main(["resume", str(run_dir)]) == 0
+        # replayed runs re-trace from the parent process (all chunks
+        # come from the ledger, so only parent spans appear)
+        trace = json.loads((run_dir / "telemetry" / "trace.json").read_text())
+        assert any(
+            e.get("cat") == "sweep.run" for e in trace["traceEvents"]
+        )
+
+    def test_run_outputs_unchanged_by_telemetry(self, tmp_path, capsys):
+        plain = tmp_path / "plain"
+        traced = tmp_path / "traced"
+        assert self._run(plain) == 0
+        out_plain = capsys.readouterr().out.replace(str(plain), "RUN")
+        assert self._run(traced, "--trace") == 0
+        out_traced = capsys.readouterr().out.replace(str(traced), "RUN")
+        assert out_traced == out_plain
+
+    def test_schedule_trace_json(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "schedule", "--workflow", "paper",
+                    "--trace-json", str(out_path),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(out_path.read_text())
+        events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        cats = {e["cat"] for e in events}
+        assert "scheduler.run" in cats
+        assert "phase" in cats  # the per-phase bridge was scoped on
+        assert "schedule" in cats  # the Gantt overlay
+        lanes = [
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "thread_name"
+            and e["pid"] == 2
+        ]
+        assert lanes == ["P1", "P2", "P3"]
+        assert "chrome://tracing" in capsys.readouterr().err
