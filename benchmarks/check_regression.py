@@ -48,9 +48,18 @@ def main(argv=None) -> int:
     current = load_wall_times(args.current)
 
     shared = sorted(baseline.keys() & current.keys())
-    if not shared:
-        print("no overlapping benchmarks between baseline and current")
+    if not current:
+        print("current run recorded no benchmarks")
         return 1
+    if not shared:
+        # nothing to compare, but the run did produce benches: they are
+        # all new (no baseline yet) -- informational, not a failure, so
+        # a bench added mid-PR cannot break perf-smoke before the
+        # baseline is regenerated
+        for name in sorted(current.keys()):
+            print(f"{'new':>10}  (no baseline yet)   {name}")
+        print("\nno overlapping benchmarks; nothing to compare")
+        return 0
 
     regressions = []
     for name in shared:

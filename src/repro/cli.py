@@ -76,6 +76,14 @@ def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
         help="worker pool start method (default: fork where available, "
         "then spawn, else serial)",
     )
+    parser.add_argument(
+        "--batch",
+        default="auto",
+        choices=["auto", "off"],
+        help="batched multi-DAG kernel: 'auto' groups same-shape "
+        "replications per x point, 'off' forces the scalar path "
+        "(bit-identical results either way)",
+    )
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -882,6 +890,7 @@ def _context_from_args(args):
         workers=getattr(args, "workers", DEFAULT_CONTEXT.workers),
         chunk_size=getattr(args, "chunk_size", DEFAULT_CONTEXT.chunk_size),
         start_method=getattr(args, "start_method", None),
+        batch=getattr(args, "batch", DEFAULT_CONTEXT.batch),
     )
 
 

@@ -1,0 +1,1168 @@
+"""Batched multi-DAG scheduling kernel: one array program per batch.
+
+A figure sweep's replication loop runs the same scheduler on many
+independent random instances that usually share one *shape*: the graph
+structure (CSR adjacency) is identical and only the cost draws differ.
+The scalar path pays full Python dispatch per instance; this module
+packs a whole replication batch of same-shape compiled instances
+(:class:`~repro.model.compiled.CompiledGraph`) into struct-of-arrays
+``(batch, n, p)`` tensors and runs the schedulers as vectorized sweeps
+over the leading batch axis:
+
+* the rank kernels (mean/std costs, upward rank, OCT) are the
+  level-``reduceat`` kernels of :mod:`repro.model.compiled` with a
+  batch axis in front -- per-lane bit-identical because every reduction
+  runs along a per-lane axis;
+* the static-priority baselines (HEFT, PEFT, SDBATS and their
+  registered ablations) compute per-lane task orders up front and then
+  place one task per lane per step in lockstep, with a vectorized
+  timeline gap scan (:class:`_BatchTimelines`) replicating
+  ``ProcessorTimeline.earliest_start_fast`` and the 1e-12
+  strict-improvement CPU selection of ``StaticEFTEngine.place_best``;
+* HDLTS runs a batched ready-list step: the union of the lanes' ITQ
+  frontiers is compacted into one ``(batch, |union|, p)`` EFT block per
+  step, the penalty-value kernel and the argmax/argmin selections run
+  per lane, and Algorithm 1's entry-duplication window test reduces to
+  a ``first_start >= W(entry, p) - eps`` comparison (exact under the
+  :func:`hdlts_dup_batchable` instance gate).
+
+Everything here is **bit-identical** to the scalar compiled path: the
+same IEEE-754 float64 operations run in the same order per lane
+(``min``/``max`` reductions are order-free; additions are preserved
+term for term).  The differential suite asserts schedule-level equality
+for every batchable registry scheduler; the sweep harness
+(:mod:`repro.experiments.harness`) falls back to the scalar path for
+anything this module does not cover.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.hdlts import PriorityRule
+from repro.model.compiled import CompiledGraph, _ragged_indices
+from repro.schedule.schedule import Schedule
+from repro.schedule.timeline import _EPS
+
+__all__ = [
+    "BATCHABLE",
+    "BatchResult",
+    "CompiledBatch",
+    "batchable_schedulers",
+    "hdlts_dup_batchable",
+    "instance_batchable",
+    "max_lanes",
+    "run_batch",
+    "shape_key",
+]
+
+
+# ----------------------------------------------------------------------
+# scheduler configurations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _StaticConfig:
+    """One static-list baseline as the batch kernel sees it."""
+
+    obs_name: str  # Scheduler.name (counter prefix), not the registry key
+    rank: str  # "mean" | "std" | "oct"
+    insertion: bool = True
+    sdbats: bool = False  # entry pre-placement (primary + mirrors)
+    duplicate_entry: bool = True  # SDBATS only
+    peft: bool = False  # OCT objective + dynamic-heap order
+
+
+@dataclass(frozen=True)
+class _DynamicConfig:
+    """One HDLTS variant (append mode) as the batch kernel sees it."""
+
+    obs_name: str
+    priority: PriorityRule
+    duplicate_entry: bool
+
+
+#: registry name -> batch kernel configuration.  Schedulers absent here
+#: (PETS, CPOP, ``HDLTS-insertion``, ``engine="reference"`` variants,
+#: ...) always take the scalar path.
+_CONFIGS: Dict[str, object] = {
+    "HEFT": _StaticConfig("HEFT", rank="mean", insertion=True),
+    "HEFT-noinsertion": _StaticConfig("HEFT", rank="mean", insertion=False),
+    "PEFT": _StaticConfig("PEFT", rank="oct", insertion=True, peft=True),
+    "SDBATS": _StaticConfig(
+        "SDBATS", rank="std", insertion=True, sdbats=True, duplicate_entry=True
+    ),
+    "SDBATS-nodup": _StaticConfig(
+        "SDBATS", rank="std", insertion=True, sdbats=True, duplicate_entry=False
+    ),
+    "HDLTS": _DynamicConfig(
+        "HDLTS", PriorityRule.PENALTY_VALUE, duplicate_entry=True
+    ),
+    "HDLTS-nodup": _DynamicConfig(
+        "HDLTS", PriorityRule.PENALTY_VALUE, duplicate_entry=False
+    ),
+    "HDLTS-range": _DynamicConfig(
+        "HDLTS", PriorityRule.EFT_RANGE, duplicate_entry=True
+    ),
+    "HDLTS-meaneft": _DynamicConfig(
+        "HDLTS", PriorityRule.MEAN_EFT, duplicate_entry=True
+    ),
+    "HDLTS-greedy": _DynamicConfig(
+        "HDLTS", PriorityRule.MIN_EFT_FIRST, duplicate_entry=True
+    ),
+    "HDLTS-rank": _DynamicConfig(
+        "HDLTS", PriorityRule.UPWARD_RANK, duplicate_entry=True
+    ),
+}
+
+#: registry names the batch kernel covers
+BATCHABLE = frozenset(_CONFIGS)
+
+
+def batchable_schedulers() -> List[str]:
+    """Registry names the batched kernel can run (insertion order)."""
+    return list(_CONFIGS)
+
+
+def shape_key(compiled: CompiledGraph) -> Tuple:
+    """Hashable structural identity of one compiled instance.
+
+    Two instances share a shape exactly when their CSR successor
+    structure (and so their predecessor mirror, topological order,
+    entry/exit sets and level batches) is identical -- only the cost
+    draws may differ.
+    """
+    return (
+        compiled.n_tasks,
+        compiled.n_procs,
+        compiled.succ_indptr.tobytes(),
+        compiled.succ_ids.tobytes(),
+    )
+
+
+def max_lanes(n_tasks: int, n_procs: int) -> int:
+    """Soft cap on lanes per sub-batch (bounds the (B, n, p) tensors)."""
+    cells = max(1, n_tasks * n_procs)
+    return max(1, min(1024, 2_000_000 // cells))
+
+
+def hdlts_dup_batchable(compiled: CompiledGraph) -> bool:
+    """True when Algorithm 1's window test batches exactly for this instance.
+
+    The batched kernel replaces ``timeline.fits(0, W(entry, p))`` with
+    ``first_start[p] >= W(entry, p) - eps``.  The two agree whenever
+    every slot on a CPU without an entry copy starts strictly after
+    ``eps``, which holds when every entry cost exceeds ``eps`` (all
+    finish times then inherit ``BF(entry) > eps``).  A normalized
+    pseudo entry (all-zero cost row and all-zero outgoing comm) is also
+    exact: the duplication test ``W(entry, p) < arrival`` is then
+    constantly false on both paths.  Anything else falls back.
+    """
+    entry = int(compiled.entry_ids[0])
+    w_entry = compiled.w[entry]
+    if bool((w_entry > _EPS).all()):
+        return True
+    if bool((w_entry == 0.0).all()):
+        _, costs = compiled.succ_slice(entry)
+        return not costs.size or bool((costs == 0.0).all())
+    return False
+
+
+def instance_batchable(
+    compiled: CompiledGraph, schedulers: Sequence[str]
+) -> bool:
+    """Can this instance ride the batch kernel for all ``schedulers``?
+
+    Requires a single entry task (the harness normalizes instances
+    before compiling) and, when any requested scheduler is an HDLTS
+    variant with entry duplication, the :func:`hdlts_dup_batchable`
+    window-test gate.
+    """
+    if compiled.entry_ids.size != 1:
+        return False
+    needs_gate = any(
+        isinstance(cfg, _DynamicConfig) and cfg.duplicate_entry
+        for cfg in (_CONFIGS.get(name) for name in schedulers)
+        if cfg is not None
+    )
+    return hdlts_dup_batchable(compiled) if needs_gate else True
+
+
+# ----------------------------------------------------------------------
+# the packed batch
+# ----------------------------------------------------------------------
+class CompiledBatch:
+    """Struct-of-arrays view of same-shape compiled instances.
+
+    Structure arrays (CSR adjacency, topo order, level batches) are
+    shared with the first instance's :class:`CompiledGraph`; per-lane
+    data (costs, edge costs) is stacked along a leading batch axis.
+    Rank kernels mirror the compiled graph's level-``reduceat`` kernels
+    with the extra axis and cache their results per batch.
+    """
+
+    def __init__(self, instances: Sequence[CompiledGraph]) -> None:
+        if not instances:
+            raise ValueError("batch needs at least one instance")
+        base = instances[0]
+        key = shape_key(base)
+        for other in instances[1:]:
+            if shape_key(other) != key:
+                raise ValueError("all batch instances must share one shape")
+        if base.entry_ids.size != 1:
+            raise ValueError("batch instances must have a single entry task")
+        self.instances: Tuple[CompiledGraph, ...] = tuple(instances)
+        self.base = base
+        self.n_lanes = len(self.instances)
+        self.n_tasks = base.n_tasks
+        self.n_procs = base.n_procs
+        self.entry = int(base.entry_ids[0])
+        # per-lane data planes
+        self.W = np.stack([g.w for g in self.instances])  # (B, n, p)
+        self.succ_costs_b = np.stack(
+            [g.succ_costs for g in self.instances]
+        )  # (B, E)
+        self.pred_costs_b = np.stack(
+            [g.pred_costs for g in self.instances]
+        )  # (B, E)
+        # dense entry -> child communication per lane
+        ids, _ = base.succ_slice(self.entry)
+        self.entry_comm_b = np.zeros((self.n_lanes, self.n_tasks))
+        lo, hi = base.succ_indptr[self.entry], base.succ_indptr[self.entry + 1]
+        self.entry_comm_b[:, ids] = self.succ_costs_b[:, lo:hi]
+        # entry-stripped predecessor CSR (HDLTS entry-children rows)
+        keep = base.pred_ids != self.entry
+        counts = np.diff(base.pred_indptr)
+        stripped = np.zeros(self.n_tasks, dtype=np.intp)
+        if len(keep):
+            # per-task count of kept predecessor edges
+            owner = np.repeat(np.arange(self.n_tasks), counts)
+            np.add.at(stripped, owner[keep], 1)
+        self.ne_indptr = np.zeros(self.n_tasks + 1, dtype=np.intp)
+        np.cumsum(stripped, out=self.ne_indptr[1:])
+        self.ne_ids = base.pred_ids[keep]
+        self.ne_costs_b = self.pred_costs_b[:, keep]
+        self._cache: Dict[str, np.ndarray] = {}
+
+    @property
+    def label(self) -> str:
+        """Short human-readable shape tag for spans and logs."""
+        key = shape_key(self.base)
+        digest = zlib.crc32(key[2] + key[3]) & 0xFFFFFFFF
+        return f"n{self.n_tasks}p{self.n_procs}-{digest:08x}"
+
+    # ------------------------------------------------------------------
+    # batched rank kernels (per-lane bit-identical to CompiledGraph's)
+    # ------------------------------------------------------------------
+    def _cached(self, key: str, builder):
+        out = self._cache.get(key)
+        if out is None:
+            out = self._cache[key] = builder()
+        return out
+
+    def mean_costs(self) -> np.ndarray:
+        """(B, n) per-lane Eq. (1) mean execution times."""
+        return self._cached("mean", lambda: self.W.mean(axis=2))
+
+    def std_costs(self, ddof: int = 1) -> np.ndarray:
+        """(B, n) per-lane execution-time std over CPUs."""
+
+        def build() -> np.ndarray:
+            if self.n_procs <= ddof:
+                return np.zeros((self.n_lanes, self.n_tasks))
+            return self.W.std(axis=2, ddof=ddof)
+
+        return self._cached(f"std{ddof}", build)
+
+    def upward_rank(self, weights: np.ndarray) -> np.ndarray:
+        """(B, n) upward rank from per-lane node weights ``(B, n)``."""
+        rank = weights + 0.0
+        ids = self.base.succ_ids
+        costs = self.succ_costs_b
+        for nodes, flat, offsets, _ in self.base._up_batches():
+            candidates = costs[:, flat] + rank[:, ids[flat]]
+            best = np.maximum.reduceat(candidates, offsets, axis=1)
+            rank[:, nodes] = weights[:, nodes] + np.maximum(best, 0.0)
+        return rank
+
+    def mean_upward_rank(self) -> np.ndarray:
+        """HEFT's rank (cached): upward rank over mean costs."""
+        return self._cached(
+            "rank_mean", lambda: self.upward_rank(self.mean_costs())
+        )
+
+    def std_upward_rank(self) -> np.ndarray:
+        """SDBATS's rank (cached): upward rank over std costs."""
+        return self._cached(
+            "rank_std", lambda: self.upward_rank(self.std_costs())
+        )
+
+    def oct_table(self) -> np.ndarray:
+        """(B, n, p) PEFT Optimistic Cost Table per lane (cached)."""
+
+        def build() -> np.ndarray:
+            n, p = self.n_tasks, self.n_procs
+            table = np.zeros((self.n_lanes, n, p))
+            ids = self.base.succ_ids
+            costs = self.succ_costs_b
+            for nodes, flat, offsets, _ in self.base._up_batches():
+                succ = ids[flat]
+                base = table[:, succ, :] + self.W[:, succ, :]
+                with_comm = base + costs[:, flat, None]
+                global_min = with_comm.min(axis=2)
+                per_p = np.minimum(global_min[..., None], base)
+                rows = np.maximum.reduceat(per_p, offsets, axis=1)
+                np.maximum(rows, 0.0, out=rows)
+                table[:, nodes, :] = rows
+            return table
+
+        return self._cached("oct_table", build)
+
+    def oct_rank(self) -> np.ndarray:
+        """(B, n) PEFT priority: per-lane OCT row means (cached)."""
+        return self._cached(
+            "oct_rank", lambda: self.oct_table().mean(axis=2)
+        )
+
+
+# ----------------------------------------------------------------------
+# batched per-CPU timelines (statics only; HDLTS append needs none)
+# ----------------------------------------------------------------------
+class _BatchTimelines:
+    """SoA mirror of one :class:`ProcessorTimeline` per (lane, CPU).
+
+    ``starts``/``ends`` are ``(B, p, S)`` slot arrays padded with
+    ``+inf`` past ``counts``; slots are kept sorted by ``(start, end)``
+    exactly like the scalar timeline's key list.  The insertion gap
+    scan vectorizes ``earliest_start_fast``'s monotone-ends loop; the
+    shapes where that proof does not hold (eps-scale durations, a lane
+    knocked non-monotone by a boundary point slot) fall back to a
+    faithful per-lane port of the scalar ``earliest_start``/``fits``.
+    """
+
+    def __init__(self, n_lanes: int, n_procs: int, capacity: int) -> None:
+        capacity = max(4, capacity)
+        self.n_lanes = n_lanes
+        self.n_procs = n_procs
+        # flat (lane * p + CPU, S) layout: one fancy index on axis 0
+        # reaches a contiguous row, which is much cheaper than the 2-D
+        # advanced indexing a (B, p, S) layout would force per step
+        self.starts = np.full((n_lanes * n_procs, capacity), np.inf)
+        self.ends = np.full((n_lanes * n_procs, capacity), np.inf)
+        # derived rows kept in sync by ``insert`` (touched rows only),
+        # saving two full-slab passes per gap scan: ``starts + _EPS``
+        # and the one-right-shifted ends (gap predecessors)
+        self.starts_eps = np.full((n_lanes * n_procs, capacity), np.inf)
+        self.prev_ends = np.full((n_lanes * n_procs, capacity), np.inf)
+        self.prev_ends[:, 0] = 0.0
+        self.counts = np.zeros(n_lanes * n_procs, dtype=np.intp)
+        self.max_end = np.zeros((n_lanes, n_procs))
+        self.monotone = np.ones(n_lanes * n_procs, dtype=bool)
+        # hot width: max slot count over all (lane, CPU) rows.  Every
+        # column past it is an untouched +inf pad, so the vectorized
+        # scans slice to ``hot + 1`` (one pad column -- the guaranteed
+        # append-fallback slot) instead of sweeping the full capacity.
+        self.hot = 0
+        self._alloc_scratch()
+        self._row_id = np.arange(n_lanes * n_procs)
+        # per-row slot-list cache for the scalar fallback (a bad row is
+        # re-queried every step but mutated only when an insert lands
+        # on it); version counters invalidate on write
+        self._version = np.zeros(n_lanes * n_procs, dtype=np.int64)
+        self._fallback_cache: Dict[int, Tuple[int, list, list]] = {}
+
+    def _alloc_scratch(self) -> None:
+        shape = self.starts.shape
+        self._sf2 = np.empty(shape)
+        self._sf3 = np.empty(shape)
+        self._sb1 = np.empty(shape, dtype=bool)
+        self._sb2 = np.empty(shape, dtype=bool)
+
+    def _ensure_capacity(self) -> None:
+        capacity = self.starts.shape[1]
+        needed = self.hot + 3
+        if needed <= capacity:
+            return
+        grow = max(needed, 2 * capacity)
+        pad = grow - capacity
+        shape = (self.starts.shape[0], pad)
+        self.starts = np.concatenate(
+            [self.starts, np.full(shape, np.inf)], axis=1
+        )
+        self.ends = np.concatenate(
+            [self.ends, np.full(shape, np.inf)], axis=1
+        )
+        self.starts_eps = np.concatenate(
+            [self.starts_eps, np.full(shape, np.inf)], axis=1
+        )
+        self.prev_ends = np.concatenate(
+            [self.prev_ends, np.full(shape, np.inf)], axis=1
+        )
+        self._alloc_scratch()
+
+    # ------------------------------------------------------------------
+    def earliest_start(
+        self, ready: np.ndarray, dur: np.ndarray, insertion: bool
+    ) -> np.ndarray:
+        """(B, p) earliest starts, bit-identical to the scalar engine."""
+        if not insertion:
+            return np.maximum(ready, self.max_end)
+        # slice to the hot window: the fullest row's first pad column is
+        # ``hot``, so every row keeps its append-fallback pad in view.
+        # All arithmetic lands in preallocated scratch rows -- these
+        # temporaries are large enough that fresh allocations would go
+        # through mmap (and its page faults) on every step
+        w = self.hot + 1
+        n_rows = self.n_lanes * self.n_procs
+        ends = self.ends[:, :w]
+        ready_f = ready.reshape(n_rows, 1)
+        dur_f = dur.reshape(n_rows, 1)
+        gap = self._sf2[:, :w]
+        fit = self._sf3[:, :w]
+        feasible = self._sb1[:, :w]
+        open_ = self._sb2[:, :w]
+        np.maximum(ready_f, self.prev_ends[:, :w], out=gap)
+        np.add(gap, dur_f, out=fit)
+        np.less_equal(fit, self.starts_eps[:, :w], out=feasible)
+        np.greater(ends, ready_f, out=open_)
+        feasible &= open_
+        # the first pad slot (starts/ends = +inf past counts) is always
+        # feasible with gap = max(ready, max_end): exactly the scalar
+        # append-after-everything fallback, so argmax needs no miss case
+        idx = feasible.argmax(axis=1)
+        out = gap[self._row_id, idx].reshape(self.n_lanes, self.n_procs)
+        bad = (~self.monotone).reshape(self.n_lanes, self.n_procs) | (
+            dur <= _EPS
+        )
+        if bad.any():
+            for b, q in zip(*np.nonzero(bad)):
+                out[b, q] = self._scalar_earliest(
+                    int(b) * self.n_procs + int(q),
+                    float(ready[b, q]),
+                    float(dur[b, q]),
+                )
+        return out
+
+    def _scalar_earliest(
+        self, row: int, ready: float, duration: float
+    ) -> float:
+        """Port of ``ProcessorTimeline.earliest_start`` (insertion)."""
+        count = int(self.counts[row])
+        avail = float(self.max_end.reshape(-1)[row])
+        if not count:
+            return max(ready, avail)
+        version = int(self._version[row])
+        cached = self._fallback_cache.get(row)
+        if cached is not None and cached[0] == version:
+            starts, ends = cached[1], cached[2]
+        else:
+            starts = self.starts[row, :count].tolist()
+            ends = self.ends[row, :count].tolist()
+            self._fallback_cache[row] = (version, starts, ends)
+
+        def fits(lo_t: float, hi_t: float) -> bool:
+            if lo_t < -_EPS:
+                return False
+            if hi_t - lo_t <= _EPS:
+                return not any(
+                    s < lo_t < e - _EPS for s, e in zip(starts, ends)
+                )
+            lo = bisect_right(starts, lo_t)
+            hi = bisect_left(starts, hi_t - _EPS)
+            if lo < hi:
+                return False
+            j = hi
+            while j > 0:
+                c_start, c_end = starts[j - 1], ends[j - 1]
+                j -= 1
+                if c_end - c_start <= _EPS:
+                    continue
+                return c_end <= lo_t + _EPS
+            return True
+
+        first = bisect_right(ends, ready)
+        prev_end = ends[first - 1] if first > 0 else 0.0
+        for idx in range(first, count):
+            gap_start = max(ready, prev_end)
+            if gap_start + duration <= starts[idx] + _EPS and fits(
+                gap_start, gap_start + duration
+            ):
+                return gap_start
+            prev_end = max(prev_end, ends[idx])
+        fallback = max(ready, prev_end)
+        if fits(fallback, fallback + duration):
+            return fallback
+        return max(ready, avail)
+
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        lanes: np.ndarray,
+        procs: np.ndarray,
+        start: np.ndarray,
+        end: np.ndarray,
+    ) -> None:
+        """Reserve ``[start, end)`` on each (lane, CPU) pair.
+
+        Pairs must be distinct within one call.  Mirrors
+        ``ProcessorTimeline.reserve``: sorted ``(start, end)`` insertion
+        position, monotone-ends break detection, ``max_end`` update.
+        """
+        if not len(lanes):
+            return
+        self._ensure_capacity()
+        rows = lanes * self.n_procs + procs
+        # hot window + 1 shift column: rows hold at most ``hot`` slots,
+        # so the shifted row fits in ``hot + 1`` columns and one pad
+        # column keeps the write-back from touching live data
+        w = min(self.hot + 2, self.starts.shape[1])
+        row_s = self.starts[rows, :w]  # (K, w) gather copies
+        row_e = self.ends[rows, :w]
+        count = self.counts[rows]
+        # bisect_right on the (start, end) key list
+        pos = (row_s < start[:, None]).sum(axis=1) + (
+            (row_s == start[:, None]) & (row_e <= end[:, None])
+        ).sum(axis=1)
+        col = np.arange(w)
+        shifted_s = np.empty_like(row_s)
+        shifted_s[:, 0] = row_s[:, 0]
+        shifted_s[:, 1:] = row_s[:, :-1]
+        shifted_e = np.empty_like(row_e)
+        shifted_e[:, 0] = row_e[:, 0]
+        shifted_e[:, 1:] = row_e[:, :-1]
+        at = col[None, :] == pos[:, None]
+        before = col[None, :] < pos[:, None]
+        new_s = np.where(before, row_s, np.where(at, start[:, None], shifted_s))
+        new_e = np.where(before, row_e, np.where(at, end[:, None], shifted_e))
+        # monotone break (old row values; the +inf pads make the right
+        # test vacuous for appends, matching reserve's append fast path)
+        ar = np.arange(len(lanes))
+        prev_e = row_e[ar, np.maximum(pos - 1, 0)]
+        next_e = row_e[ar, pos]
+        broke = ((pos > 0) & (prev_e > end)) | (end > next_e)
+        self.monotone[rows] &= ~broke
+        self._version[rows] += 1
+        self.starts[rows, :w] = new_s
+        self.ends[rows, :w] = new_e
+        # keep the derived scan rows in sync (capacity >= hot + 3 after
+        # _ensure_capacity, so the w + 1 shift column always exists)
+        self.starts_eps[rows, :w] = new_s + _EPS
+        self.prev_ends[rows, 1 : w + 1] = new_e
+        self.counts[rows] = count + 1
+        self.hot = max(self.hot, int(count.max()) + 1)
+        self.max_end[lanes, procs] = np.maximum(
+            self.max_end[lanes, procs], end
+        )
+
+
+# ----------------------------------------------------------------------
+# shared ragged helpers
+# ----------------------------------------------------------------------
+def _gather_ready(
+    indptr: np.ndarray,
+    ids: np.ndarray,
+    costs_b: np.ndarray,
+    fin_of: np.ndarray,
+    proc_of: np.ndarray,
+    best_finish: np.ndarray,
+    b_idx: np.ndarray,
+    t_idx: np.ndarray,
+    n_procs: int,
+) -> np.ndarray:
+    """(K, p) Definition-5 ready rows for (lane, task) pairs.
+
+    Per pair: ``max over parents of min(LF[parent], BF[parent] + comm)``
+    floored at 0 -- bit-identical to ``StaticEFTEngine.ready_vector`` /
+    ``EFTEngine._ready_row`` (min/max reductions are order-free and the
+    single ``BF + comm`` addition per parent edge is preserved).
+
+    Parents here are single-copy tasks (never the duplicable entry), so
+    ``LF[parent]`` is ``fin_of`` on ``proc_of`` and ``+inf`` elsewhere:
+    the arrival row is ``via`` everywhere except the parent's own CPU,
+    where ``min(fin, via) == fin`` exactly (``via = fin + comm >= fin``).
+    """
+    starts = indptr[t_idx]
+    counts = indptr[t_idx + 1] - starts
+    out = np.zeros((len(t_idx), n_procs))
+    if not len(t_idx) or int(counts.sum()) == 0:
+        return out
+    flat, offsets = _ragged_indices(starts, counts)
+    b_of = np.repeat(b_idx, counts)
+    parents = ids[flat]
+    via = best_finish[b_of, parents] + costs_b[b_of, flat]
+    arrivals = np.repeat(via, n_procs).reshape(-1, n_procs)
+    arrivals[np.arange(via.size), proc_of[b_of, parents]] = fin_of[
+        b_of, parents
+    ]
+    nonzero = counts > 0
+    seg = np.maximum.reduceat(arrivals, offsets[nonzero], axis=0)
+    out[nonzero] = np.maximum(seg, 0.0)
+    return out
+
+
+def _select_min_score(
+    scores_by_proc: List[np.ndarray], starts_by_proc: List[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The baselines' CPU pick: strict 1e-12 improvement, low CPU wins.
+
+    A sequential loop over CPUs with vectorized lane updates -- the
+    exact comparison sequence of ``place_min_eft``/``place_best``
+    (which is *not* a plain argmin: an eps-scale improvement on a later
+    CPU does not displace an earlier winner).
+    """
+    n_lanes = len(scores_by_proc[0])
+    best_score = np.full(n_lanes, np.inf)
+    best_proc = np.full(n_lanes, -1, dtype=np.intp)
+    best_start = np.zeros(n_lanes)
+    for q, (score, start) in enumerate(zip(scores_by_proc, starts_by_proc)):
+        better = score < best_score - 1e-12
+        best_score = np.where(better, score, best_score)
+        best_proc = np.where(better, q, best_proc)
+        best_start = np.where(better, start, best_start)
+    return best_proc, best_start, best_score
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+@dataclass
+class BatchResult:
+    """Outcome of one batched scheduler run over a :class:`CompiledBatch`.
+
+    ``makespans[lane]`` is bit-identical to the scalar compiled path's
+    ``Schedule.makespan`` for the same instance.  ``counters`` holds
+    the same per-scheduler observability totals the scalar runs would
+    have produced (``NAME/eft_evaluations``, ``NAME/decisions``,
+    ``NAME/runs``, HDLTS extras); keys follow the scalar key-existence
+    semantics (duplication counters appear only when an event fired).
+    :meth:`schedule_for` replays a lane's decisions into a full
+    :class:`Schedule` for the differential suite.
+    """
+
+    scheduler: str
+    batch: CompiledBatch
+    makespans: np.ndarray
+    counters: Dict[str, int]
+    tasks: np.ndarray  # (B, steps) commit order
+    procs: np.ndarray  # (B, steps)
+    starts: np.ndarray  # (B, steps)
+    dup_steps: Optional[np.ndarray] = None  # (B, steps) bool, HDLTS
+    entry_proc: Optional[np.ndarray] = None  # (B,), SDBATS primary CPU
+    entry_dup: Optional[np.ndarray] = None  # (B,) bool, SDBATS mirrors
+
+    def schedule_for(self, lane: int) -> Schedule:
+        """Replay lane ``lane`` into a :class:`Schedule` (exact floats)."""
+        compiled = self.batch.instances[lane]
+        graph = compiled.graph
+        entry = self.batch.entry
+        schedule = Schedule(graph)
+        if self.entry_proc is not None:
+            best = int(self.entry_proc[lane])
+            schedule.place(entry, best, 0.0)
+            if self.entry_dup is not None and bool(self.entry_dup[lane]):
+                for proc in graph.procs():
+                    if proc != best:
+                        schedule.place(entry, proc, 0.0, duplicate=True)
+        for k in range(self.tasks.shape[1]):
+            proc = int(self.procs[lane, k])
+            if self.dup_steps is not None and bool(self.dup_steps[lane, k]):
+                schedule.place(entry, proc, 0.0, duplicate=True)
+            schedule.place(
+                int(self.tasks[lane, k]), proc, float(self.starts[lane, k])
+            )
+        return schedule
+
+
+# ----------------------------------------------------------------------
+# static-list baselines (HEFT / PEFT / SDBATS) in lockstep
+# ----------------------------------------------------------------------
+def _static_orders(batch: CompiledBatch, cfg: _StaticConfig) -> np.ndarray:
+    """(B, n) per-lane task orders, exactly the scalar derivations."""
+    n = batch.n_tasks
+    position = batch.base.topo_position
+    if cfg.rank == "mean":
+        ranks = batch.mean_upward_rank()
+    elif cfg.rank == "std":
+        ranks = batch.std_upward_rank()
+    else:  # "oct": PEFT's dynamic heap order, simulated per lane
+        ranks = batch.oct_rank()
+        return _peft_orders(batch, ranks)
+    # one lexsort over all lanes: with the lane index as the primary
+    # (last) key, the stable within-lane order is exactly the per-lane
+    # ``np.lexsort((position, -ranks[lane]))`` permutation
+    n_lanes = batch.n_lanes
+    flat = np.lexsort(
+        (
+            np.tile(position, n_lanes),
+            np.negative(ranks).ravel(),
+            np.repeat(np.arange(n_lanes), n),
+        )
+    )
+    return flat.reshape(n_lanes, n) - np.arange(n_lanes)[:, None] * n
+
+
+def _peft_orders(batch: CompiledBatch, ranks: np.ndarray) -> np.ndarray:
+    """PEFT's ready-heap consumption order, all lanes per step.
+
+    The scalar heap pops the ``(-rank, task)`` minimum of the ready
+    set: the maximum rank, ties to the lowest task id.  ``argmax`` over
+    a row whose non-ready entries are ``-inf`` returns its *first*
+    maximum -- the lowest-id maximum -- so one argmax per step across
+    all lanes reproduces every lane's pop sequence exactly.
+    """
+    base = batch.base
+    n = batch.n_tasks
+    n_lanes = batch.n_lanes
+    lanes = np.arange(n_lanes)
+    indeg = np.broadcast_to(np.diff(base.pred_indptr), (n_lanes, n)).copy()
+    score = np.where(indeg == 0, ranks, -np.inf)
+    orders = np.empty((n_lanes, n), dtype=np.intp)
+    for k in range(n):
+        task = score.argmax(axis=1)
+        orders[:, k] = task
+        score[lanes, task] = -np.inf
+        s0 = base.succ_indptr[task]
+        cnt = base.succ_indptr[task + 1] - s0
+        if int(cnt.sum()):
+            # one task per lane, distinct children: no write conflicts
+            flat, _ = _ragged_indices(s0, cnt)
+            b_of = np.repeat(lanes, cnt)
+            child = base.succ_ids[flat]
+            newdeg = indeg[b_of, child] - 1
+            indeg[b_of, child] = newdeg
+            released = newdeg == 0
+            rb, rc = b_of[released], child[released]
+            if rb.size:
+                score[rb, rc] = ranks[rb, rc]
+    return orders
+
+
+def _run_static(batch: CompiledBatch, name: str, cfg: _StaticConfig) -> BatchResult:
+    n_lanes, n, p = batch.n_lanes, batch.n_tasks, batch.n_procs
+    entry = batch.entry
+    W = batch.W
+    base = batch.base
+    lanes = np.arange(n_lanes)
+    orders = _static_orders(batch, cfg)
+
+    # statics place every task exactly once, so the scalar-engine dense
+    # local-finish table collapses to (CPU, finish) scalars per task --
+    # except the SDBATS entry, whose mirror copies keep a (B, p) row
+    proc_of = np.zeros((n_lanes, n), dtype=np.intp)
+    fin_of = np.full((n_lanes, n), np.inf)
+    entry_fin = None
+    best_finish = np.full((n_lanes, n), np.inf)
+    # start small and double: the hot-window slices then stay nearly
+    # dense in the slab (a capacity of n + 3 up front would make every
+    # ``[:, :w]`` view ~4x strided, which triples the scan cost)
+    timelines = _BatchTimelines(n_lanes, p, capacity=8)
+    makespan = np.zeros(n_lanes)
+    oct_b = batch.oct_table() if cfg.peft else None
+
+    entry_proc = None
+    entry_dup = None
+    start_step = 0
+    if cfg.sdbats:
+        if not bool((orders[:, 0] == entry).all()):  # pragma: no cover
+            raise AssertionError("entry task must head the static list")
+        entry_fin = np.full((n_lanes, p), np.inf)
+        entry_proc = W[:, entry, :].argmin(axis=1)
+        fin = W[lanes, entry, entry_proc]
+        timelines.insert(lanes, entry_proc, np.zeros(n_lanes), fin)
+        entry_fin[lanes, entry_proc] = fin
+        best_finish[lanes, entry] = fin
+        makespan = np.maximum(makespan, fin)  # the entry's primary copy
+        entry_dup = np.zeros(n_lanes, dtype=bool)
+        if cfg.duplicate_entry:
+            entry_dup = W[:, entry, :].max(axis=1) > 0
+            for q in range(p):
+                mirror = np.flatnonzero(entry_dup & (entry_proc != q))
+                if not mirror.size:
+                    continue
+                fin_q = W[mirror, entry, q]
+                timelines.insert(
+                    mirror,
+                    np.full(mirror.size, q, dtype=np.intp),
+                    np.zeros(mirror.size),
+                    fin_q,
+                )
+                entry_fin[mirror, q] = fin_q
+                best_finish[mirror, entry] = np.minimum(
+                    best_finish[mirror, entry], fin_q
+                )
+        start_step = 1
+
+    steps = n - start_step
+    tasks_rec = orders[:, start_step:].copy()
+    procs_rec = np.empty((n_lanes, steps), dtype=np.intp)
+    starts_rec = np.empty((n_lanes, steps))
+
+    # The whole (step, lane) -> predecessor-edge gather is known up
+    # front (static lists), so build it once, step-major: per step the
+    # plan is a contiguous slice of flat edge indices + lane owners,
+    # saving the per-step cumsum/repeat of the dynamic ragged helper.
+    t_sm = orders.T[start_step:]  # (steps, B)
+    costs_sm = W[lanes[None, :], t_sm]  # (steps, B, p) one gather
+    oct_sm = oct_b[lanes[None, :], t_sm] if cfg.peft else None
+    g_starts = base.pred_indptr[t_sm]
+    g_counts = (base.pred_indptr[t_sm + 1] - g_starts).ravel()
+    seg = np.zeros(g_counts.size + 1, dtype=np.intp)
+    np.cumsum(g_counts, out=seg[1:])
+    flat_all = np.repeat(g_starts.ravel() - seg[:-1], g_counts) + np.arange(
+        seg[-1]
+    )
+    lane_all = np.repeat(np.tile(lanes, steps), g_counts)
+    parent_all = base.pred_ids[flat_all]
+    # only SDBATS mirrors make the entry multi-copy; everywhere else
+    # every parent's local-finish row is ``fin_of`` at ``proc_of``
+    ent_all = parent_all == entry if cfg.sdbats else None
+
+    for k in range(start_step, n):
+        tasks = orders[:, k]
+        row0 = (k - start_step) * n_lanes
+        lo, hi = seg[row0], seg[row0 + n_lanes]
+        bo = lane_all[lo:hi]
+        parents = parent_all[lo:hi]
+        via = (
+            best_finish[bo, parents]
+            + batch.pred_costs_b[bo, flat_all[lo:hi]]
+        )
+        arrivals = np.repeat(via, p).reshape(-1, p)
+        if cfg.sdbats:
+            em = ent_all[lo:hi]
+            ne = np.flatnonzero(~em)
+            arrivals[ne, proc_of[bo[ne], parents[ne]]] = fin_of[
+                bo[ne], parents[ne]
+            ]
+            if em.any():
+                arrivals[em] = np.minimum(
+                    entry_fin[bo[em]], via[em, None]
+                )
+        else:
+            arrivals[np.arange(via.size), proc_of[bo, parents]] = fin_of[
+                bo, parents
+            ]
+        cnts = g_counts[row0 : row0 + n_lanes]
+        nz = cnts > 0
+        ready = np.zeros((n_lanes, p))
+        if hi > lo:
+            segmax = np.maximum.reduceat(
+                arrivals, seg[row0 : row0 + n_lanes][nz] - lo, axis=0
+            )
+            ready[nz] = np.maximum(segmax, 0.0)
+        costs = costs_sm[k - start_step]  # (B, p)
+        est = timelines.earliest_start(ready, costs, cfg.insertion)
+        eft = est + costs
+        if cfg.peft:
+            rows = oct_sm[k - start_step]  # (B, p)
+            scores = [eft[:, q] + rows[:, q] for q in range(p)]
+        else:
+            scores = [eft[:, q] for q in range(p)]
+        proc, start, _ = _select_min_score(
+            scores, [est[:, q] for q in range(p)]
+        )
+        dur = costs[lanes, proc]
+        fin = start + dur
+        timelines.insert(lanes, proc, start, fin)
+        # first (and only) placement of each task: direct writes equal
+        # the scalar engine's min-with-inf updates bit for bit
+        proc_of[lanes, tasks] = proc
+        fin_of[lanes, tasks] = fin
+        best_finish[lanes, tasks] = fin
+        makespan = np.maximum(makespan, fin)
+        idx = k - start_step
+        procs_rec[:, idx] = proc
+        starts_rec[:, idx] = start
+
+    counters = {
+        f"{cfg.obs_name}/eft_evaluations": n_lanes * steps * p,
+        f"{cfg.obs_name}/decisions": n_lanes * steps,
+        f"{cfg.obs_name}/runs": n_lanes,
+    }
+    return BatchResult(
+        scheduler=name,
+        batch=batch,
+        makespans=makespan,
+        counters=counters,
+        tasks=tasks_rec,
+        procs=procs_rec,
+        starts=starts_rec,
+        entry_proc=entry_proc,
+        entry_dup=entry_dup,
+    )
+
+
+# ----------------------------------------------------------------------
+# HDLTS (append mode) with a batched ready-list step
+# ----------------------------------------------------------------------
+def _run_hdlts(batch: CompiledBatch, name: str, cfg: _DynamicConfig) -> BatchResult:
+    n_lanes, n, p = batch.n_lanes, batch.n_tasks, batch.n_procs
+    entry = batch.entry
+    W = batch.W
+    base = batch.base
+    lanes = np.arange(n_lanes)
+    child_ids, _ = base.succ_slice(entry)
+    entry_children = np.zeros(n, dtype=bool)
+    entry_children[child_ids] = True
+    rule = cfg.priority
+    rank_u = (
+        batch.upward_rank(batch.mean_costs())
+        if rule is PriorityRule.UPWARD_RANK
+        else None
+    )
+    pv_rule = rule is PriorityRule.PENALTY_VALUE and p > 1
+
+    # non-entry tasks are single-copy: their local-finish rows collapse
+    # to (CPU, finish) scalars.  Only the entry can gain duplicate
+    # copies, so it alone keeps a dense (B, p) local-finish row.
+    proc_of = np.zeros((n_lanes, n), dtype=np.intp)
+    fin_of = np.full((n_lanes, n), np.inf)
+    lf_entry = np.full((n_lanes, p), np.inf)
+    best_finish = np.full((n_lanes, n), np.inf)
+    # frontier state is task-major (n, B, ...): the per-step union
+    # frontier slice ``ready_t[cols]`` is then a contiguous first-axis
+    # gather instead of a strided middle-axis one
+    ready_t = np.zeros((n, n_lanes, p))
+    non_entry_t = np.zeros((n, n_lanes, p))
+    W_t = np.ascontiguousarray(W.transpose(1, 0, 2))
+    rank_u_t = (
+        np.ascontiguousarray(rank_u.T) if rank_u is not None else None
+    )
+    avail = np.zeros((n_lanes, p))
+    first_start = np.full((n_lanes, p), np.inf)
+    mask_t = np.zeros((n, n_lanes), dtype=bool)
+    indeg = np.broadcast_to(np.diff(base.pred_indptr), (n_lanes, n)).copy()
+    makespan = np.zeros(n_lanes)
+    # the single entry is the only zero-in-degree task; its ready row is
+    # all zeros (no parents), exactly the scalar refresh
+    mask_t[entry, :] = True
+
+    tasks_rec = np.empty((n_lanes, n), dtype=np.intp)
+    procs_rec = np.empty((n_lanes, n), dtype=np.intp)
+    starts_rec = np.empty((n_lanes, n))
+    dup_rec = np.zeros((n_lanes, n), dtype=bool)
+
+    c_eft = 0
+    c_rows = 0
+    c_cols = 0
+    dup_yes = 0
+    dup_no = 0
+
+    for step in range(n):
+        cols = np.flatnonzero(mask_t.any(axis=1))
+        sub = mask_t[cols]  # (k, B)
+        c_eft += int(sub.sum()) * p
+        est = np.maximum(ready_t[cols], avail[None, :, :])
+        eft = est + W_t[cols]  # (k, B, p)
+
+        if pv_rule:
+            # the scalar fast path's hand-expanded sample-std kernel,
+            # one axis deeper: identical ufunc sequence per lane row
+            mean = np.add.reduce(eft, axis=2, keepdims=True)
+            mean /= p
+            dev = eft - mean
+            dev *= dev
+            var = np.add.reduce(dev, axis=2)
+            var /= p - 1
+            priorities = np.sqrt(var)
+        elif rule is PriorityRule.PENALTY_VALUE:
+            priorities = np.zeros((len(cols), n_lanes))
+        elif rule is PriorityRule.EFT_RANGE:
+            priorities = eft.max(axis=2) - eft.min(axis=2)
+        elif rule is PriorityRule.MEAN_EFT:
+            priorities = eft.mean(axis=2)
+        elif rule is PriorityRule.MIN_EFT_FIRST:
+            priorities = -eft.min(axis=2)
+        else:  # UPWARD_RANK
+            priorities = rank_u_t[cols]
+
+        # lanes see only their own frontier; -inf holes cannot win, so
+        # argmax's first-max along the frontier axis is the lane's
+        # lowest-id maximum (the scalar tie-break) and argmin picks the
+        # lowest CPU
+        masked = np.where(sub, priorities, -np.inf)  # (k, B)
+        index = masked.argmax(axis=0)
+        selected = cols[index]
+        lane_eft = eft[index, lanes, :]
+        proc = lane_eft.argmin(axis=1)
+
+        if cfg.duplicate_entry:
+            cand = (selected != entry) & entry_children[selected]
+            if cand.any():
+                cb = np.flatnonzero(cand)
+                cp = proc[cb]
+                w_entry = W[cb, entry, cp]
+                comm = batch.entry_comm_b[cb, selected[cb]]
+                via = np.minimum(
+                    lf_entry[cb, cp],
+                    best_finish[cb, entry] + comm,
+                )
+                window = first_start[cb, cp] >= w_entry - _EPS
+                dup = (
+                    window
+                    & np.isinf(lf_entry[cb, cp])
+                    & (w_entry < via)
+                )
+                dup_yes += int(dup.sum())
+                dup_no += int((~dup).sum())
+                db = cb[dup]
+                if db.size:
+                    dp = proc[db]
+                    fin = W[db, entry, dp]
+                    lf_entry[db, dp] = fin
+                    best_finish[db, entry] = np.minimum(
+                        best_finish[db, entry], fin
+                    )
+                    avail[db, dp] = np.maximum(avail[db, dp], fin)
+                    first_start[db, dp] = 0.0
+                    dup_rec[db, step] = True
+
+        cost = W[lanes, selected, proc]
+        r = ready_t[selected, lanes, proc]
+        start = np.maximum(r, avail[lanes, proc])
+        fin = start + cost
+        avail[lanes, proc] = fin
+        first_start[lanes, proc] = np.minimum(first_start[lanes, proc], start)
+        if step == 0:
+            # the single entry is every lane's whole first frontier; its
+            # primary copy lands in the dense entry row
+            lf_entry[lanes, proc] = fin
+        else:
+            # first (and only) commit of a single-copy task: direct
+            # writes equal the scalar min-with-inf updates bit for bit
+            proc_of[lanes, selected] = proc
+            fin_of[lanes, selected] = fin
+        best_finish[lanes, selected] = np.minimum(
+            best_finish[lanes, selected], fin
+        )
+        makespan = np.maximum(makespan, fin)
+        mask_t[selected, lanes] = False
+        tasks_rec[:, step] = selected
+        procs_rec[:, step] = proc
+        starts_rec[:, step] = start
+
+        # release children whose last parent just committed
+        s0 = base.succ_indptr[selected]
+        scnt = base.succ_indptr[selected + 1] - s0
+        if int(scnt.sum()):
+            flat, _ = _ragged_indices(s0, scnt)
+            b_of = np.repeat(lanes, scnt)
+            child = base.succ_ids[flat]
+            newdeg = indeg[b_of, child] - 1
+            indeg[b_of, child] = newdeg
+            released = newdeg == 0
+            rb, rc = b_of[released], child[released]
+            c_rows += rb.size
+            if rb.size:
+                mask_t[rc, rb] = True
+                is_ec = entry_children[rc]
+                ob, oc = rb[~is_ec], rc[~is_ec]
+                if ob.size:
+                    ready_t[oc, ob, :] = _gather_ready(
+                        base.pred_indptr,
+                        base.pred_ids,
+                        batch.pred_costs_b,
+                        fin_of,
+                        proc_of,
+                        best_finish,
+                        ob,
+                        oc,
+                        p,
+                    )
+                eb, ec = rb[is_ec], rc[is_ec]
+                if eb.size:
+                    non_entry_t[ec, eb, :] = _gather_ready(
+                        batch.ne_indptr,
+                        batch.ne_ids,
+                        batch.ne_costs_b,
+                        fin_of,
+                        proc_of,
+                        best_finish,
+                        eb,
+                        ec,
+                        p,
+                    )
+                    comm = batch.entry_comm_b[eb, ec]
+                    via = np.minimum(
+                        lf_entry[eb],
+                        (best_finish[eb, entry] + comm)[:, None],
+                    )
+                    if cfg.duplicate_entry:
+                        w_entry = W[eb, entry, :]
+                        ok = (
+                            first_start[eb] >= w_entry - _EPS
+                        ) & np.isinf(lf_entry[eb])
+                        via = np.where(ok & (w_entry < via), w_entry, via)
+                    ready_t[ec, eb, :] = np.maximum(
+                        non_entry_t[ec, eb, :], via
+                    )
+
+        # the commit (and any duplicate) only touched the chosen CPU:
+        # refresh the pending entry children's dirty column there
+        # (scan only the entry-child rows; pair order is irrelevant
+        # to the independent per-(lane, task) scatter updates)
+        pj, pb = np.nonzero(mask_t[child_ids])
+        pc = child_ids[pj]
+        c_cols += pb.size
+        if pb.size:
+            pp = proc[pb]
+            comm = batch.entry_comm_b[pb, pc]
+            via = np.minimum(
+                lf_entry[pb, pp], best_finish[pb, entry] + comm
+            )
+            if cfg.duplicate_entry:
+                w_entry = W[pb, entry, pp]
+                ok = (first_start[pb, pp] >= w_entry - _EPS) & np.isinf(
+                    lf_entry[pb, pp]
+                )
+                via = np.where(ok & (w_entry < via), w_entry, via)
+            ready_t[pc, pb, pp] = np.maximum(via, non_entry_t[pc, pb, pp])
+
+    counters = {
+        f"{cfg.obs_name}/eft_evaluations": c_eft,
+        f"{cfg.obs_name}/decisions": n_lanes * n,
+        f"{cfg.obs_name}/ready_rows_recomputed": c_rows,
+        f"{cfg.obs_name}/entry_child_col_refreshes": c_cols,
+        f"{cfg.obs_name}/runs": n_lanes,
+    }
+    # scalar key-existence semantics: duplication counters appear only
+    # when at least one accept/reject event fired
+    if dup_yes:
+        counters[f"{cfg.obs_name}/duplication_accepted"] = dup_yes
+    if dup_no:
+        counters[f"{cfg.obs_name}/duplication_rejected"] = dup_no
+    return BatchResult(
+        scheduler=name,
+        batch=batch,
+        makespans=makespan,
+        counters=counters,
+        tasks=tasks_rec,
+        procs=procs_rec,
+        starts=starts_rec,
+        dup_steps=dup_rec,
+    )
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def run_batch(batch: CompiledBatch, scheduler: str) -> BatchResult:
+    """Run one batchable registry scheduler over a packed batch.
+
+    Raises ``KeyError`` for schedulers the kernel does not cover (check
+    :data:`BATCHABLE` first); the caller owns eligibility gating
+    (:func:`instance_batchable`) and counter emission.
+    """
+    cfg = _CONFIGS.get(scheduler)
+    if cfg is None:
+        raise KeyError(
+            f"scheduler {scheduler!r} is not batchable; "
+            f"batchable: {sorted(BATCHABLE)}"
+        )
+    if isinstance(cfg, _StaticConfig):
+        return _run_static(batch, scheduler, cfg)
+    return _run_hdlts(batch, scheduler, cfg)

@@ -117,6 +117,26 @@ def _random_graph(x, rng, *, axis: str, **config) -> TaskGraph:
     )
 
 
+@register_graph_factory("random-fixed")
+def _random_fixed_graph(
+    x, rng, *, axis: str, structure_seed: int = 0, **config
+) -> TaskGraph:
+    """Table II random DAG with a *fixed* structure per x point.
+
+    Like ``"random"``, but level shape and edge wiring come from a
+    dedicated generator seeded with ``structure_seed`` (re-seeded per
+    instance), so every replication of one x point shares one DAG shape
+    while the cost draws stay independent streams of ``rng``.  This is
+    the fig2-style sweep the batched multi-DAG kernel accelerates: all
+    of an x point's replications land in one shape group.
+    """
+    base = GeneratorConfig(**config)
+    structure_rng = np.random.default_rng(structure_seed)
+    return generate_random_graph(
+        base.with_(**{axis: _cast_axis(axis, x)}), rng, structure_rng
+    )
+
+
 def _topology_params(x, axis: str, fixed: Dict[str, object]) -> Dict[str, object]:
     params = dict(fixed)
     params[axis] = _cast_axis(axis, x)

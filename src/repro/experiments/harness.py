@@ -17,11 +17,20 @@ import numpy as np
 
 from repro import obs
 from repro.baselines.registry import PAPER_SET, make_scheduler
+from repro.core.batch import (
+    BATCHABLE,
+    CompiledBatch,
+    instance_batchable,
+    max_lanes,
+    run_batch,
+    shape_key,
+)
 from repro.experiments.graphspec import GraphSpec
 from repro.metrics.metrics import efficiency, slr
 from repro.metrics.stats import RunningStats
 from repro.model.compiled import compile_graph, compiled_enabled
 from repro.model.task_graph import TaskGraph
+from repro.runtime.context import current_context
 from repro.schedule.validation import validate_schedule
 
 __all__ = [
@@ -30,6 +39,7 @@ __all__ = [
     "run_sweep",
     "run_single_point",
     "run_replication",
+    "run_replications",
 ]
 
 GraphFactory = Callable[[object, np.random.Generator], TaskGraph]
@@ -169,6 +179,22 @@ class SweepResult:
         return rows
 
 
+def _build_instance(
+    definition: SweepDefinition, x, x_index: int, rep: int, seed: int
+) -> TaskGraph:
+    """Draw, normalize and (when enabled) compile one instance."""
+    rng = np.random.default_rng([seed, x_index, rep])
+    graph = definition.build_graph(x, rng)
+    if len(graph.entry_tasks()) != 1 or len(graph.exit_tasks()) != 1:
+        graph = graph.normalized()
+    if compiled_enabled():
+        # compile the instance once: the CSR arrays and the artifact
+        # cache (ranks, OCT, CP bound, ...) are shared by every
+        # scheduler in the set and by the metric functions
+        compile_graph(graph)
+    return graph
+
+
 def run_replication(
     definition: SweepDefinition,
     x,
@@ -176,12 +202,15 @@ def run_replication(
     rep: int,
     seed: int,
     validate: bool = False,
+    graph: Optional[TaskGraph] = None,
 ) -> Dict[str, float]:
     """One replication of one x point: every scheduler on one instance.
 
     The RNG stream is keyed by ``(seed, x_index, rep)`` so replications
     are independent and the work can be chunked across processes without
-    changing any result.
+    changing any result.  ``graph`` short-circuits the instance build
+    when the caller already materialized it from the same stream (the
+    batched dispatcher's scalar fallback).
     """
     metric_fn = _METRICS[definition.metric]
     bus = obs.get_bus()
@@ -190,15 +219,8 @@ def run_replication(
     with obs.span(
         "sweep.replication", figure=definition.key, x=x, rep=rep
     ):
-        rng = np.random.default_rng([seed, x_index, rep])
-        graph = definition.build_graph(x, rng)
-        if len(graph.entry_tasks()) != 1 or len(graph.exit_tasks()) != 1:
-            graph = graph.normalized()
-        if compiled_enabled():
-            # compile the instance once: the CSR arrays and the artifact
-            # cache (ranks, OCT, CP bound, ...) are shared by every
-            # scheduler in the set and by the metric below
-            compile_graph(graph)
+        if graph is None:
+            graph = _build_instance(definition, x, x_index, rep, seed)
         values: Dict[str, float] = {}
         # keyed by *registry* name so ablation variants of one class
         # coexist
@@ -225,6 +247,124 @@ def run_replication(
     return values
 
 
+def _run_batched_group(
+    definition: SweepDefinition,
+    x,
+    members: List[Tuple[int, TaskGraph]],
+    batch: CompiledBatch,
+    results: List[Optional[Dict[str, float]]],
+) -> None:
+    """One same-shape group through the batched kernel.
+
+    Batchable schedulers run once over the whole group
+    (:func:`repro.core.batch.run_batch`); anything else in the set
+    (PETS, reference-only ablations, ...) runs scalar per instance.
+    Per-instance metric values land in ``results`` at the caller's
+    replication positions, bit-identical to the scalar path.
+    """
+    metric_fn = _METRICS[definition.metric]
+    bus = obs.get_bus()
+    with obs.span(
+        "sweep.batch",
+        figure=definition.key,
+        x=x,
+        size=batch.n_lanes,
+        shape=batch.label,
+    ):
+        if bus.active:
+            bus.emit(
+                "sweep.batch",
+                figure=definition.key,
+                x=x,
+                size=batch.n_lanes,
+                shape=batch.label,
+            )
+        makespans: Dict[str, np.ndarray] = {}
+        for name in definition.schedulers:
+            if name not in BATCHABLE:
+                continue
+            batched = run_batch(batch, name)
+            makespans[name] = batched.makespans
+            # the same per-scheduler counter totals the scalar runs
+            # would have recorded (no-ops while profiling is off)
+            for key, total in batched.counters.items():
+                obs.count(key, total)
+        if obs.enabled():
+            obs.get_metrics().counter("sweep/replications").inc(batch.n_lanes)
+        for lane, (idx, graph) in enumerate(members):
+            values: Dict[str, float] = {}
+            for name in definition.schedulers:
+                if name in makespans:
+                    makespan = float(makespans[name][lane])
+                else:
+                    makespan = make_scheduler(name).run(graph).makespan
+                values[name] = metric_fn(graph, makespan)
+            results[idx] = values
+
+
+def run_replications(
+    definition: SweepDefinition,
+    x,
+    x_index: int,
+    rep_lo: int,
+    rep_hi: int,
+    seed: int,
+    validate: bool = False,
+) -> List[Dict[str, float]]:
+    """Replications ``[rep_lo, rep_hi)`` of one x point, in rep order.
+
+    Bit-identical to calling :func:`run_replication` per rep.  When the
+    active context allows it (``batch="auto"``, fast engine, compiled
+    layer on, no validation) the instances are grouped by graph shape
+    and same-shape groups run through the batched multi-DAG kernel
+    (:mod:`repro.core.batch`); ragged shapes, singleton groups,
+    non-batchable schedulers and instances outside the kernel's
+    duplication-window gate fall back to the scalar path.
+    """
+    reps = range(rep_lo, rep_hi)
+    ctx = current_context()
+    batchable = [n for n in definition.schedulers if n in BATCHABLE]
+    if (
+        ctx.batch != "auto"
+        or validate
+        or ctx.engine != "fast"
+        or not compiled_enabled()
+        or rep_hi - rep_lo < 2
+        or not batchable
+    ):
+        return [
+            run_replication(definition, x, x_index, rep, seed, validate)
+            for rep in reps
+        ]
+    # materialize the whole chunk up front: replication RNG streams are
+    # keyed independently, so build order cannot change any draw
+    built = [
+        _build_instance(definition, x, x_index, rep, seed) for rep in reps
+    ]
+    compiled = [compile_graph(graph) for graph in built]
+    groups: Dict[object, List[int]] = {}
+    for idx, instance in enumerate(compiled):
+        if instance_batchable(instance, batchable):
+            groups.setdefault(shape_key(instance), []).append(idx)
+    results: List[Optional[Dict[str, float]]] = [None] * len(built)
+    cap = max_lanes(compiled[0].n_tasks, compiled[0].n_procs)
+    for idxs in groups.values():
+        if len(idxs) < 2:
+            continue  # singleton shape: batching buys nothing
+        for lo in range(0, len(idxs), cap):
+            sub = idxs[lo:lo + cap]
+            batch = CompiledBatch([compiled[i] for i in sub])
+            _run_batched_group(
+                definition, x, [(i, built[i]) for i in sub], batch, results
+            )
+    for idx, rep in enumerate(reps):
+        if results[idx] is None:
+            results[idx] = run_replication(
+                definition, x, x_index, rep, seed, validate, graph=built[idx]
+            )
+    return results
+
+
 def run_single_point(
     definition: SweepDefinition,
     x,
@@ -235,8 +375,9 @@ def run_single_point(
 ) -> Dict[str, RunningStats]:
     """All replications of one x point; returns per-scheduler stats."""
     accumulators = {name: RunningStats() for name in definition.schedulers}
-    for rep in range(reps):
-        values = run_replication(definition, x, x_index, rep, seed, validate)
+    for values in run_replications(
+        definition, x, x_index, 0, reps, seed, validate
+    ):
         for name, value in values.items():
             accumulators[name].add(value)
     return accumulators

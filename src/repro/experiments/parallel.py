@@ -58,7 +58,7 @@ from repro import obs
 from repro.experiments.harness import (
     SweepDefinition,
     SweepResult,
-    run_replication,
+    run_replications,
     run_sweep,
 )
 from repro.metrics.stats import RunningStats
@@ -131,10 +131,9 @@ def _execute_chunk(definition: SweepDefinition, chunk: Chunk) -> ChunkResult:
     with obs.scoped(merge_up=False) as registry, obs.span(
         "sweep.chunk", figure=_key, x=x, rep_lo=rep_lo, rep_hi=rep_hi
     ):
-        values = [
-            run_replication(definition, x, x_index, rep, seed, validate)
-            for rep in range(rep_lo, rep_hi)
-        ]
+        values = run_replications(
+            definition, x, x_index, rep_lo, rep_hi, seed, validate
+        )
         snapshot = registry.snapshot() if registry else {}
     return x_index, values, snapshot, time.perf_counter() - started
 

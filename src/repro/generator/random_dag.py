@@ -173,19 +173,34 @@ class RandomDAGGenerator:
     # ------------------------------------------------------------------
     # costs
     # ------------------------------------------------------------------
-    def generate(self, rng: Optional[np.random.Generator] = None) -> TaskGraph:
-        """Draw one random task graph."""
+    def generate(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        structure_rng: Optional[np.random.Generator] = None,
+    ) -> TaskGraph:
+        """Draw one random task graph.
+
+        ``structure_rng`` (optional) feeds the *structure* draws -- level
+        shape and edge wiring -- while ``rng`` keeps feeding the cost
+        draws.  Passing a freshly seeded ``structure_rng`` per instance
+        therefore fixes the DAG shape across replications while the
+        costs stay independent (what the batched multi-DAG kernel's
+        shape grouping wants).  With the default (``None``) every draw
+        comes from ``rng``, bit-identical to the historical behaviour.
+        """
         if rng is None:
             rng = np.random.default_rng()
+        if structure_rng is None:
+            structure_rng = rng
         cfg = self.config
-        sizes = self.level_sizes(rng)
+        sizes = self.level_sizes(structure_rng)
         levels: List[List[int]] = []
         next_id = 0
         for width in sizes:
             levels.append(list(range(next_id, next_id + width)))
             next_id += width
 
-        edge_list = self._edges(levels, rng)
+        edge_list = self._edges(levels, structure_rng)
 
         mean_costs = rng.uniform(0.0, 2.0 * cfg.w_dag, size=cfg.v)
         if cfg.heterogeneity == "consistent":
@@ -218,7 +233,9 @@ class RandomDAGGenerator:
 
 
 def generate_random_graph(
-    config: GeneratorConfig, rng: Optional[np.random.Generator] = None
+    config: GeneratorConfig,
+    rng: Optional[np.random.Generator] = None,
+    structure_rng: Optional[np.random.Generator] = None,
 ) -> TaskGraph:
     """One-shot convenience wrapper around :class:`RandomDAGGenerator`."""
-    return RandomDAGGenerator(config).generate(rng)
+    return RandomDAGGenerator(config).generate(rng, structure_rng)

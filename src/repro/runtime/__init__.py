@@ -19,6 +19,7 @@ Two pieces (see docs/architecture.md):
 """
 
 from repro.runtime.context import (
+    BATCH_CHOICES,
     DEFAULT_CONTEXT,
     ENGINE_CHOICES,
     START_METHODS,
@@ -38,6 +39,7 @@ from repro.runtime.telemetry import (
 )
 
 __all__ = [
+    "BATCH_CHOICES",
     "DEFAULT_CONTEXT",
     "ENGINE_CHOICES",
     "START_METHODS",

@@ -30,6 +30,7 @@ from dataclasses import asdict, dataclass, fields, replace
 from typing import Iterator, Optional
 
 __all__ = [
+    "BATCH_CHOICES",
     "ENGINE_CHOICES",
     "START_METHODS",
     "RunContext",
@@ -46,6 +47,14 @@ ENGINE_CHOICES = ("fast", "reference")
 #: accepted pool start methods; ``None`` = auto (fork where available,
 #: then spawn, else serial), ``"serial"`` = never create a pool
 START_METHODS = ("fork", "spawn", "forkserver", "serial")
+
+#: batched multi-DAG kernel selection: ``"auto"`` groups same-shape
+#: replications per x point and runs them through the batched kernel
+#: (:mod:`repro.core.batch`); ``"off"`` forces the scalar per-instance
+#: path everywhere.  Auto falls back to scalar bit-identically for
+#: ragged shapes, ``engine="reference"``, validation runs and
+#: non-batchable schedulers.
+BATCH_CHOICES = ("auto", "off")
 
 
 @dataclass(frozen=True)
@@ -83,11 +92,18 @@ class RunContext:
     chunk_size: int = 5
     #: pool start method; ``None`` picks fork > spawn > serial
     start_method: Optional[str] = None
+    #: batched multi-DAG kernel: "auto" (shape-group replications per x
+    #: point through :mod:`repro.core.batch`) or "off" (always scalar)
+    batch: str = "auto"
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_CHOICES:
             raise ValueError(
                 f"engine must be one of {ENGINE_CHOICES}, got {self.engine!r}"
+            )
+        if self.batch not in BATCH_CHOICES:
+            raise ValueError(
+                f"batch must be one of {BATCH_CHOICES}, got {self.batch!r}"
             )
         if self.workers < 1:
             raise ValueError("workers must be >= 1")

@@ -112,17 +112,22 @@ class ScheduleSimulator:
     def _extract_queues(self, schedule: Schedule) -> List[List[Tuple[int, bool]]]:
         """Per-CPU execution order.
 
-        Sorted by (start, end, topological position): zero-duration
-        pseudo tasks that share a start instant with a real task must
-        run first (they finish immediately), and dependent zero-duration
-        tasks at the same instant must follow their parents.
+        Sorted by (start, end), stably: zero-duration pseudo tasks that
+        share a start instant with a real task run first (they finish
+        immediately), and slots with *equal* keys keep their timeline
+        order -- which is placement order, and therefore the scheduler's
+        actual commit order.  (A topological tie-break here would be
+        wrong: two independent zero-duration tasks committed at the same
+        instant can sit in anti-topological commit order, and reordering
+        them lets the replay start one earlier than the analytic
+        bookkeeping did.  Placement order is dependency-consistent for
+        every scheduler in the registry: static lists are
+        precedence-safe and dynamic schedulers commit along precedence.)
         """
-        position = {t: i for i, t in enumerate(self.graph.topological_order())}
         queues: List[List[Tuple[int, bool]]] = []
         for timeline in schedule.timelines:
             slots = sorted(
-                timeline.slots(),
-                key=lambda s: (s.start, s.end, position[s.task]),
+                timeline.slots(), key=lambda s: (s.start, s.end)
             )
             queues.append([(s.task, s.duplicate) for s in slots])
         return queues

@@ -1,0 +1,200 @@
+"""Unit tests for the batched multi-DAG kernel's building blocks.
+
+The full-schedule bit-identity contract lives in
+``tests/test_batch_differential.py``; this module pins the pieces it
+is built from: shape grouping, eligibility gates, the packed batch's
+rank kernels, and the SoA timeline mirror.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    BATCHABLE,
+    CompiledBatch,
+    _BatchTimelines,
+    batchable_schedulers,
+    hdlts_dup_batchable,
+    instance_batchable,
+    max_lanes,
+    run_batch,
+    shape_key,
+)
+from repro.generator.parameters import GeneratorConfig
+from repro.generator.random_dag import generate_random_graph
+from repro.model.compiled import compile_graph
+from repro.model.task_graph import TaskGraph
+from repro.runtime.context import BATCH_CHOICES, current_context
+from repro.schedule.timeline import ProcessorTimeline
+from repro.workflows import paper_example_graph
+
+
+def _fixed_random_graph(cost_seed: int, structure_seed: int = 7, v: int = 20):
+    config = GeneratorConfig(v=v, ccr=1.0, single_entry=True)
+    return generate_random_graph(
+        config,
+        np.random.default_rng(cost_seed),
+        np.random.default_rng(structure_seed),
+    )
+
+
+# ----------------------------------------------------------------------
+# registry coverage and eligibility gates
+# ----------------------------------------------------------------------
+def test_batchable_scheduler_set():
+    names = batchable_schedulers()
+    assert set(names) == BATCHABLE
+    for required in ("HEFT", "PEFT", "SDBATS", "HDLTS", "HDLTS-nodup"):
+        assert required in BATCHABLE
+    # scalar-only schedulers must never be claimed by the kernel
+    for excluded in ("PETS", "CPOP", "HDLTS-insertion"):
+        assert excluded not in BATCHABLE
+
+
+def test_run_batch_rejects_unknown_scheduler():
+    compiled = compile_graph(paper_example_graph())
+    batch = CompiledBatch([compiled])
+    with pytest.raises(KeyError):
+        run_batch(batch, "PETS")
+
+
+def test_shape_key_groups_cost_draws_not_structures():
+    a = compile_graph(_fixed_random_graph(1))
+    b = compile_graph(_fixed_random_graph(2))
+    c = compile_graph(_fixed_random_graph(1, structure_seed=8))
+    d = compile_graph(_fixed_random_graph(1, v=24))
+    assert shape_key(a) == shape_key(b)  # same structure, new costs
+    assert shape_key(a) != shape_key(c)  # different wiring
+    assert shape_key(a) != shape_key(d)  # different task count
+
+
+def test_max_lanes_bounds():
+    assert max_lanes(100, 4) == 1024  # capped at 1024 lanes
+    assert max_lanes(100, 100) == 200  # 2e6 / (n * p)
+    assert max_lanes(2000, 1000) == 1  # never below one lane
+    assert max_lanes(0, 0) == 1024  # degenerate shapes stay sane
+
+
+def test_instance_batchable_requires_single_entry():
+    graph = TaskGraph(2)
+    first = graph.add_task([3.0, 4.0])
+    second = graph.add_task([2.0, 5.0])
+    sink = graph.add_task([1.0, 1.0])
+    graph.add_edge(first, sink, 1.0)
+    graph.add_edge(second, sink, 2.0)
+    compiled = compile_graph(graph)
+    assert compiled.entry_ids.size == 2
+    assert not instance_batchable(compiled, ["HEFT"])
+    assert not instance_batchable(compiled, ["HDLTS"])
+
+
+def _entry_cost_graph(entry_costs, comm):
+    graph = TaskGraph(2)
+    entry = graph.add_task(entry_costs)
+    child = graph.add_task([3.0, 4.0])
+    graph.add_edge(entry, child, comm)
+    return compile_graph(graph)
+
+
+def test_hdlts_dup_gate():
+    # positive entry costs: the batched window test is exact
+    assert hdlts_dup_batchable(_entry_cost_graph([2.0, 3.0], 1.0))
+    # normalized pseudo entry (all-zero costs, zero comm): also exact
+    assert hdlts_dup_batchable(_entry_cost_graph([0.0, 0.0], 0.0))
+    # zero-cost entry with real communication: must take the scalar path
+    assert not hdlts_dup_batchable(_entry_cost_graph([0.0, 0.0], 1.0))
+    # mixed zero/positive entry costs: must take the scalar path
+    assert not hdlts_dup_batchable(_entry_cost_graph([0.0, 5.0], 1.0))
+
+
+def test_dup_gate_only_applies_to_duplicating_hdlts():
+    compiled = _entry_cost_graph([0.0, 0.0], 1.0)  # fails the dup gate
+    assert not instance_batchable(compiled, ["HDLTS"])
+    assert not instance_batchable(compiled, ["HEFT", "HDLTS"])
+    # statics and the no-duplication variant never need the gate
+    assert instance_batchable(compiled, ["HEFT", "PEFT", "SDBATS"])
+    assert instance_batchable(compiled, ["HDLTS-nodup"])
+
+
+def test_compiled_batch_rejects_bad_inputs():
+    base = compile_graph(_fixed_random_graph(1))
+    other_shape = compile_graph(_fixed_random_graph(1, v=24))
+    with pytest.raises(ValueError):
+        CompiledBatch([])
+    with pytest.raises(ValueError):
+        CompiledBatch([base, other_shape])
+
+
+def test_run_context_batch_validation():
+    context = current_context()
+    for choice in BATCH_CHOICES:
+        assert context.with_(batch=choice).batch == choice
+    with pytest.raises(ValueError, match="batch"):
+        context.with_(batch="bogus")
+
+
+# ----------------------------------------------------------------------
+# batched rank kernels vs the per-instance compiled kernels
+# ----------------------------------------------------------------------
+def test_batch_rank_kernels_match_per_instance():
+    compiled = [compile_graph(_fixed_random_graph(seed)) for seed in range(4)]
+    batch = CompiledBatch(compiled)
+    for lane, g in enumerate(compiled):
+        assert np.array_equal(batch.mean_costs()[lane], g.mean_costs())
+        assert np.array_equal(batch.std_costs()[lane], g.std_costs())
+        assert np.array_equal(
+            batch.mean_upward_rank()[lane], g.upward_rank(g.mean_costs())
+        )
+        assert np.array_equal(
+            batch.std_upward_rank()[lane], g.upward_rank(g.std_costs())
+        )
+        assert np.array_equal(batch.oct_table()[lane], g.oct_table())
+        assert np.array_equal(batch.oct_rank()[lane], g.oct_rank())
+
+
+# ----------------------------------------------------------------------
+# SoA timelines vs one ProcessorTimeline per (lane, CPU)
+# ----------------------------------------------------------------------
+def test_batch_timelines_match_scalar_timeline():
+    """Random build-up: every query answers exactly like the scalar."""
+    n_lanes, n_procs = 3, 2
+    batched = _BatchTimelines(n_lanes, n_procs, capacity=4)
+    scalar = [
+        [ProcessorTimeline(q) for q in range(n_procs)] for _ in range(n_lanes)
+    ]
+    rng = np.random.default_rng(0)
+
+    def assert_queries_match(ready, durations, insertion):
+        got = batched.earliest_start(ready, durations, insertion)
+        for b in range(n_lanes):
+            for q in range(n_procs):
+                want = scalar[b][q].earliest_start(
+                    float(ready[b, q]),
+                    float(durations[b, q]),
+                    insertion=insertion,
+                )
+                assert got[b, q] == want, (b, q, insertion)
+
+    for step in range(40):
+        ready = rng.uniform(0.0, 30.0, size=(n_lanes, n_procs))
+        durations = rng.uniform(0.5, 8.0, size=(n_lanes, n_procs))
+        assert_queries_match(ready, durations, insertion=True)
+        assert_queries_match(ready, durations, insertion=False)
+        # eps-scale durations exercise the per-row scalar fallback
+        tiny = np.full((n_lanes, n_procs), 1e-13)
+        assert_queries_match(ready, tiny, insertion=True)
+        # reserve the answered slot on one rotating (lane, CPU) pair
+        b, q = step % n_lanes, (step // n_lanes) % n_procs
+        est = batched.earliest_start(ready, durations, True)
+        start, duration = float(est[b, q]), float(durations[b, q])
+        batched.insert(
+            np.array([b]),
+            np.array([q]),
+            np.array([start]),
+            np.array([start + duration]),
+        )
+        scalar[b][q].reserve(step, start, duration)
+        assert batched.counts[b * n_procs + q] == len(scalar[b][q])
+        assert batched.max_end[b, q] == scalar[b][q].avail

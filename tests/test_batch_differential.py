@@ -1,0 +1,234 @@
+"""Differential suite: batched multi-DAG kernel vs the scalar path.
+
+The batch kernel (:mod:`repro.core.batch`) packs a replication batch of
+same-shape compiled instances into ``(batch, n, p)`` struct-of-arrays
+tensors and runs every batchable scheduler as one array program.  Its
+contract is *bit*-identity: for every lane, the replayed schedule must
+equal the scalar compiled path's schedule slot for slot -- same CPU,
+same start, same finish, same duplicate flags -- and the makespan must
+be the same float.  This suite checks that contract on:
+
+* the paper's Fig. 1 worked example (degenerate identical-cost batch,
+  including the B=1 edge),
+* workflow families (one topology realized with independent cost
+  draws -- the exact shape-group the harness batches),
+* Hypothesis-driven random-fixed batches across sizes, CCRs and
+  batch widths,
+* every golden corpus entry whose pinned scheduler is batchable,
+
+and, at the top of the stack, that a ragged ``"random"`` sweep (every
+replication a different shape, so ``batch="auto"`` must fall back to
+the scalar path) reports identical stats and observability counters
+under both context settings.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.baselines.registry import make_scheduler
+from repro.core.batch import (
+    BATCHABLE,
+    CompiledBatch,
+    batchable_schedulers,
+    instance_batchable,
+    run_batch,
+)
+from repro.experiments.graphspec import GraphSpec
+from repro.experiments.harness import SweepDefinition, run_sweep
+from repro.generator.parameters import GeneratorConfig
+from repro.generator.random_dag import generate_random_graph
+from repro.model.compiled import compile_graph
+from repro.qa.corpus import read_corpus
+from repro.runtime.context import activate, current_context
+from repro.workflows import paper_example_graph
+from repro.workflows.fft import fft_topology
+from repro.workflows.molecular import molecular_dynamics_topology
+from repro.workflows.topology import realize_topology
+from tests.test_engine_differential import schedule_signature
+
+pytestmark = pytest.mark.slow
+
+ALL_BATCHABLE = tuple(batchable_schedulers())
+
+
+def assert_batch_matches_scalar(graphs, schedulers=ALL_BATCHABLE):
+    """Every lane of every batched scheduler equals its scalar run."""
+    compiled = [compile_graph(g) for g in graphs]
+    for name in schedulers:
+        assert instance_batchable(compiled[0], [name]), name
+    batch = CompiledBatch(compiled)
+    for name in schedulers:
+        result = run_batch(batch, name)
+        scheduler = make_scheduler(name)
+        for lane, graph in enumerate(graphs):
+            scalar = scheduler.run(graph).schedule
+            batched = result.schedule_for(lane)
+            assert result.makespans[lane] == scalar.makespan, (name, lane)
+            assert schedule_signature(batched) == schedule_signature(
+                scalar
+            ), (name, lane)
+
+
+# ----------------------------------------------------------------------
+# Fig. 1 worked example: identical-cost lanes, B=1 and B=5
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("lanes", [1, 5])
+def test_fig1_batch_identical_to_scalar(lanes):
+    graphs = [paper_example_graph() for _ in range(lanes)]
+    assert_batch_matches_scalar(graphs)
+
+
+# ----------------------------------------------------------------------
+# workflow families: one topology, independent cost draws per lane
+# ----------------------------------------------------------------------
+def _family(topology, n_procs, lanes, ccr):
+    return [
+        realize_topology(
+            topology,
+            n_procs,
+            rng=np.random.default_rng(100 + i),
+            ccr=ccr,
+            beta=1.0,
+            w_dag=50.0,
+        ).normalized()
+        for i in range(lanes)
+    ]
+
+
+@pytest.mark.parametrize(
+    "label,graphs",
+    [
+        ("fft", _family(fft_topology(4), 3, 4, 1.0)),
+        ("molecular", _family(molecular_dynamics_topology(), 4, 3, 3.0)),
+    ],
+)
+def test_workflow_family_batch(label, graphs):
+    assert_batch_matches_scalar(graphs)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random-fixed batches across sizes / CCRs / widths
+# ----------------------------------------------------------------------
+@settings(max_examples=12, deadline=None)
+@given(
+    v=st.integers(min_value=10, max_value=40),
+    ccr=st.sampled_from([0.5, 1.0, 5.0]),
+    structure_seed=st.integers(min_value=0, max_value=10_000),
+    lanes=st.integers(min_value=1, max_value=4),
+    name=st.sampled_from(sorted(BATCHABLE)),
+)
+def test_hypothesis_random_fixed_batches(v, ccr, structure_seed, lanes, name):
+    config = GeneratorConfig(v=v, ccr=ccr, single_entry=True)
+    graphs = [
+        generate_random_graph(
+            config,
+            np.random.default_rng(1_000 + i),
+            np.random.default_rng(structure_seed),
+        )
+        for i in range(lanes)
+    ]
+    compiled = [compile_graph(g) for g in graphs]
+    if not instance_batchable(compiled[0], [name]):
+        return  # gated instances take the scalar path by design
+    batch = CompiledBatch(compiled)
+    result = run_batch(batch, name)
+    scheduler = make_scheduler(name)
+    for lane, graph in enumerate(graphs):
+        scalar = scheduler.run(graph).schedule
+        assert result.makespans[lane] == scalar.makespan, lane
+        assert schedule_signature(result.schedule_for(lane)) == (
+            schedule_signature(scalar)
+        ), lane
+
+
+# ----------------------------------------------------------------------
+# golden corpus: replay the pinned makespans through the batched kernel
+# ----------------------------------------------------------------------
+def test_golden_corpus_through_batched_kernel():
+    entries = read_corpus("tests/corpus/golden.jsonl")
+    assert entries, "golden corpus missing"
+    covered = 0
+    for entry in entries:
+        graph = entry.load_graph()
+        for name, want in entry.expected.get("makespans", {}).items():
+            if name not in BATCHABLE:
+                continue
+            scheduler = make_scheduler(name)
+            prepared = scheduler.prepare(graph)
+            compiled = compile_graph(prepared)
+            if not instance_batchable(compiled, [name]):
+                continue
+            result = run_batch(CompiledBatch([compiled]), name)
+            got = float(result.makespans[0])
+            assert math.isclose(got, want, rel_tol=1e-9, abs_tol=1e-9), (
+                entry.id,
+                name,
+            )
+            scalar = scheduler.build_schedule(prepared)
+            assert got == scalar.makespan, (entry.id, name)
+            assert schedule_signature(result.schedule_for(0)) == (
+                schedule_signature(scalar)
+            ), (entry.id, name)
+            covered += 1
+    assert covered >= 1, "no golden entry exercised the batched kernel"
+
+
+# ----------------------------------------------------------------------
+# harness arms: auto vs off on shape-uniform and ragged sweeps
+# ----------------------------------------------------------------------
+def _run_arm(definition, reps, batch):
+    with activate(current_context().with_(batch=batch)):
+        return run_sweep(definition, reps=reps, seed=0)
+
+
+def _assert_arms_identical(definition, reps):
+    with obs.enabled_scope(True):
+        with obs.scoped(merge_up=False) as reg_off:
+            off = _run_arm(definition, reps, "off")
+        with obs.scoped(merge_up=False) as reg_auto:
+            auto = _run_arm(definition, reps, "auto")
+    for x in definition.x_values:
+        for name in definition.schedulers:
+            a, b = off.stats[x][name], auto.stats[x][name]
+            assert a.mean == b.mean, (x, name)
+            assert a.std == b.std, (x, name)
+            assert a.n == b.n, (x, name)
+    assert reg_off.snapshot()["counters"] == reg_auto.snapshot()["counters"]
+
+
+def test_harness_auto_vs_off_shape_uniform():
+    """random-fixed sweep: one shape per x point rides the batch kernel."""
+    definition = SweepDefinition(
+        key="batch_diff_fixed",
+        title="batched vs scalar (shape-uniform)",
+        x_label="CCR",
+        x_values=(1.0, 5.0),
+        metric="slr",
+        schedulers=("HDLTS", "HEFT", "PEFT", "SDBATS", "PETS"),
+        graph=GraphSpec(
+            "random-fixed",
+            {"axis": "ccr", "single_entry": True, "structure_seed": 3, "v": 24},
+        ),
+    )
+    _assert_arms_identical(definition, reps=4)
+
+
+def test_harness_auto_vs_off_ragged_fallback():
+    """plain random sweep: per-rep shapes differ, auto must fall back."""
+    definition = SweepDefinition(
+        key="batch_diff_ragged",
+        title="batched vs scalar (ragged fallback)",
+        x_label="CCR",
+        x_values=(1.0,),
+        metric="slr",
+        schedulers=("HDLTS", "HEFT"),
+        graph=GraphSpec("random", {"axis": "ccr", "v": 20}),
+    )
+    _assert_arms_identical(definition, reps=4)
