@@ -13,6 +13,14 @@ Usage::
         --baseline benchmarks/BENCH_baseline.json \
         --current benchmarks/BENCH_timings.json \
         --factor 2.0
+
+After an *accepted* perf change (new benches, intentional slowdowns),
+regenerate the committed baseline from a fresh run in one command::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/BENCH_baseline.json \
+        --current benchmarks/BENCH_timings.json \
+        --update-baseline
 """
 
 from __future__ import annotations
@@ -42,7 +50,33 @@ def main(argv=None) -> int:
         default=2.0,
         help="fail when current wall time exceeds baseline * factor",
     )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        dest="update_baseline",
+        help="overwrite the baseline file with the current timings "
+        "(after an accepted perf change) instead of comparing",
+    )
     args = parser.parse_args(argv)
+
+    if args.update_baseline:
+        current_doc = json.loads(args.current.read_text())
+        if current_doc.get("schema") != "repro.bench_timings/1":
+            raise SystemExit(
+                f"{args.current}: unexpected schema "
+                f"{current_doc.get('schema')!r}"
+            )
+        names = sorted(current_doc.get("benchmarks", {}))
+        if not names:
+            print("current run recorded no benchmarks; baseline unchanged")
+            return 1
+        args.baseline.write_text(
+            json.dumps(current_doc, indent=2) + "\n"
+        )
+        print(f"baseline {args.baseline} updated from {args.current}:")
+        for name in names:
+            print(f"  {name}")
+        return 0
 
     baseline = load_wall_times(args.baseline)
     current = load_wall_times(args.current)

@@ -7,8 +7,10 @@ figure KEY    run one evaluation figure (fig2..fig14) and print the table
 all-figures   run every figure (EXPERIMENTS.md is generated from this)
 run KEY       run a figure inside a resumable run directory (checkpointed)
 resume DIR    resume an interrupted ``run`` from its chunk ledger
-top DIR       live terminal view of a run directory (progress, workers, ETA)
-status DIR    one-shot progress report over a run directory (``--json``)
+top DIR       live terminal view of a run or campaign directory
+status DIR    one-shot progress report over a run or campaign directory
+campaign      sharded parameter campaigns: init / tasks / run-shard /
+              merge / status (columnar shard stores, streaming merge)
 schedule      schedule one workflow instance and show the Gantt chart
 generate      draw a random task graph and print its shape statistics
 dynamic       online-HDLTS vs static-schedule comparison under noise/failures
@@ -168,9 +170,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_obs_args(p_res)
 
     p_top = sub.add_parser(
-        "top", help="live terminal view of a run directory"
+        "top", help="live terminal view of a run or campaign directory"
     )
-    p_top.add_argument("run_dir", metavar="RUN_DIR", help="directory written by 'repro run'")
+    p_top.add_argument(
+        "run_dir", metavar="RUN_DIR",
+        help="directory written by 'repro run' or 'repro campaign init'",
+    )
     p_top.add_argument(
         "--interval", type=float, default=2.0,
         help="seconds between repaints (live mode)",
@@ -181,12 +186,91 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_status = sub.add_parser(
-        "status", help="one-shot progress report over a run directory"
+        "status", help="one-shot progress report over a run or campaign directory"
     )
-    p_status.add_argument("run_dir", metavar="RUN_DIR", help="directory written by 'repro run'")
+    p_status.add_argument(
+        "run_dir", metavar="RUN_DIR",
+        help="directory written by 'repro run' or 'repro campaign init'",
+    )
     p_status.add_argument(
         "--json", action="store_true", dest="json_out",
-        help="emit the machine-readable repro.status/1 document",
+        help="emit the machine-readable status document "
+        "(repro.status/1 or repro.campaign-status/1)",
+    )
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="sharded parameter campaigns with columnar result stores",
+    )
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    c_init = camp_sub.add_parser(
+        "init", help="write a campaign spec and empty shard layout"
+    )
+    c_init.add_argument("dir", metavar="DIR", help="campaign directory to create")
+    c_init.add_argument(
+        "--figures", default=None, metavar="KEY,KEY,...",
+        help="comma-separated figure keys to sweep (fig2 .. fig14)",
+    )
+    c_init.add_argument(
+        "--grid", type=int, default=None, metavar="N",
+        help="also sweep N sampled Table II configurations "
+        "(the factorial protocol, shardable)",
+    )
+    c_init.add_argument("--full", action="store_true", help="fig3: include 5000/10000 tasks")
+    c_init.add_argument("--reps", type=int, default=30, help="replications per point")
+    c_init.add_argument("--shards", type=int, default=2, help="independently runnable shards")
+    c_init.add_argument("--seed", type=int, default=0)
+    c_init.add_argument(
+        "--chunk-size", type=int, default=5, dest="chunk_size",
+        help="replications per task (the unit of kill/resume granularity)",
+    )
+    c_init.add_argument("--validate", action="store_true", help="feasibility-check every schedule")
+    c_init.add_argument("--batch", default="auto", choices=["auto", "off"])
+
+    c_tasks = camp_sub.add_parser(
+        "tasks", help="list the campaign's deterministic task ids"
+    )
+    c_tasks.add_argument("dir", metavar="DIR")
+    c_tasks.add_argument("--shard", type=int, default=None, help="only this shard's tasks")
+    c_tasks.add_argument("--limit", type=int, default=None, help="print at most N tasks")
+
+    c_shard = camp_sub.add_parser(
+        "run-shard", help="run (or resume) one shard to completion"
+    )
+    c_shard.add_argument("dir", metavar="DIR")
+    c_shard.add_argument("shard", type=int, help="shard index (0-based)")
+    c_shard.add_argument(
+        "--max-tasks", type=int, default=None, dest="max_tasks",
+        help="stop after N new tasks (testing / draining)",
+    )
+
+    c_merge = camp_sub.add_parser(
+        "merge", help="streaming-merge every shard store into final stats"
+    )
+    c_merge.add_argument("dir", metavar="DIR")
+    c_merge.add_argument(
+        "--partial", action="store_true",
+        help="merge whatever tasks have completed (live preview) "
+        "instead of requiring a complete campaign",
+    )
+    c_merge.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="merged columnar table (.npz, or .parquet with pyarrow "
+        "installed); default DIR/merged.npz",
+    )
+    c_merge.add_argument(
+        "--csv", default=None, metavar="FILE",
+        help="also write tidy CSV (single-sweep campaigns)",
+    )
+
+    c_status = camp_sub.add_parser(
+        "status", help="one-shot progress report over a campaign directory"
+    )
+    c_status.add_argument("dir", metavar="DIR")
+    c_status.add_argument(
+        "--json", action="store_true", dest="json_out",
+        help="emit the machine-readable repro.campaign-status/1 document",
     )
 
     p_sched = sub.add_parser("schedule", help="schedule one workflow instance")
@@ -628,14 +712,162 @@ def _cmd_top(args) -> int:
 def _cmd_status(args) -> int:
     import json
 
-    from repro.runtime.telemetry import format_top, run_status
+    from repro.runtime.telemetry import format_status, status_document
 
-    status = run_status(args.run_dir)
+    status = status_document(args.run_dir)
     if args.json_out:
         print(json.dumps(status, indent=2))
     else:
-        print(format_top(status))
+        print(format_status(status))
     return 0
+
+
+def _campaign_definitions(args):
+    """Resolve the sweep definitions an `init` invocation asks for."""
+    from repro.experiments import get_figure
+
+    definitions = []
+    if args.figures:
+        for key in [k.strip() for k in args.figures.split(",") if k.strip()]:
+            definitions.append(
+                get_figure(key, full=args.full) if key == "fig3"
+                else get_figure(key)
+            )
+    if args.grid is not None:
+        from repro.experiments.grid import grid_sweep_definition
+
+        definitions.append(
+            grid_sweep_definition(sample=args.grid, seed=args.seed)
+        )
+    if not definitions:
+        raise ValueError(
+            "campaign init needs at least one sweep: --figures KEY,... "
+            "and/or --grid N"
+        )
+    return definitions
+
+
+def _cmd_campaign_init(args) -> int:
+    from repro.experiments.campaign import Campaign
+    from repro.runtime.context import current_context
+
+    campaign = Campaign.create(
+        args.dir,
+        _campaign_definitions(args),
+        reps=args.reps,
+        n_shards=args.shards,
+        context=current_context(),
+    )
+    tasks = campaign.tasks()
+    rows = sum(t.reps for t in tasks)
+    print(
+        f"campaign {campaign.path}: {len(campaign.definitions)} sweep(s), "
+        f"{len(tasks)} tasks ({rows} replications) across "
+        f"{campaign.n_shards} shard(s)"
+    )
+    print(
+        f"run each shard (any process, any machine, any order) with:\n"
+        f"  repro campaign run-shard {campaign.path} <0.."
+        f"{campaign.n_shards - 1}>",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_campaign_tasks(args) -> int:
+    from repro.experiments.campaign import Campaign
+
+    campaign = Campaign.open(args.dir)
+    tasks = (
+        campaign.shard_tasks(args.shard) if args.shard is not None
+        else campaign.tasks()
+    )
+    shown = tasks if args.limit is None else tasks[: args.limit]
+    for task in shown:
+        print(
+            f"{task.task_id}  shard={campaign.shard_of(task)}  "
+            f"x={task.x}  reps={task.reps}"
+        )
+    if len(shown) < len(tasks):
+        print(f"... ({len(tasks) - len(shown)} more)", file=sys.stderr)
+    return 0
+
+
+def _cmd_campaign_run_shard(args) -> int:
+    from repro.experiments.campaign import Campaign, run_shard
+
+    campaign = Campaign.open(args.dir)
+
+    def progress(done: int, total: int) -> None:
+        print(f"  .. shard {args.shard}: task {done}/{total}", file=sys.stderr)
+
+    report = run_shard(
+        campaign, args.shard, progress=progress, max_tasks=args.max_tasks
+    )
+    state = "complete" if report.complete else "paused"
+    print(
+        f"shard {report.shard}: {report.executed} executed, "
+        f"{report.replayed} resumed, {report.total} total ({state})"
+    )
+    return 0
+
+
+def _cmd_campaign_merge(args) -> int:
+    from repro.experiments.campaign import Campaign, merge, write_merged
+
+    campaign = Campaign.open(args.dir)
+    results = merge(campaign, strict=not args.partial)
+    if args.partial:
+        # zero-sample points make sweep tables unrenderable; report
+        # coverage and land the (NaN-padded) merged table instead
+        for definition in campaign.definitions:
+            result = results[definition.key]
+            rows = sum(
+                result.stats[x][definition.schedulers[0]].n
+                for x in definition.x_values
+            )
+            total = len(definition.x_values) * campaign.reps
+            print(
+                f"{definition.key}: partial merge, "
+                f"{rows}/{total} replications folded"
+            )
+    else:
+        from repro.experiments import format_sweep
+
+        blocks = [
+            format_sweep(results[d.key]) for d in campaign.definitions
+        ]
+        print("\n\n".join(blocks))
+    path = write_merged(campaign, results, args.out)
+    print(f"(merged table written to {path})", file=sys.stderr)
+    if args.csv:
+        if len(campaign.definitions) != 1:
+            raise ValueError(
+                "--csv supports single-sweep campaigns; this one has "
+                f"{len(campaign.definitions)} sweeps"
+            )
+        from repro.experiments.export import sweep_to_csv
+
+        sweep_to_csv(results[campaign.definitions[0].key], args.csv)
+        print(f"(csv written to {args.csv})", file=sys.stderr)
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    if args.campaign_command == "init":
+        return _cmd_campaign_init(args)
+    if args.campaign_command == "tasks":
+        return _cmd_campaign_tasks(args)
+    if args.campaign_command == "run-shard":
+        return _cmd_campaign_run_shard(args)
+    if args.campaign_command == "merge":
+        return _cmd_campaign_merge(args)
+    if args.campaign_command == "status":
+        args.run_dir = args.dir
+        return _cmd_status(args)
+    raise AssertionError(
+        f"unhandled campaign command {args.campaign_command}"
+    )  # pragma: no cover
 
 
 def _make_workflow(args) -> "object":
@@ -915,6 +1147,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"\ninterrupted; resume again with: repro resume {args.run_dir}",
                 file=sys.stderr,
             )
+        elif (
+            args.command == "campaign"
+            and getattr(args, "campaign_command", None) == "run-shard"
+        ):
+            print(
+                f"\ninterrupted; completed tasks are durable -- resume "
+                f"with: repro campaign run-shard {args.dir} {args.shard}",
+                file=sys.stderr,
+            )
         else:
             print("\ninterrupted", file=sys.stderr)
         return 130
@@ -991,6 +1232,8 @@ def _dispatch(args) -> int:
         return _cmd_top(args)
     if args.command == "status":
         return _cmd_status(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "schedule":
         return _run_observed(args, lambda: _cmd_schedule(args))
     if args.command == "generate":

@@ -58,6 +58,7 @@ __all__ = [
     "instance_batchable",
     "max_lanes",
     "run_batch",
+    "same_shape",
     "shape_key",
 ]
 
@@ -144,6 +145,31 @@ def shape_key(compiled: CompiledGraph) -> Tuple:
     )
 
 
+def same_shape(a: CompiledGraph, b: CompiledGraph) -> bool:
+    """Do two compiled instances share one structural shape?
+
+    Equivalent to ``shape_key(a) == shape_key(b)`` without serializing
+    either CSR structure: two int compares, then ``np.array_equal``
+    over the successor arrays (identity-short-circuited -- instances
+    drawn from one generator config usually share the very same
+    arrays).  Group-by-representative callers use this to avoid
+    re-hashing CSR bytes per instance; ``shape_key`` remains the
+    hashable form for dict-keyed caches.
+    """
+    return (
+        a.n_tasks == b.n_tasks
+        and a.n_procs == b.n_procs
+        and (
+            a.succ_indptr is b.succ_indptr
+            or np.array_equal(a.succ_indptr, b.succ_indptr)
+        )
+        and (
+            a.succ_ids is b.succ_ids
+            or np.array_equal(a.succ_ids, b.succ_ids)
+        )
+    )
+
+
 def max_lanes(n_tasks: int, n_procs: int) -> int:
     """Soft cap on lanes per sub-batch (bounds the (B, n, p) tensors)."""
     cells = max(1, n_tasks * n_procs)
@@ -209,9 +235,8 @@ class CompiledBatch:
         if not instances:
             raise ValueError("batch needs at least one instance")
         base = instances[0]
-        key = shape_key(base)
         for other in instances[1:]:
-            if shape_key(other) != key:
+            if not same_shape(base, other):
                 raise ValueError("all batch instances must share one shape")
         if base.entry_ids.size != 1:
             raise ValueError("batch instances must have a single entry task")

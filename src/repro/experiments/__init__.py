@@ -17,13 +17,31 @@ from repro.experiments.harness import (
     run_single_point,
     run_replication,
 )
-from repro.experiments.parallel import run_sweep_parallel, sweep_pool
+from repro.experiments.parallel import (
+    chunk_plan,
+    run_sweep_parallel,
+    sweep_pool,
+)
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignTask,
+    campaign_status,
+    merge as merge_campaign,
+    run_shard,
+)
 from repro.experiments.figures import FIGURES, get_figure, list_figures
 from repro.experiments.table1 import table1_trace, fig1_makespans
 from repro.experiments.report import format_sweep, format_makespans, winners
 from repro.experiments.chart import ascii_chart
 from repro.experiments.export import sweep_to_csv, grid_to_csv
-from repro.experiments.grid import GridResult, run_grid, format_marginals
+from repro.experiments.grid import (
+    GridResult,
+    run_grid,
+    format_marginals,
+    grid_sweep_definition,
+    marginals_from_sweep,
+    sample_configs,
+)
 from repro.experiments.claims import PAPER_CLAIMS, evaluate_claim, evaluate_all
 from repro.experiments.significance import ComparisonResult, compare_schedulers
 
@@ -37,6 +55,12 @@ __all__ = [
     "run_replication",
     "run_sweep_parallel",
     "sweep_pool",
+    "chunk_plan",
+    "Campaign",
+    "CampaignTask",
+    "campaign_status",
+    "merge_campaign",
+    "run_shard",
     "FIGURES",
     "get_figure",
     "list_figures",
@@ -51,6 +75,9 @@ __all__ = [
     "GridResult",
     "run_grid",
     "format_marginals",
+    "grid_sweep_definition",
+    "marginals_from_sweep",
+    "sample_configs",
     "PAPER_CLAIMS",
     "evaluate_claim",
     "evaluate_all",

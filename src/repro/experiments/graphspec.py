@@ -137,6 +137,20 @@ def _random_fixed_graph(
     )
 
 
+@register_graph_factory("table2")
+def _table2_graph(x, rng, *, configs) -> TaskGraph:
+    """One sampled Table II configuration per x value.
+
+    ``configs`` is a list of :class:`GeneratorConfig` field dicts (as
+    produced by :func:`repro.experiments.grid.sample_configs` +
+    ``dataclasses.asdict``) and ``x`` indexes into it -- which turns
+    the paper's factorial protocol into an ordinary sweep definition
+    that serializes into run manifests and campaign specs.
+    """
+    config = GeneratorConfig(**configs[int(x)])
+    return generate_random_graph(config, rng)
+
+
 def _topology_params(x, axis: str, fixed: Dict[str, object]) -> Dict[str, object]:
     params = dict(fixed)
     params[axis] = _cast_axis(axis, x)

@@ -11,22 +11,39 @@ the full factorial or a uniform random subsample of it, accumulating
   value -- which is exactly what the paper's figures plot.
 
 Deterministic for a given seed; arbitrarily scalable via ``sample``.
+
+For production scale, :func:`grid_sweep_definition` re-expresses the
+same sampled factorial as an ordinary
+:class:`~repro.experiments.harness.SweepDefinition` (one x value per
+sampled configuration, a declarative ``"table2"`` graph spec), which
+makes the Table II protocol shardable through
+:mod:`repro.experiments.campaign`; :func:`marginals_from_sweep` folds
+the merged sweep back into the per-axis marginal view.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.baselines.registry import PAPER_SET, make_scheduler
+from repro.experiments.graphspec import GraphSpec
+from repro.experiments.harness import SweepDefinition, SweepResult
 from repro.generator.parameters import TABLE_II, GeneratorConfig
 from repro.generator.random_dag import generate_random_graph
 from repro.metrics.metrics import efficiency, slr
 from repro.metrics.stats import RunningStats
 
-__all__ = ["GridResult", "run_grid", "format_marginals"]
+__all__ = [
+    "GridResult",
+    "run_grid",
+    "format_marginals",
+    "sample_configs",
+    "grid_sweep_definition",
+    "marginals_from_sweep",
+]
 
 _METRICS = {"slr": slr, "efficiency": efficiency}
 
@@ -51,12 +68,20 @@ class GridResult:
         return pick(self.overall, key=lambda name: self.overall[name].mean)
 
 
-def _sample_configs(
+def sample_configs(
     grid: Dict[str, Tuple],
     sample: Optional[int],
     rng: np.random.Generator,
     max_tasks: int,
 ) -> List[GeneratorConfig]:
+    """Sample Table II configurations, deterministically for one RNG.
+
+    ``sample=None`` (or >= the grid's cross product) enumerates the
+    whole task-size-capped factorial; otherwise a uniform subsample
+    without replacement.  Both :func:`run_grid` and
+    :func:`grid_sweep_definition` draw their configurations here, so a
+    campaign sweeps exactly the combinations the in-process grid runs.
+    """
     axes = list(grid)
     usable = dict(grid)
     usable["v"] = tuple(v for v in usable["v"] if v <= max_tasks)
@@ -100,7 +125,7 @@ def run_grid(
         raise ValueError("reps must be >= 1")
     metric_fn = _METRICS[metric]
     rng = np.random.default_rng(seed)
-    configs = _sample_configs(grid or TABLE_II, sample, rng, max_tasks)
+    configs = sample_configs(grid or TABLE_II, sample, rng, max_tasks)
 
     result = GridResult(
         metric=metric,
@@ -130,6 +155,118 @@ def run_grid(
                     )
                     bucket[name].add(value)
     return result
+
+
+def grid_sweep_definition(
+    metric: str = "slr",
+    schedulers: Sequence[str] = PAPER_SET,
+    sample: Optional[int] = 200,
+    seed: int = 0,
+    max_tasks: int = 500,
+    grid: Optional[Dict[str, Tuple]] = None,
+    key: str = "table2",
+) -> SweepDefinition:
+    """The Table II protocol as a shardable sweep definition.
+
+    Samples the factorial exactly like :func:`run_grid` (same RNG, same
+    configurations for the same ``seed``), then re-expresses it as one
+    sweep whose x-axis is the configuration index and whose graph spec
+    is the declarative ``"table2"`` factory carrying the sampled
+    configurations.  The definition serializes into run manifests and
+    campaign specs, so a 150,000-configuration factorial can be sharded
+    across machines with :mod:`repro.experiments.campaign` and merged
+    back into marginals with :func:`marginals_from_sweep`.
+
+    Replication RNG streams are keyed ``(seed, x_index, rep)`` by the
+    harness -- identical to :func:`run_grid`'s ``(seed, ci, rep)`` --
+    so per-instance metric values match the in-process grid bit for
+    bit.
+    """
+    if metric not in _METRICS:
+        raise ValueError(f"metric must be one of {sorted(_METRICS)}")
+    rng = np.random.default_rng(seed)
+    configs = sample_configs(grid or TABLE_II, sample, rng, max_tasks)
+    return SweepDefinition(
+        key=key,
+        title=f"Table II grid ({len(configs)} sampled configurations)",
+        x_label="config",
+        x_values=tuple(range(len(configs))),
+        metric=metric,
+        schedulers=tuple(schedulers),
+        description=(
+            "Sampled Table II factorial as a sweep: one x value per "
+            "configuration; fold with marginals_from_sweep"
+        ),
+        graph=GraphSpec(
+            "table2", {"configs": [asdict(c) for c in configs]}
+        ),
+    )
+
+
+def _combine(target: RunningStats, other: RunningStats) -> None:
+    """Fold ``other`` into ``target`` (Chan et al. pairwise combine)."""
+    if other.n == 0:
+        return
+    if target.n == 0:
+        target.n = other.n
+        target._mean = other._mean
+        target._m2 = other._m2
+        target._min = other._min
+        target._max = other._max
+        return
+    na, nb = target.n, other.n
+    n = na + nb
+    delta = other._mean - target._mean
+    target._mean += delta * nb / n
+    target._m2 += other._m2 + delta * delta * na * nb / n
+    target._min = min(target._min, other._min)
+    target._max = max(target._max, other._max)
+    target.n = n
+
+
+def marginals_from_sweep(result: SweepResult) -> GridResult:
+    """Fold a ``"table2"`` sweep back into Table II marginals.
+
+    The inverse of :func:`grid_sweep_definition`: per-configuration
+    statistics (one x point each -- e.g. from a merged campaign) are
+    combined pairwise into the overall and per-axis marginal
+    accumulators.  Statistically identical to :func:`run_grid` over the
+    same samples; not bit-identical, because pairwise combination
+    rounds differently than sample-by-sample accumulation.
+    """
+    definition = result.definition
+    spec = definition.graph
+    if spec is None or spec.factory != "table2":
+        raise ValueError(
+            "marginals_from_sweep needs a sweep built by "
+            "grid_sweep_definition (graph factory 'table2'); got "
+            f"{spec.factory if spec else None!r}"
+        )
+    configs = [GeneratorConfig(**c) for c in spec.params["configs"]]
+    grid_result = GridResult(
+        metric=definition.metric,
+        schedulers=tuple(definition.schedulers),
+        n_configs=len(configs),
+        reps=result.reps,
+    )
+    grid_result.overall = {
+        name: RunningStats() for name in definition.schedulers
+    }
+    axes = list(TABLE_II)
+    for axis in axes:
+        grid_result.marginals[axis] = {}
+    for ci, config in enumerate(configs):
+        point = result.stats[definition.x_values[ci]]
+        for name in definition.schedulers:
+            acc = point[name]
+            _combine(grid_result.overall[name], acc)
+            for axis in axes:
+                bucket = grid_result.marginals[axis].setdefault(
+                    getattr(config, axis),
+                    {n: RunningStats() for n in definition.schedulers},
+                )
+                _combine(bucket[name], acc)
+    return grid_result
 
 
 def format_marginals(result: GridResult, axes: Optional[Sequence[str]] = None) -> str:

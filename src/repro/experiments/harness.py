@@ -23,7 +23,7 @@ from repro.core.batch import (
     instance_batchable,
     max_lanes,
     run_batch,
-    shape_key,
+    same_shape,
 )
 from repro.experiments.graphspec import GraphSpec
 from repro.metrics.metrics import efficiency, slr
@@ -342,13 +342,26 @@ def run_replications(
         _build_instance(definition, x, x_index, rep, seed) for rep in reps
     ]
     compiled = [compile_graph(graph) for graph in built]
-    groups: Dict[object, List[int]] = {}
+    # group by representative comparison, not by hashing: a chunk's
+    # instances almost always share one shape, so comparing each
+    # candidate against the group representatives (two int compares
+    # plus identity-short-circuited array_equal in same_shape) replaces
+    # serializing every instance's successor-CSR bytes per replication
+    representatives: List[int] = []
+    groups: List[List[int]] = []
     for idx, instance in enumerate(compiled):
-        if instance_batchable(instance, batchable):
-            groups.setdefault(shape_key(instance), []).append(idx)
+        if not instance_batchable(instance, batchable):
+            continue
+        for members, rep_idx in zip(groups, representatives):
+            if same_shape(compiled[rep_idx], instance):
+                members.append(idx)
+                break
+        else:
+            representatives.append(idx)
+            groups.append([idx])
     results: List[Optional[Dict[str, float]]] = [None] * len(built)
     cap = max_lanes(compiled[0].n_tasks, compiled[0].n_procs)
-    for idxs in groups.values():
+    for idxs in groups:
         if len(idxs) < 2:
             continue  # singleton shape: batching buys nothing
         for lo in range(0, len(idxs), cap):

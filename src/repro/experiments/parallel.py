@@ -72,7 +72,7 @@ from repro.runtime.context import (
 from repro.runtime.session import ExperimentSession
 from repro.runtime.telemetry import HeartbeatWriter
 
-__all__ = ["run_sweep_parallel", "sweep_pool"]
+__all__ = ["chunk_plan", "run_sweep_parallel", "sweep_pool"]
 
 # worker-process state, installed by the pool initializer (never by
 # fork inheritance): the adopted context, the definition registry, and
@@ -317,11 +317,18 @@ def run_sweep_parallel(
         )
 
 
-def _chunk_plan(
+def chunk_plan(
     definition: SweepDefinition, reps: int, seed: int, validate: bool,
     chunk_size: int,
 ) -> List[Chunk]:
-    """The sweep's chunk decomposition, in submission (= serial) order."""
+    """The sweep's chunk decomposition, in submission (= serial) order.
+
+    This is the unit of scheduling everywhere: worker pools submit these
+    chunks, the session ledger keys completed work by them, and
+    :mod:`repro.experiments.campaign` enumerates its shardable task ids
+    from them -- one shared decomposition, so a campaign's tasks line up
+    one-to-one with the chunks a checkpointed run would execute.
+    """
     chunks: List[Chunk] = []
     for i, x in enumerate(definition.x_values):
         for lo in range(0, reps, chunk_size):
@@ -343,7 +350,7 @@ def _collect(
     session: Optional[ExperimentSession] = None,
 ) -> SweepResult:
     """Stream-accumulate chunk results (live or ledger-replayed) in order."""
-    chunks = _chunk_plan(definition, reps, seed, validate, chunk_size)
+    chunks = chunk_plan(definition, reps, seed, validate, chunk_size)
     completed = (
         session.completed_chunks(definition.key) if session is not None else {}
     )

@@ -1,10 +1,22 @@
-"""Serialization: task graphs and schedules to/from JSON, DOT export.
+"""Serialization: task graphs and schedules to/from JSON, DOT export,
+and the columnar result codec.
 
 JSON is the interchange format (lossless round trip of a
 :class:`~repro.model.task_graph.TaskGraph` and of finished schedules);
-DOT export feeds Graphviz for workflow visualization.
+DOT export feeds Graphviz for workflow visualization;
+:mod:`repro.io.columnar` is the append-only record-batch store campaign
+shards write their results to (pure numpy, Arrow-optional export).
 """
 
+from repro.io.columnar import (
+    ColumnarWriter,
+    have_arrow,
+    iter_batches,
+    read_header,
+    record_dtype,
+    scan_frames,
+    write_table,
+)
 from repro.io.json_io import (
     graph_to_dict,
     graph_from_dict,
@@ -27,4 +39,11 @@ __all__ = [
     "schedule_to_dot",
     "load_dax",
     "parse_dax",
+    "ColumnarWriter",
+    "have_arrow",
+    "iter_batches",
+    "read_header",
+    "record_dtype",
+    "scan_frames",
+    "write_table",
 ]

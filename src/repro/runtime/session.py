@@ -34,12 +34,39 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.runtime.context import RunContext
 
-__all__ = ["ExperimentSession"]
+__all__ = ["ExperimentSession", "read_manifest", "write_manifest"]
 
 PathLike = Union[str, pathlib.Path]
 
 #: ledger key: (x_index, rep_lo, rep_hi)
 ChunkKey = Tuple[int, int, int]
+
+
+def write_manifest(path: PathLike, doc: Dict) -> None:
+    """Write a manifest document atomically (tmp file + ``os.replace``).
+
+    Shared by run sessions and campaigns: a reader racing the write
+    sees either the old manifest or the new one, never a torn file.
+    """
+    path = pathlib.Path(path)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(doc, indent=2) + "\n")
+    os.replace(tmp, path)
+
+
+def read_manifest(path: PathLike, schema: str) -> Dict:
+    """Load a manifest and check its schema tag, with pointed errors."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no {path.name} in {path.parent}")
+    doc = json.loads(path.read_text())
+    found = doc.get("schema")
+    if found != schema:
+        raise ValueError(
+            f"unsupported manifest schema {found!r} in {path} "
+            f"(expected {schema!r})"
+        )
+    return doc
 
 
 class ExperimentSession:
@@ -96,9 +123,7 @@ class ExperimentSession:
             created=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         )
         path.mkdir(parents=True, exist_ok=True)
-        tmp = manifest.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(session.manifest_dict(), indent=2) + "\n")
-        os.replace(tmp, manifest)
+        write_manifest(manifest, session.manifest_dict())
         return session
 
     @classmethod
@@ -109,14 +134,13 @@ class ExperimentSession:
         path = pathlib.Path(run_dir)
         manifest = path / cls.MANIFEST
         if not manifest.exists():
+            if (path / "campaign.json").exists():
+                raise FileNotFoundError(
+                    f"{path} is a campaign directory, not a run directory; "
+                    f"use `repro campaign status/run-shard/merge {path}`"
+                )
             raise FileNotFoundError(f"no {cls.MANIFEST} in {path}")
-        doc = json.loads(manifest.read_text())
-        schema = doc.get("schema")
-        if schema != cls.SCHEMA:
-            raise ValueError(
-                f"unsupported run manifest schema {schema!r} "
-                f"(expected {cls.SCHEMA!r})"
-            )
+        doc = read_manifest(manifest, cls.SCHEMA)
         context = RunContext.from_dict(doc["context"])
         definitions = [
             SweepDefinition.from_dict(entry) for entry in doc["sweeps"]

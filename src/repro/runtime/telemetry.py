@@ -49,7 +49,10 @@ __all__ = [
     "HeartbeatWriter",
     "load_heartbeats",
     "run_status",
+    "status_document",
     "format_top",
+    "format_campaign_top",
+    "format_status",
 ]
 
 PathLike = Union[str, pathlib.Path]
@@ -81,10 +84,12 @@ class HeartbeatWriter:
     def __init__(
         self, directory: PathLike, role: str = "worker",
         throttle_s: float = 0.2,
+        extra: Optional[Dict[str, object]] = None,
     ) -> None:
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.role = role
+        self.extra = dict(extra) if extra else {}
         self.pid = os.getpid()
         self.path = self.directory / f"heartbeat-{self.pid}.json"
         self.throttle_s = throttle_s
@@ -117,6 +122,7 @@ class HeartbeatWriter:
             "chunks_done": self.chunks_done,
             "last_event_ts": self.last_event_ts,
             "ts": now,
+            **self.extra,
         }
         tmp = self.path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(doc) + "\n")
@@ -246,6 +252,25 @@ def run_status(
     }
 
 
+def status_document(
+    run_dir: PathLike, now: Optional[float] = None
+) -> Dict[str, object]:
+    """Status over *any* results directory: run or campaign.
+
+    Dispatches on what the directory holds -- ``manifest.json`` gets
+    :func:`run_status` (schema ``repro.status/1``), ``campaign.json``
+    gets :func:`repro.experiments.campaign.campaign_status` (schema
+    ``repro.campaign-status/1``).  ``repro status`` / ``repro top``
+    call this, so both verbs work unchanged on sharded campaigns.
+    """
+    path = pathlib.Path(run_dir)
+    if (path / "campaign.json").exists():
+        from repro.experiments.campaign import campaign_status
+
+        return campaign_status(path, now=now)
+    return run_status(run_dir, now=now)
+
+
 def _bar(fraction: float, width: int = 24) -> str:
     """A ``[#####....]`` progress bar for one 0..1 fraction."""
     fraction = min(1.0, max(0.0, fraction))
@@ -320,6 +345,74 @@ def format_top(status: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def format_campaign_top(status: Dict[str, object]) -> str:
+    """Render one ``repro top`` frame for a sharded campaign directory.
+
+    Takes a :func:`~repro.experiments.campaign.campaign_status`
+    document: campaign totals, per-sweep row progress, and a per-shard
+    table with straggler flags.
+    """
+    lines: List[str] = []
+    done = int(status["tasks_done"])
+    total = max(1, int(status["tasks_total"]))
+    state = "complete" if status["complete"] else "running"
+    lines.append(
+        f"repro top -- {status['run_dir']}  (campaign, {state}, "
+        f"{status['n_shards']} shard(s))"
+    )
+    lines.append(
+        f"tasks  {_bar(done / total)} {done}/{status['tasks_total']}"
+        f"  ({100.0 * done / total:.1f}%)"
+    )
+    lines.append(
+        f"  {status['rows_done']}/{status['rows_total']} replications "
+        f"(chunk size {status['chunk_size']})"
+    )
+    lines.append("")
+    for sweep in status["sweeps"]:
+        s_done = int(sweep["rows_done"])
+        s_total = max(1, int(sweep["rows_total"]))
+        lines.append(
+            f"  {sweep['key']:<6} {_bar(s_done / s_total, 18)} "
+            f"{s_done}/{sweep['rows_total']} reps  "
+            f"({sweep['points']} x {sweep['reps']} reps, "
+            f"{sweep['x_label']})"
+        )
+    lines.append("")
+    lines.append(
+        f"  {'shard':>5}  {'tasks':>11}  {'bytes':>9}  {'pid':>7}  "
+        f"{'beat':>10}"
+    )
+    for shard in status["shards"]:
+        s_done = int(shard["tasks_done"])
+        s_total = int(shard["tasks_total"])
+        age = shard.get("age_s")
+        size = shard.get("bytes")
+        if not shard["started"]:
+            note = "  (not started)"
+        elif shard["straggler"]:
+            note = "  STRAGGLER"
+        elif shard["complete"]:
+            note = "  done"
+        else:
+            note = ""
+        lines.append(
+            f"  {shard['shard']:>5}  {s_done:>5}/{s_total:<5}  "
+            f"{(f'{size / 1024.0:.1f}KB' if size is not None else '-'):>9}  "
+            f"{(shard.get('pid') or '-'):>7}  "
+            f"{(f'{age:.1f}s ago' if age is not None else '-'):>10}"
+            f"{note}"
+        )
+    return "\n".join(lines)
+
+
+def format_status(status: Dict[str, object]) -> str:
+    """Render whatever :func:`status_document` produced, by schema."""
+    if status.get("schema") == "repro.campaign-status/1":
+        return format_campaign_top(status)
+    return format_top(status)
+
+
 def watch(
     run_dir: PathLike,
     interval_s: float = 1.0,
@@ -328,13 +421,14 @@ def watch(
 ) -> int:
     """Drive ``repro top``: repaint until the run completes (or once).
 
-    Returns a process exit code.  The live loop clears the terminal
-    between frames and stops on completion; Ctrl-C exits cleanly.
+    Returns a process exit code.  Works on run directories and campaign
+    directories alike.  The live loop clears the terminal between
+    frames and stops on completion; Ctrl-C exits cleanly.
     """
     stream = sys.stdout if stream is None else stream
     while True:
-        status = run_status(run_dir)
-        frame = format_top(status)
+        status = status_document(run_dir)
+        frame = format_status(status)
         if once:
             print(frame, file=stream)
             return 0

@@ -20,6 +20,7 @@ from repro.core.batch import (
     instance_batchable,
     max_lanes,
     run_batch,
+    same_shape,
     shape_key,
 )
 from repro.generator.parameters import GeneratorConfig
@@ -68,6 +69,21 @@ def test_shape_key_groups_cost_draws_not_structures():
     assert shape_key(a) == shape_key(b)  # same structure, new costs
     assert shape_key(a) != shape_key(c)  # different wiring
     assert shape_key(a) != shape_key(d)  # different task count
+
+
+def test_same_shape_agrees_with_shape_key():
+    """The harness groups with ``same_shape`` -- it must partition
+    instances exactly like the serializing ``shape_key`` does."""
+    instances = [
+        compile_graph(_fixed_random_graph(1)),
+        compile_graph(_fixed_random_graph(2)),
+        compile_graph(_fixed_random_graph(1, structure_seed=8)),
+        compile_graph(_fixed_random_graph(1, v=24)),
+    ]
+    for a in instances:
+        assert same_shape(a, a)  # identity short-circuit
+        for b in instances:
+            assert same_shape(a, b) == (shape_key(a) == shape_key(b))
 
 
 def test_max_lanes_bounds():

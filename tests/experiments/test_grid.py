@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.experiments.grid import format_marginals, run_grid
+from repro.experiments.grid import (
+    format_marginals,
+    grid_sweep_definition,
+    marginals_from_sweep,
+    run_grid,
+)
+from repro.experiments.harness import run_sweep
 
 _SMALL_GRID = {
     "v": (20, 40),
@@ -91,3 +97,57 @@ class TestFormat:
         text = format_marginals(result)
         for axis in _SMALL_GRID:
             assert axis in text
+
+
+class TestGridAsSweep:
+    """The shardable form: grid_sweep_definition + marginals_from_sweep."""
+
+    def test_definition_is_portable_and_samples_like_run_grid(self):
+        definition = grid_sweep_definition(
+            grid=_SMALL_GRID, sample=None, schedulers=("HDLTS", "HEFT")
+        )
+        assert definition.portable  # serializes into campaign manifests
+        assert definition.graph.factory == "table2"
+        assert definition.x_values == (0, 1, 2, 3)  # 2 x 2 configs
+        configs = definition.graph.params["configs"]
+        # the same sampling pass as run_grid: same seed, same configs
+        assert sorted((c["v"], c["ccr"]) for c in configs) == [
+            (20, 1.0), (20, 3.0), (40, 1.0), (40, 3.0)
+        ]
+
+    def test_roundtrip_matches_run_grid(self):
+        """Sweep the definition, fold back: same marginals as the
+        in-process grid (same n everywhere, means to ~1 ulp -- pairwise
+        combination rounds differently than one-by-one folding)."""
+        schedulers = ("HDLTS", "HEFT")
+        direct = run_grid(
+            grid=_SMALL_GRID, sample=None, reps=2, schedulers=schedulers
+        )
+        definition = grid_sweep_definition(
+            grid=_SMALL_GRID, sample=None, schedulers=schedulers
+        )
+        folded = marginals_from_sweep(run_sweep(definition, reps=2, seed=0))
+
+        assert folded.n_configs == direct.n_configs == 4
+        for name in schedulers:
+            a, b = direct.overall[name], folded.overall[name]
+            assert a.n == b.n == 8
+            assert b.mean == pytest.approx(a.mean, rel=1e-12)
+            assert b.std == pytest.approx(a.std, rel=1e-9)
+            assert (b.min, b.max) == (a.min, a.max)
+        for axis, buckets in direct.marginals.items():
+            assert set(folded.marginals[axis]) == set(buckets)
+            for value, bucket in buckets.items():
+                for name in schedulers:
+                    other = folded.marginals[axis][value][name]
+                    assert other.n == bucket[name].n
+                    assert other.mean == pytest.approx(
+                        bucket[name].mean, rel=1e-12
+                    )
+
+    def test_rejects_foreign_sweeps(self):
+        from tests.experiments.test_harness import tiny_sweep
+
+        result = run_sweep(tiny_sweep(), reps=1, seed=0)
+        with pytest.raises(ValueError, match="table2"):
+            marginals_from_sweep(result)

@@ -1,0 +1,235 @@
+"""Unit tests for the framed columnar store (`repro.io.columnar`).
+
+The load-bearing contracts: append-only CRC-framed record batches,
+reads that stop at the first torn/corrupt frame, and a resume path
+(`ColumnarWriter.append`) that truncates the torn tail so a
+killed-and-resumed store is byte-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io.columnar import (
+    COLUMNAR_SCHEMA,
+    ColumnarWriter,
+    FRAME_MAGIC,
+    MAGIC,
+    have_arrow,
+    iter_batches,
+    read_header,
+    record_dtype,
+    records_as_matrix,
+    scan_frames,
+    write_table,
+)
+
+GROUPS = {"fig2": ["HDLTS", "HEFT"], "fig3": ["HDLTS", "HEFT", "PEFT"]}
+
+
+def _records(group: str, seed: int, rows: int = 4) -> np.ndarray:
+    dtype = record_dtype(GROUPS[group])
+    records = np.empty(rows, dtype=dtype)
+    rng = np.random.default_rng(seed)
+    records_as_matrix(records)[:] = rng.random((rows, len(GROUPS[group])))
+    return records
+
+
+def _write_store(path, n_frames: int = 3) -> list:
+    """A small two-group store; returns the (meta, records) written."""
+    written = []
+    with ColumnarWriter.create(path, GROUPS) as writer:
+        for i in range(n_frames):
+            group = "fig2" if i % 2 == 0 else "fig3"
+            meta = {"group": group, "task": f"t{i}", "x_index": i}
+            records = _records(group, seed=i)
+            writer.write_batch(meta, records)
+            written.append((meta, records))
+    return written
+
+
+# ----------------------------------------------------------------------
+# roundtrip and validation
+# ----------------------------------------------------------------------
+def test_roundtrip(tmp_path):
+    path = tmp_path / "store.colbin"
+    written = _write_store(path, n_frames=5)
+
+    header = read_header(path)
+    assert header["schema"] == COLUMNAR_SCHEMA
+    assert header["groups"] == GROUPS
+
+    batches = list(iter_batches(path))
+    assert len(batches) == 5
+    for (meta, records), (want_meta, want_records) in zip(batches, written):
+        assert meta["group"] == want_meta["group"]
+        assert meta["task"] == want_meta["task"]
+        assert meta["rows"] == len(want_records)
+        np.testing.assert_array_equal(records, want_records)
+
+    # group filter streams only that group's frames
+    fig3 = list(iter_batches(path, group="fig3"))
+    assert [m["task"] for m, _ in fig3] == ["t1", "t3"]
+
+
+def test_create_refuses_clobber(tmp_path):
+    path = tmp_path / "store.colbin"
+    _write_store(path)
+    with pytest.raises(FileExistsError):
+        ColumnarWriter.create(path, GROUPS)
+
+
+def test_write_batch_validates_group_and_dtype(tmp_path):
+    with ColumnarWriter.create(tmp_path / "s.colbin", GROUPS) as writer:
+        with pytest.raises(ValueError, match="unknown record group"):
+            writer.write_batch({"group": "nope"}, _records("fig2", 0))
+        with pytest.raises(ValueError, match="does not match group"):
+            writer.write_batch({"group": "fig3"}, _records("fig2", 0))
+
+
+def test_record_dtype_validation():
+    with pytest.raises(ValueError, match="at least one column"):
+        record_dtype([])
+    with pytest.raises(ValueError, match="duplicate column"):
+        record_dtype(["a", "a"])
+    dtype = record_dtype(["a", "b"])
+    assert dtype.itemsize == 16 and dtype.names == ("a", "b")
+
+
+def test_rejects_foreign_files(tmp_path):
+    not_ours = tmp_path / "other.bin"
+    not_ours.write_bytes(b"PARQUET1" + b"\x00" * 64)
+    with pytest.raises(ValueError, match="not a columnar store"):
+        read_header(not_ours)
+
+    # right magic, wrong schema tag
+    bad_schema = tmp_path / "bad.colbin"
+    blob = b'{"groups":{},"schema":"repro.other/9"}'
+    bad_schema.write_bytes(
+        MAGIC + len(blob).to_bytes(4, "little") + blob
+    )
+    with pytest.raises(ValueError, match="unsupported columnar schema"):
+        read_header(bad_schema)
+
+
+# ----------------------------------------------------------------------
+# torn tails and corruption
+# ----------------------------------------------------------------------
+def test_torn_tail_at_every_cut_point(tmp_path):
+    """Truncating anywhere inside the last frame loses exactly it."""
+    path = tmp_path / "store.colbin"
+    _write_store(path, n_frames=3)
+    _, frames, valid_end = scan_frames(path)
+    assert len(frames) == 3
+    full = path.read_bytes()
+    assert valid_end == len(full)
+
+    last_frame_start = full.rfind(FRAME_MAGIC)
+    # cut points: just after the magic, mid-head, mid-meta, one byte
+    # short of complete
+    for cut in (
+        last_frame_start + len(FRAME_MAGIC),
+        last_frame_start + len(FRAME_MAGIC) + 6,
+        last_frame_start + len(FRAME_MAGIC) + 20,
+        len(full) - 1,
+    ):
+        torn = tmp_path / f"torn-{cut}.colbin"
+        torn.write_bytes(full[:cut])
+        _, kept, end = scan_frames(torn)
+        assert len(kept) == 2, cut
+        assert end == last_frame_start, cut
+
+
+def test_crc_corruption_stops_the_scan(tmp_path):
+    path = tmp_path / "store.colbin"
+    _write_store(path, n_frames=3)
+    _, intact, _ = scan_frames(path)
+    full = bytearray(path.read_bytes())
+    # flip one payload byte of the middle frame: its CRC no longer
+    # matches, so the scan must stop there (frames after an undetected
+    # corruption can't be trusted -- offsets may be garbage)
+    full[intact[1].payload_offset + 3] ^= 0xFF
+    path.write_bytes(bytes(full))
+    _, frames, end = scan_frames(path)
+    assert len(frames) == 1
+    assert frames[0].meta["task"] == "t0"
+    # the valid region ends where the corrupt frame begins
+    assert end == full.index(FRAME_MAGIC, intact[0].payload_offset)
+
+
+# ----------------------------------------------------------------------
+# append / resume
+# ----------------------------------------------------------------------
+def test_append_resume_is_byte_identical(tmp_path):
+    """Kill mid-append, truncate, re-emit: the file bytes must match."""
+    uninterrupted = tmp_path / "clean.colbin"
+    _write_store(uninterrupted, n_frames=4)
+    want = uninterrupted.read_bytes()
+
+    crashed = tmp_path / "crashed.colbin"
+    _write_store(crashed, n_frames=4)
+    # tear the last frame as a kill -9 mid-write would
+    crashed.write_bytes(want[: len(want) - 11])
+
+    writer, done = ColumnarWriter.append(crashed)
+    with writer:
+        assert [f.meta["task"] for f in done] == ["t0", "t1", "t2"]
+        # the torn tail is already gone; re-emit only the lost frame
+        meta = {"group": "fig3", "task": "t3", "x_index": 3}
+        writer.write_batch(meta, _records("fig3", seed=3))
+    assert crashed.read_bytes() == want
+
+
+def test_append_missing_file(tmp_path):
+    path = tmp_path / "fresh.colbin"
+    with pytest.raises(FileNotFoundError):
+        ColumnarWriter.append(path)
+    writer, done = ColumnarWriter.append(path, GROUPS)
+    with writer:
+        assert done == []
+        writer.write_batch({"group": "fig2", "task": "t0"}, _records("fig2", 0))
+    assert len(list(iter_batches(path))) == 1
+
+
+def test_identical_writes_identical_bytes(tmp_path):
+    """No timestamps or randomness land in the file -- determinism is
+    what makes shard resume byte-identical."""
+    a, b = tmp_path / "a.colbin", tmp_path / "b.colbin"
+    _write_store(a)
+    _write_store(b)
+    assert a.read_bytes() == b.read_bytes()
+
+
+# ----------------------------------------------------------------------
+# merged-table export
+# ----------------------------------------------------------------------
+def test_write_table_npz_roundtrip(tmp_path):
+    columns = {
+        "x": np.array([1.0, 2.0, 3.0]),
+        "mean": np.array([0.1, 0.2, 0.3]),
+        "scheduler": np.array(["HDLTS", "HEFT", "PEFT"]),
+    }
+    out = write_table(tmp_path / "merged.npz", columns)
+    assert out == tmp_path / "merged.npz"
+    loaded = np.load(out, allow_pickle=False)
+    np.testing.assert_array_equal(loaded["x"], columns["x"])
+    np.testing.assert_array_equal(loaded["scheduler"], columns["scheduler"])
+
+    # missing suffix: savez appends .npz; the returned path says so
+    out2 = write_table(tmp_path / "bare", {"x": columns["x"]})
+    assert out2.name == "bare.npz" and out2.exists()
+
+
+def test_write_table_rejects_ragged_columns(tmp_path):
+    with pytest.raises(ValueError, match="ragged"):
+        write_table(
+            tmp_path / "m.npz",
+            {"a": np.zeros(3), "b": np.zeros(2)},
+        )
+
+
+@pytest.mark.skipif(have_arrow(), reason="pyarrow installed")
+def test_write_table_parquet_needs_arrow(tmp_path):
+    with pytest.raises(ValueError, match="pyarrow is not installed"):
+        write_table(tmp_path / "m.parquet", {"a": np.zeros(2)})
