@@ -1,0 +1,75 @@
+"""Stream-arena throughput bench: jobs per wall-clock second.
+
+Materializes Poisson job streams from one :class:`StreamSpec` and
+measures how many jobs the arena pushes through per second of scheduler
+wall time for each policy, alongside the fleet metrics the streaming
+docs headline (mean sojourn, utilization).  A generous jobs/sec floor
+guards against the arena's event loop regressing to quadratic behavior;
+the tighter wall-time gate is the perf-smoke factor check against
+``BENCH_baseline.json``.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import bench_reps, emit
+from repro.experiments.graphspec import GraphSpec
+from repro.experiments.report import format_table
+from repro.metrics.stats import RunningStats
+from repro.stream import run_stream
+from repro.stream.arrivals import ArrivalSpec
+from repro.stream.metrics import STREAM_METRICS
+from repro.stream.spec import DEFAULT_POLICIES, StreamSpec
+
+_SPEC = StreamSpec(
+    job=GraphSpec("random", {"axis": "v", "n_procs": 4, "ccr": 1.0}),
+    arrival=ArrivalSpec("poisson", rate=0.02),
+    n_jobs=30,
+    job_x=20,
+    noise={"kind": "gaussian", "sigma": 0.2},
+)
+
+#: deliberately loose -- catches order-of-magnitude regressions only
+_FLOOR_JOBS_PER_S = 10.0
+
+
+def test_stream_throughput(benchmark):
+    reps = bench_reps()
+    jobs_per_s = {name: RunningStats() for name in DEFAULT_POLICIES}
+    sojourn = {name: RunningStats() for name in DEFAULT_POLICIES}
+    utilization = {name: RunningStats() for name in DEFAULT_POLICIES}
+    for rep in range(reps):
+        rng = np.random.default_rng([47, rep])
+        instance = _SPEC.build(0.02, rng)
+        for name in DEFAULT_POLICIES:
+            started = time.perf_counter()
+            result = run_stream(instance, name)
+            wall = time.perf_counter() - started
+            jobs_per_s[name].add(len(result.finished_jobs()) / wall)
+            sojourn[name].add(STREAM_METRICS["sojourn"](result))
+            utilization[name].add(STREAM_METRICS["utilization"](result))
+    rows = [
+        [
+            name,
+            f"{jobs_per_s[name].mean:.0f}",
+            f"{sojourn[name].mean:.1f}",
+            f"{utilization[name].mean:.2f}",
+        ]
+        for name in DEFAULT_POLICIES
+    ]
+    emit(
+        "stream_throughput",
+        f"Poisson stream, {_SPEC.n_jobs} jobs of v={_SPEC.job_x} on 4 CPUs "
+        f"(reps={reps}, sigma=0.2):\n"
+        + format_table(
+            ["policy", "jobs/s", "mean sojourn", "utilization"], rows
+        ),
+    )
+    floor = min(stats.mean for stats in jobs_per_s.values())
+    assert floor > _FLOOR_JOBS_PER_S, (
+        f"stream arena throughput collapsed: {floor:.1f} jobs/s"
+    )
+
+    instance = _SPEC.build(0.02, np.random.default_rng([47, 0]))
+    benchmark(lambda: run_stream(instance, "OnlineHDLTS"))

@@ -100,6 +100,28 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_stream_workload_args(parser: argparse.ArgumentParser) -> None:
+    """The job-stream workload knobs shared by stream run/sweep."""
+    parser.add_argument("--jobs", type=int, default=10, help="jobs per stream")
+    parser.add_argument("--v", type=int, default=20, help="tasks per job DAG")
+    parser.add_argument("--procs", type=int, default=4)
+    parser.add_argument("--ccr", type=float, default=1.0)
+    parser.add_argument("--beta", type=float, default=1.0)
+    parser.add_argument(
+        "--sigma", type=float, default=0.0,
+        help="relative duration noise (0 = exact execution)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None,
+        help="Poisson arrival rate in jobs per time unit (default 0.02)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=None,
+        help="deterministic inter-arrival interval (excludes --rate)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
 def _add_run_obs_args(parser: argparse.ArgumentParser) -> None:
     """Observability flags of run/resume (sinks default into telemetry/)."""
     parser.add_argument(
@@ -352,9 +374,77 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink", action="store_false", dest="shrink",
         help="report failures without delta-debugging them first",
     )
+    p_fuzz.add_argument(
+        "--stream", action="store_true",
+        help="fuzz the job-stream arena (stream invariants + rate->0 "
+        "differential vs the offline executors) instead of schedules",
+    )
+    p_fuzz.add_argument(
+        "--policies", default=None, metavar="A,B,...",
+        help="stream policies for --stream (default: OnlineHDLTS plus "
+        "the static baselines)",
+    )
     p_fuzz.add_argument("--quiet", action="store_true",
                         help="suppress per-instance progress lines")
     _add_obs_args(p_fuzz)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="continuous job-stream arena: online scheduling of "
+        "interleaved DAG instances under load",
+    )
+    stream_sub = p_stream.add_subparsers(dest="stream_command", required=True)
+
+    s_run = stream_sub.add_parser(
+        "run", help="run one stream, print per-job and fleet tables"
+    )
+    _add_stream_workload_args(s_run)
+    s_run.add_argument(
+        "--policy", default="OnlineHDLTS",
+        help='"OnlineHDLTS" or "Static/<RegistryName>" (per-job offline '
+        "schedule replayed on the shared fleet)",
+    )
+    s_run.add_argument(
+        "--jobs-csv", default=None, dest="jobs_csv", metavar="FILE",
+        help="also write the per-job table as tidy CSV",
+    )
+    _add_obs_args(s_run)
+
+    s_sweep = stream_sub.add_parser(
+        "sweep", help="sweep the injection rate (or interval / jobs)"
+    )
+    _add_stream_workload_args(s_sweep)
+    s_sweep.add_argument(
+        "--axis", default="rate", choices=["rate", "interval", "n_jobs"],
+        help="which workload knob the x values drive",
+    )
+    s_sweep.add_argument(
+        "--x", default=None, metavar="X1,X2,...",
+        help="comma-separated x values for the swept axis "
+        "(defaults depend on the axis)",
+    )
+    s_sweep.add_argument(
+        "--metric", default="sojourn",
+        help="stream metric per replication (sojourn, p95_sojourn, "
+        "throughput, utilization, queue_depth, energy_per_job, ...)",
+    )
+    s_sweep.add_argument(
+        "--policies", default=None, metavar="A,B,...",
+        help="comma-separated policies (default: OnlineHDLTS plus the "
+        "static baselines)",
+    )
+    s_sweep.add_argument("--reps", type=int, default=10,
+                         help="replications per point")
+    s_sweep.add_argument(
+        "--validate", action="store_true",
+        help="run the stream invariant registry on every replication",
+    )
+    _add_parallel_args(s_sweep)
+    s_sweep.add_argument("--chart", action="store_true",
+                         help="also render an ASCII line chart")
+    s_sweep.add_argument("--csv", default=None, metavar="FILE",
+                         help="also write tidy CSV to FILE")
+    _add_obs_args(s_sweep)
 
     p_dyn = sub.add_parser("dynamic", help="online vs static under uncertainty")
     p_dyn.add_argument("--sigma", type=float, default=0.3, help="relative execution-time noise")
@@ -387,6 +477,12 @@ def _cmd_fuzz(args) -> int:
         golden_path=args.emit_golden,
         inject=args.inject,
         shrink=args.shrink,
+        stream=args.stream,
+        stream_policies=(
+            [n.strip() for n in args.policies.split(",") if n.strip()]
+            if args.policies
+            else None
+        ),
     )
     progress = None if args.quiet else print
     report = run_campaign(config, progress=progress)
@@ -1059,6 +1155,209 @@ def _cmd_dynamic(args) -> int:
     return 0
 
 
+def _stream_arrival(args):
+    """The arrival process a stream command asks for."""
+    from repro.stream import ArrivalSpec
+
+    if args.interval is not None:
+        if args.rate is not None:
+            raise ValueError("--rate and --interval are mutually exclusive")
+        return ArrivalSpec("deterministic", interval=args.interval)
+    return ArrivalSpec(
+        "poisson", rate=args.rate if args.rate is not None else 0.02
+    )
+
+
+def _stream_spec_from_args(args, axis: str = "n_jobs"):
+    """One :class:`StreamSpec` from the shared workload flags."""
+    from repro.experiments.graphspec import GraphSpec
+    from repro.stream import StreamSpec
+
+    job = GraphSpec(
+        "random",
+        {
+            "axis": "v",
+            "n_procs": args.procs,
+            "ccr": args.ccr,
+            "beta": args.beta,
+        },
+    )
+    noise = (
+        {"kind": "gaussian", "sigma": args.sigma} if args.sigma else None
+    )
+    return StreamSpec(
+        job=job,
+        arrival=_stream_arrival(args),
+        n_jobs=args.jobs,
+        axis=axis,
+        job_x=args.v,
+        noise=noise,
+    )
+
+
+def _cmd_stream_run(args) -> int:
+    from repro.stream import run_stream
+    from repro.stream.metrics import (
+        fleet_energy,
+        per_job_busy_energy,
+        queue_depth_series,
+    )
+
+    spec = _stream_spec_from_args(args)
+    rng = np.random.default_rng([args.seed, 0, 0])
+    instance = spec.build(args.jobs, rng)
+    result = run_stream(instance, args.policy)
+    energies = per_job_busy_energy(result)
+
+    print(
+        f"stream: {len(instance.jobs)} jobs on {instance.n_procs} CPUs, "
+        f"policy {result.policy}"
+    )
+    header = (
+        f"{'job':>4} {'arrival':>10} {'tasks':>6} {'status':>9} "
+        f"{'start':>10} {'finish':>10} {'sojourn':>10} {'energy':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    rows = []
+    for job in result.jobs:
+        status = "finished" if job.finished else "lost"
+        finish = f"{job.finish:.2f}" if job.finished else "-"
+        sojourn = f"{job.sojourn:.2f}" if job.finished else "-"
+        start = (
+            f"{job.first_start:.2f}" if job.first_start == job.first_start
+            else "-"
+        )
+        energy = energies.get(job.job, 0.0)
+        print(
+            f"{job.job:>4} {job.arrival:>10.2f} {job.n_tasks:>6} "
+            f"{status:>9} {start:>10} {finish:>10} {sojourn:>10} "
+            f"{energy:>10.1f}"
+        )
+        rows.append((job, status, energy))
+
+    finished = result.finished_jobs()
+    print()
+    print(
+        f"finished {len(finished)}/{len(result.jobs)} jobs "
+        f"({len(result.lost_jobs())} lost), horizon {result.horizon:.2f}"
+    )
+    if finished:
+        sojourns = np.array([j.sojourn for j in finished])
+        p50, p95, p99 = np.percentile(sojourns, (50, 95, 99))
+        print(
+            f"sojourn mean {sojourns.mean():.2f}, "
+            f"p50 {p50:.2f}, p95 {p95:.2f}, p99 {p99:.2f}"
+        )
+        print(
+            f"throughput {len(finished) / result.horizon:.4f} jobs/time"
+        )
+    per_cpu = (
+        result.busy_times() / result.horizon
+        if result.horizon > 0.0
+        else np.zeros(result.n_procs)
+    )
+    depth = max((d for _, d in queue_depth_series(result)), default=0)
+    print(
+        f"utilization mean {result.utilization():.3f} "
+        f"(per CPU: {', '.join(f'{u:.3f}' for u in per_cpu)}), "
+        f"peak queue depth {depth}"
+    )
+    report = fleet_energy(result)
+    print(
+        f"energy: busy {report.busy_energy:.1f} + idle "
+        f"{report.idle_energy:.1f} + duplication "
+        f"{report.duplication_energy:.1f} = {report.total:.1f}"
+    )
+
+    if args.jobs_csv:
+        import csv
+
+        with open(args.jobs_csv, "w", encoding="utf-8", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(
+                ["job", "arrival", "n_tasks", "status", "first_start",
+                 "finish", "sojourn", "makespan", "busy_energy"]
+            )
+            for job, status, energy in rows:
+                writer.writerow(
+                    [job.job, job.arrival, job.n_tasks, status,
+                     job.first_start, job.finish, job.sojourn,
+                     job.makespan, energy]
+                )
+        print(f"(per-job csv written to {args.jobs_csv})", file=sys.stderr)
+    return 0
+
+
+#: default x values per stream sweep axis
+_STREAM_SWEEP_X = {
+    "rate": (0.005, 0.01, 0.02, 0.05),
+    "interval": (10.0, 25.0, 50.0, 100.0),
+    "n_jobs": (5, 10, 20),
+}
+
+
+def _cmd_stream_sweep(args) -> int:
+    from repro.stream import ArrivalSpec
+    from repro.stream.spec import DEFAULT_POLICIES, stream_sweep_definition
+
+    # the swept axis dictates the arrival kind; the fixed flag (if any)
+    # only seeds the non-swept parameter
+    if args.axis == "rate":
+        if args.interval is not None:
+            raise ValueError("--axis rate sweeps Poisson arrivals; "
+                             "--interval does not apply")
+        args.rate = args.rate if args.rate is not None else 0.02
+    elif args.axis == "interval":
+        if args.rate is not None:
+            raise ValueError("--axis interval sweeps deterministic "
+                             "arrivals; --rate does not apply")
+        args.interval = args.interval if args.interval is not None else 50.0
+    spec = _stream_spec_from_args(args, axis=args.axis)
+    if args.x:
+        cast = int if args.axis == "n_jobs" else float
+        x_values = tuple(
+            cast(v.strip()) for v in args.x.split(",") if v.strip()
+        )
+    else:
+        x_values = _STREAM_SWEEP_X[args.axis]
+    policies = (
+        tuple(n.strip() for n in args.policies.split(",") if n.strip())
+        if args.policies
+        else DEFAULT_POLICIES
+    )
+    definition = stream_sweep_definition(
+        f"stream-{args.axis}",
+        spec,
+        x_values,
+        metric=args.metric,
+        policies=policies,
+    )
+    return _cmd_figure(
+        definition.key,
+        args.reps,
+        args.seed,
+        False,
+        args.validate,
+        workers=args.workers,
+        chart=args.chart,
+        csv_path=args.csv,
+        chunk_size=args.chunk_size,
+        start_method=args.start_method,
+        definition=definition,
+    )
+
+
+def _cmd_stream(args) -> int:
+    if args.stream_command == "run":
+        return _run_observed(args, lambda: _cmd_stream_run(args))
+    if args.stream_command == "sweep":
+        return _run_observed(args, lambda: _cmd_stream_sweep(args))
+    raise AssertionError(
+        f"unhandled stream command {args.stream_command}"
+    )  # pragma: no cover
+
+
 def _cmd_profile(args) -> int:
     import json
 
@@ -1246,6 +1545,8 @@ def _dispatch(args) -> int:
         return _run_observed(args, lambda: _cmd_fuzz(args))
     if args.command == "dynamic":
         return _run_observed(args, lambda: _cmd_dynamic(args))
+    if args.command == "stream":
+        return _cmd_stream(args)
     if args.command == "profile":
         return _cmd_profile(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -291,15 +291,12 @@ def replay_static(
     online arm).
     """
     sim = ScheduleSimulator(graph).run(schedule, duration_fn)
+    # one record per committed *copy*: duplicates carry their own
+    # realized interval and flag (a task with a duplicate used to be
+    # reported twice with the primary's times and no flag)
     records = [
-        OnlineRecord(
-            task,
-            sim.proc_of.get(task, -1),
-            sim.start_times.get(task, 0.0),
-            sim.finish_times.get(task, 0.0),
-        )
-        for task, _ in sim.order
-        if task in sim.finish_times
+        OnlineRecord(task, proc, start, finish, duplicate)
+        for task, proc, start, finish, duplicate in sim.copies
     ]
     return OnlineResult(
         makespan=sim.makespan,

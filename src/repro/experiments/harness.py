@@ -62,6 +62,14 @@ class SweepDefinition:
     worker start method, and serializes into run manifests) or a legacy
     ``make_graph`` closure (fork-only, unserializable; kept for ad-hoc
     local sweeps).
+
+    A third form sweeps a *job stream* instead of a single graph: give
+    ``stream`` (a :class:`~repro.stream.spec.StreamSpec`) and the x-axis
+    drives its injection knob (arrival rate/interval/job count), the
+    ``schedulers`` tuple names stream policies, and ``metric`` comes
+    from the stream-metric registry (sojourn, throughput, utilization,
+    ...).  Everything downstream -- parallel chunking, campaign
+    shard/merge, resume ledgers -- is shared.
     """
 
     key: str
@@ -73,14 +81,32 @@ class SweepDefinition:
     schedulers: Tuple[str, ...] = PAPER_SET
     description: str = ""
     graph: Optional[GraphSpec] = None
+    stream: Optional[object] = None  # StreamSpec (lazily imported)
 
     def __post_init__(self) -> None:
+        if not self.x_values:
+            raise ValueError("sweep needs at least one x value")
+        if self.stream is not None:
+            if self.make_graph is not None or self.graph is not None:
+                raise ValueError(
+                    "a stream definition cannot also carry a graph factory"
+                )
+            from repro.stream.metrics import STREAM_METRICS
+
+            if self.metric not in STREAM_METRICS:
+                raise ValueError(
+                    f"stream metric must be one of "
+                    f"{sorted(STREAM_METRICS)}, got {self.metric!r}"
+                )
+            from repro.stream.arena import normalize_policy
+
+            for name in self.schedulers:
+                normalize_policy(name)
+            return
         if self.metric not in _METRICS:
             raise ValueError(
                 f"metric must be one of {sorted(_METRICS)}, got {self.metric!r}"
             )
-        if not self.x_values:
-            raise ValueError("sweep needs at least one x value")
         if (self.make_graph is None) == (self.graph is None):
             raise ValueError(
                 "exactly one of make_graph (closure) or graph (GraphSpec) "
@@ -96,16 +122,16 @@ class SweepDefinition:
     @property
     def portable(self) -> bool:
         """True when the definition can be pickled/serialized (spec form)."""
-        return self.graph is not None
+        return self.graph is not None or self.stream is not None
 
     def to_dict(self) -> Dict[str, object]:
-        """Manifest form; requires the declarative ``graph`` spec."""
-        if self.graph is None:
+        """Manifest form; requires a declarative spec (graph or stream)."""
+        if self.graph is None and self.stream is None:
             raise ValueError(
                 f"definition {self.key!r} uses a make_graph closure and "
                 "cannot be serialized; give it a GraphSpec instead"
             )
-        return {
+        data = {
             "key": self.key,
             "title": self.title,
             "x_label": self.x_label,
@@ -113,12 +139,24 @@ class SweepDefinition:
             "metric": self.metric,
             "schedulers": list(self.schedulers),
             "description": self.description,
-            "graph": self.graph.to_dict(),
         }
+        if self.stream is not None:
+            data["stream"] = self.stream.to_dict()
+        else:
+            data["graph"] = self.graph.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SweepDefinition":
         """Rebuild a definition from :meth:`to_dict` output."""
+        stream = None
+        graph = None
+        if data.get("stream") is not None:
+            from repro.stream.spec import StreamSpec
+
+            stream = StreamSpec.from_dict(data["stream"])
+        else:
+            graph = GraphSpec.from_dict(data["graph"])
         return cls(
             key=str(data["key"]),
             title=str(data["title"]),
@@ -127,7 +165,8 @@ class SweepDefinition:
             metric=str(data["metric"]),
             schedulers=tuple(data["schedulers"]),
             description=str(data.get("description", "")),
-            graph=GraphSpec.from_dict(data["graph"]),
+            graph=graph,
+            stream=stream,
         )
 
 
@@ -211,24 +250,36 @@ def run_replication(
     changing any result.  ``graph`` short-circuits the instance build
     when the caller already materialized it from the same stream (the
     batched dispatcher's scalar fallback).
+
+    Stream definitions take the same protocol: the workload instance is
+    materialized from the identical RNG key and every *policy* executes
+    the same realization (with ``validate`` running the stream
+    invariants instead of the schedule validator).
     """
-    metric_fn = _METRICS[definition.metric]
     bus = obs.get_bus()
     observing = obs.enabled() or bus.active
     started = time.perf_counter() if observing else 0.0
     with obs.span(
         "sweep.replication", figure=definition.key, x=x, rep=rep
     ):
-        if graph is None:
-            graph = _build_instance(definition, x, x_index, rep, seed)
-        values: Dict[str, float] = {}
-        # keyed by *registry* name so ablation variants of one class
-        # coexist
-        for name in definition.schedulers:
-            result = make_scheduler(name).run(graph)
-            if validate:
-                validate_schedule(graph, result.schedule)
-            values[name] = metric_fn(graph, result.makespan)
+        if definition.stream is not None:
+            from repro.stream.spec import run_stream_replication
+
+            values = run_stream_replication(
+                definition, x, x_index, rep, seed, validate=validate
+            )
+        else:
+            metric_fn = _METRICS[definition.metric]
+            if graph is None:
+                graph = _build_instance(definition, x, x_index, rep, seed)
+            values = {}
+            # keyed by *registry* name so ablation variants of one class
+            # coexist
+            for name in definition.schedulers:
+                result = make_scheduler(name).run(graph)
+                if validate:
+                    validate_schedule(graph, result.schedule)
+                values[name] = metric_fn(graph, result.makespan)
     if observing:
         elapsed = time.perf_counter() - started
         if obs.enabled():
@@ -325,7 +376,8 @@ def run_replications(
     ctx = current_context()
     batchable = [n for n in definition.schedulers if n in BATCHABLE]
     if (
-        ctx.batch != "auto"
+        definition.stream is not None
+        or ctx.batch != "auto"
         or validate
         or ctx.engine != "fast"
         or not compiled_enabled()

@@ -55,13 +55,12 @@ def format_sweep(result: SweepResult, precision: int = 4) -> str:
     definition = result.definition
     header = [definition.x_label] + list(definition.schedulers) + ["best"]
     rows: List[List[str]] = []
+    lower = _lower_is_better(definition)
     for x in definition.x_values:
         stats = result.stats[x]
         means = {name: stats[name].mean for name in definition.schedulers}
         best = (
-            min(means, key=means.get)
-            if definition.metric == "slr"
-            else max(means, key=means.get)
+            min(means, key=means.get) if lower else max(means, key=means.get)
         )
         rows.append(
             [str(x)]
@@ -73,10 +72,24 @@ def format_sweep(result: SweepResult, precision: int = 4) -> str:
     return f"{title}{note}\n" + format_table(header, rows)
 
 
+def _lower_is_better(definition) -> bool:
+    """Is a smaller mean the better one for this definition's metric?
+
+    Scheduler sweeps: SLR and makespan shrink toward better; efficiency
+    and speedup grow.  Stream sweeps: everything except throughput and
+    utilization (sojourns, queue depth, energy, losses) shrinks.
+    """
+    if getattr(definition, "stream", None) is not None:
+        from repro.stream.metrics import STREAM_HIGHER_IS_BETTER
+
+        return definition.metric not in STREAM_HIGHER_IS_BETTER
+    return definition.metric in ("slr", "makespan")
+
+
 def winners(result: SweepResult) -> Dict[object, str]:
     """Per-x-point winning scheduler (lowest SLR / highest efficiency)."""
     out: Dict[object, str] = {}
-    lower_is_better = result.definition.metric in ("slr", "makespan")
+    lower_is_better = _lower_is_better(result.definition)
     for x in result.definition.x_values:
         stats = result.stats[x]
         pick = min if lower_is_better else max

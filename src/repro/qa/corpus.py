@@ -16,7 +16,13 @@ Three entry kinds:
   tolerance (plus the invariant registry);
 * ``online_offline`` -- a graph on which the online executor's realized
   makespan must equal offline HDLTS's analytic one (the PR 1
-  entry-duplication regression family).
+  entry-duplication regression family);
+* ``stream`` -- a fully materialized job-stream workload (jobs,
+  arrivals, realized durations in ``expected["stream"]``); replay
+  re-executes the pinned policy through the arena, runs the stream
+  invariant registry, optionally re-asserts the single-job rate->0
+  differential against ``OnlineHDLTS``/``replay_static``
+  (``expected["differential"]``), and checks a pinned horizon.
 """
 
 from __future__ import annotations
@@ -36,7 +42,7 @@ __all__ = ["CorpusEntry", "append_entries", "read_corpus", "replay_entry"]
 #: the feasibility epsilon because replays recompute the *same* floats
 REL_TOL = 1e-9
 
-KINDS = ("violation", "golden", "online_offline")
+KINDS = ("violation", "golden", "online_offline", "stream")
 
 
 @dataclass
@@ -204,4 +210,88 @@ def replay_entry(entry: CorpusEntry) -> List[str]:
         report = run_invariants(prepared, schedule)
         problems.extend(report.all_problems())
 
+    elif entry.kind == "stream":
+        problems.extend(_replay_stream(entry))
+
+    return problems
+
+
+def _replay_stream(entry: CorpusEntry) -> List[str]:
+    """Replay a pinned job-stream workload through the arena."""
+    from repro.qa.invariants import run_stream_invariants
+    from repro.stream.arena import run_stream
+    from repro.stream.spec import instance_from_dict
+
+    data = entry.expected.get("stream")
+    if not data:
+        return [f"stream entry {entry.id} pins no instance"]
+    instance = instance_from_dict(data)
+    policy = entry.scheduler or "OnlineHDLTS"
+    problems: List[str] = []
+    try:
+        result = run_stream(instance, policy)
+    except Exception as err:
+        return [f"{policy} stream replay failed: {err!r}"]
+    report = run_stream_invariants(instance, result)
+    problems.extend(f"{policy}: {p}" for p in report.all_problems())
+
+    pinned = entry.expected.get("horizon")
+    if pinned is not None and not math.isclose(
+        result.horizon, pinned, rel_tol=REL_TOL, abs_tol=REL_TOL
+    ):
+        problems.append(
+            f"{policy} horizon {result.horizon!r} != pinned {pinned!r}"
+        )
+
+    # single-job rate->0 differential: the arena must reproduce the
+    # offline executors bit-for-bit on a lone job arriving at time zero
+    if entry.expected.get("differential") and len(instance.jobs) == 1:
+        job = instance.jobs[0]
+        if job.arrival != 0.0:
+            problems.append(
+                "differential pinned but the lone job arrives at "
+                f"{job.arrival!r}, not 0.0"
+            )
+        else:
+            problems.extend(
+                _stream_differential(instance, policy, result)
+            )
+    return problems
+
+
+def _stream_differential(instance, policy: str, result) -> List[str]:
+    """Compare a single-job arena run against the offline executors."""
+    from repro.baselines.registry import make_scheduler
+    from repro.dynamic.online import OnlineHDLTS, OnlineRecord, replay_static
+    from repro.stream.arena import STATIC_PREFIX
+
+    job = instance.jobs[0]
+    duration_fn = job.duration_fn()
+    if policy.startswith(STATIC_PREFIX):
+        scheduler = make_scheduler(policy[len(STATIC_PREFIX):])
+        schedule = scheduler.run(job.graph).schedule
+        reference = replay_static(job.graph, schedule, duration_fn)
+    else:
+        reference = OnlineHDLTS().execute(job.graph, duration_fn)
+    got = [
+        OnlineRecord(r.task, r.proc, r.start, r.finish, r.duplicate, r.lost)
+        for r in result.records
+    ]
+    problems: List[str] = []
+    if got != reference.records:
+        problems.append(
+            f"{policy} single-job records diverge from the offline "
+            f"executor ({len(got)} vs {len(reference.records)} dispatches)"
+        )
+    finish = result.jobs[0].finish
+    if not math.isclose(
+        finish - job.arrival,
+        reference.makespan,
+        rel_tol=REL_TOL,
+        abs_tol=REL_TOL,
+    ):
+        problems.append(
+            f"{policy} single-job makespan {finish!r} != offline "
+            f"{reference.makespan!r}"
+        )
     return problems

@@ -19,6 +19,13 @@ and appended to the golden corpus (:mod:`repro.qa.corpus`) so the normal
 test suite replays it forever.  ``inject`` deliberately corrupts every
 schedule after building -- the mutation-style smoke test proving the
 oracles can actually see.
+
+``stream`` mode fuzzes the continuous job-stream arena instead: each
+instance draws a small random workload (interleaved DAG jobs, Poisson or
+deterministic arrivals, optionally noisy durations), runs every stream
+policy through the stream invariant registry, and re-asserts the
+single-job rate->0 differential against the offline executors.  Caught
+failures are pinned as fully materialized ``stream`` corpus entries.
 """
 
 from __future__ import annotations
@@ -79,6 +86,12 @@ class FuzzConfig:
     inject: Optional[str] = None
     shrink: bool = True
     max_shrink_attempts: int = 300
+    #: fuzz job-stream workloads through the arena instead of single
+    #: schedules (``invariants`` then names stream invariants;
+    #: incompatible with ``inject``/``golden_path``)
+    stream: bool = False
+    #: stream policies; ``None`` = the arena's default policy set
+    stream_policies: Optional[Sequence[str]] = None
 
     def scheduler_names(self) -> List[str]:
         """The registry names this campaign covers."""
@@ -314,6 +327,201 @@ def _still_crashes(
 
 
 # ----------------------------------------------------------------------
+# the stream campaign
+# ----------------------------------------------------------------------
+def _draw_stream(rng: np.random.Generator):
+    """One random small job-stream workload (arrivals first, then jobs)."""
+    from repro.dynamic.noise import gaussian_noise
+    from repro.stream.arena import StreamInstance, StreamJob
+    from repro.stream.arrivals import ArrivalSpec
+
+    n_jobs = int(rng.integers(2, 7))
+    n_procs = int(rng.integers(2, 5))
+    if rng.integers(0, 2):
+        arrival = ArrivalSpec(
+            "poisson", rate=float(rng.choice((0.005, 0.02, 0.1)))
+        )
+    else:
+        arrival = ArrivalSpec(
+            "deterministic", interval=float(rng.choice((0.0, 15.0, 60.0)))
+        )
+    times = arrival.times(n_jobs, rng)
+    sigma = float(rng.choice((0.0, 0.2)))
+    jobs = []
+    for index in range(n_jobs):
+        cfg = GeneratorConfig(
+            v=int(rng.integers(5, 13)),
+            alpha=float(rng.choice((0.5, 1.0, 2.0))),
+            density=int(rng.integers(1, 4)),
+            ccr=float(rng.choice((0.5, 1.0, 5.0))),
+            n_procs=n_procs,
+            w_dag=50.0,
+            beta=float(rng.choice((0.4, 1.2, 2.0))),
+            single_entry=bool(rng.integers(0, 2)),
+            heterogeneity=str(rng.choice(("inconsistent", "consistent"))),
+        )
+        graph = generate_random_graph(cfg, rng)
+        if len(graph.entry_tasks()) != 1 or len(graph.exit_tasks()) != 1:
+            graph = graph.normalized()
+        durations = None
+        if sigma > 0.0:
+            fn = gaussian_noise(graph, sigma, rng)
+            durations = np.array(
+                [
+                    [fn(task, proc) for proc in range(graph.n_procs)]
+                    for task in range(graph.n_tasks)
+                ]
+            )
+        jobs.append(
+            StreamJob(
+                index=index,
+                arrival=float(times[index]),
+                graph=graph,
+                durations=durations,
+            )
+        )
+    return StreamInstance(jobs=tuple(jobs), n_procs=n_procs)
+
+
+def _run_stream_campaign(
+    config: FuzzConfig,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Fuzz the job-stream arena; never raises on an arena bug."""
+    from dataclasses import replace as dc_replace
+
+    from repro.qa.corpus import _stream_differential
+    from repro.qa.invariants import run_stream_invariants
+    from repro.stream.arena import StreamInstance, run_stream
+    from repro.stream.spec import DEFAULT_POLICIES, instance_to_dict
+
+    policies = [
+        str(p)
+        for p in (
+            config.stream_policies
+            if config.stream_policies is not None
+            else DEFAULT_POLICIES
+        )
+    ]
+    report = FuzzReport(config=config)
+    bus = obs.get_bus()
+
+    def caught(violation: FuzzViolation, workload) -> None:
+        """Pin one failure as a fully materialized stream entry."""
+        obs.count("fuzz/violations")
+        if bus.active:
+            bus.emit(
+                "fuzz.violation",
+                instance=violation.instance,
+                scheduler=violation.scheduler,
+                stage=violation.stage,
+                first=violation.problems[0] if violation.problems else "",
+            )
+        if config.corpus_path is not None:
+            entry_id = (
+                f"stream-s{config.seed}-i{violation.instance}-"
+                f"{violation.scheduler.replace('/', '-')}-{violation.stage}"
+            )
+            expected = {"stream": instance_to_dict(workload)}
+            if violation.stage == "differential":
+                expected["differential"] = True
+            entry = CorpusEntry(
+                kind="stream",
+                id=entry_id,
+                graph=graph_to_dict(workload.jobs[0].graph),
+                scheduler=violation.scheduler,
+                source=(
+                    f"repro fuzz --stream --seed {config.seed} "
+                    f"--instances {config.instances}"
+                ),
+                problems=violation.problems[:10],
+                expected=expected,
+                note=f"stage={violation.stage}",
+            )
+            append_entries(config.corpus_path, [entry])
+            violation.corpus_id = entry_id
+        report.violations.append(violation)
+
+    for instance in range(config.instances):
+        rng = np.random.default_rng([config.seed, instance])
+        workload = _draw_stream(rng)
+        report.instances += 1
+        obs.count("fuzz/instances")
+        n_tasks = sum(job.graph.n_tasks for job in workload.jobs)
+        # the rate->0 sub-workload: the first job alone, arriving at 0
+        lone = StreamInstance(
+            jobs=(dc_replace(workload.jobs[0], index=0, arrival=0.0),),
+            n_procs=workload.n_procs,
+        )
+
+        for policy in policies:
+            try:
+                result = run_stream(workload, policy)
+            except Exception as err:
+                caught(
+                    FuzzViolation(
+                        instance=instance,
+                        scheduler=policy,
+                        stage="build",
+                        compiled=None,
+                        engine=None,
+                        problems=[f"stream run crashed: {err!r}"],
+                        graph_tasks=n_tasks,
+                    ),
+                    workload,
+                )
+                continue
+            report.builds += 1
+            obs.count("fuzz/builds")
+            inv = run_stream_invariants(workload, result, config.invariants)
+            if not inv.ok:
+                caught(
+                    FuzzViolation(
+                        instance=instance,
+                        scheduler=policy,
+                        stage="invariant",
+                        compiled=None,
+                        engine=None,
+                        problems=inv.all_problems(),
+                        graph_tasks=n_tasks,
+                    ),
+                    workload,
+                )
+                continue
+            # rate->0 differential: a lone job must replay the offline
+            # executors bit for bit
+            try:
+                lone_result = run_stream(lone, policy)
+                problems = _stream_differential(lone, policy, lone_result)
+            except Exception as err:
+                problems = [f"single-job differential crashed: {err!r}"]
+            report.exact_checks += 1
+            obs.count("fuzz/stream_differentials")
+            if problems:
+                caught(
+                    FuzzViolation(
+                        instance=instance,
+                        scheduler=policy,
+                        stage="differential",
+                        compiled=None,
+                        engine=None,
+                        problems=problems,
+                        graph_tasks=lone.jobs[0].graph.n_tasks,
+                    ),
+                    lone,
+                )
+
+        if progress is not None and (instance + 1) % 10 == 0:
+            progress(
+                f"[{instance + 1}/{config.instances}] "
+                f"{report.builds} stream runs, "
+                f"{len(report.violations)} violations"
+            )
+
+    return report
+
+
+# ----------------------------------------------------------------------
 # the campaign
 # ----------------------------------------------------------------------
 def run_campaign(
@@ -326,6 +534,12 @@ def run_campaign(
         optimal_makespan,
     )
 
+    if config.stream:
+        if config.inject is not None:
+            raise ValueError("inject modes only apply to schedule fuzzing")
+        if config.golden_path is not None:
+            raise ValueError("golden pinning only applies to schedule fuzzing")
+        return _run_stream_campaign(config, progress)
     if config.inject is not None and config.inject not in INJECT_MODES:
         raise ValueError(
             f"unknown inject mode {config.inject!r}; known: {INJECT_MODES}"

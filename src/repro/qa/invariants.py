@@ -39,6 +39,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro import obs
 from repro.model.task_graph import TaskGraph
 from repro.schedule.schedule import Schedule
@@ -53,10 +55,14 @@ __all__ = [
     "InvariantReport",
     "INVARIANTS",
     "GENERAL_DUPLICATION",
+    "STREAM_INVARIANTS",
     "register_invariant",
+    "register_stream_invariant",
     "invariant_names",
     "invariants_for",
     "run_invariants",
+    "run_stream_invariants",
+    "stream_invariant_names",
 ]
 
 CheckFn = Callable[[TaskGraph, Schedule], List[str]]
@@ -374,6 +380,228 @@ def run_invariants(
     if violations:
         obs.count(
             "qa/invariant_violations",
+            sum(len(p) for p in violations.values()),
+        )
+    return InvariantReport(checked=tuple(selected), violations=violations)
+
+
+# ----------------------------------------------------------------------
+# stream invariants: checks on (StreamInstance, StreamResult) pairs
+# ----------------------------------------------------------------------
+#: registry name -> invariant over a realized job stream
+STREAM_INVARIANTS: Dict[str, Invariant] = {}
+
+
+def register_stream_invariant(name: str, description: str):
+    """Decorator: add an ``(instance, result) -> [problems]`` check."""
+
+    def wrap(fn):
+        if name in STREAM_INVARIANTS:
+            raise ValueError(f"stream invariant {name!r} already registered")
+        STREAM_INVARIANTS[name] = Invariant(name, description, fn)
+        return fn
+
+    return wrap
+
+
+def stream_invariant_names() -> List[str]:
+    """All registered stream invariant names, in registration order."""
+    return list(STREAM_INVARIANTS)
+
+
+@register_stream_invariant(
+    "stream_conservation",
+    "every arrived job finishes completely or is explicitly lost",
+)
+def _stream_conservation(instance, result) -> List[str]:
+    problems: List[str] = []
+    if len(result.jobs) != len(instance.jobs):
+        problems.append(
+            f"{len(instance.jobs)} jobs arrived but {len(result.jobs)} "
+            "were accounted for"
+        )
+        return problems
+    for job, outcome in zip(instance.jobs, result.jobs):
+        if outcome.finished == outcome.lost:
+            problems.append(
+                f"job {outcome.job} is neither finished nor lost "
+                f"(finished={outcome.finished}, lost={outcome.lost})"
+            )
+        if outcome.finished:
+            missing = [
+                t for t in job.graph.tasks()
+                if t not in outcome.finish_times
+            ]
+            if missing:
+                problems.append(
+                    f"job {outcome.job} reported finished but tasks "
+                    f"{missing[:10]} never ran"
+                )
+            if not np.isfinite(outcome.finish):
+                problems.append(
+                    f"job {outcome.job} finished with non-finite "
+                    f"completion time {outcome.finish!r}"
+                )
+            elif outcome.finish < job.arrival - FEASIBILITY_EPS:
+                problems.append(
+                    f"job {outcome.job} finished at {outcome.finish:.6f}, "
+                    f"before its arrival {job.arrival:.6f}"
+                )
+    # a finished job has exactly one successful primary copy per task
+    primary: Dict[Tuple[int, int], int] = {}
+    for rec in result.records:
+        if not rec.duplicate and not rec.lost:
+            key = (rec.job, rec.task)
+            primary[key] = primary.get(key, 0) + 1
+    for job, outcome in zip(instance.jobs, result.jobs):
+        if not outcome.finished:
+            continue
+        for task in job.graph.tasks():
+            n = primary.get((outcome.job, task), 0)
+            if n != 1:
+                problems.append(
+                    f"job {outcome.job} task {task} has {n} successful "
+                    "primary dispatches (expected exactly 1)"
+                )
+    return problems
+
+
+@register_stream_invariant(
+    "stream_no_overlap",
+    "no CPU executes two dispatches at once across jobs",
+)
+def _stream_no_overlap(instance, result) -> List[str]:
+    problems: List[str] = []
+    per_proc: Dict[int, List] = {}
+    for rec in result.records:
+        if rec.finish < rec.start - FEASIBILITY_EPS:
+            problems.append(
+                f"job {rec.job} task {rec.task} on CPU {rec.proc} runs "
+                f"backwards: [{rec.start:.6f}, {rec.finish:.6f})"
+            )
+        per_proc.setdefault(rec.proc, []).append(rec)
+    # primaries may never overlap; duplicates join the check under
+    # exact durations (noisy entry duplicates are admitted on the
+    # estimated window, inherited from OnlineHDLTS, and may overrun)
+    for proc, recs in sorted(per_proc.items()):
+        checked = [
+            r for r in recs if result.exact or not r.duplicate
+        ]
+        checked.sort(key=lambda r: (r.start, r.finish))
+        for prev, cur in zip(checked, checked[1:]):
+            if cur.start < prev.finish - FEASIBILITY_EPS:
+                problems.append(
+                    f"CPU {proc} overlap: job {prev.job} task {prev.task} "
+                    f"[{prev.start:.6f}, {prev.finish:.6f}) vs job "
+                    f"{cur.job} task {cur.task} "
+                    f"[{cur.start:.6f}, {cur.finish:.6f})"
+                )
+    return problems
+
+
+@register_stream_invariant(
+    "stream_precedence",
+    "per-job precedence + communication hold under interleaving",
+)
+def _stream_precedence(instance, result) -> List[str]:
+    problems: List[str] = []
+    jobs = {job.index: job for job in instance.jobs}
+    # successful copies per (job, task): data sources for successors
+    copies: Dict[Tuple[int, int], List[Tuple[int, float]]] = {}
+    for rec in result.records:
+        if not rec.lost:
+            copies.setdefault((rec.job, rec.task), []).append(
+                (rec.proc, rec.finish)
+            )
+    for rec in result.records:
+        if rec.duplicate or rec.lost:
+            continue
+        job = jobs[rec.job]
+        graph = job.graph
+        if rec.start < job.arrival - FEASIBILITY_EPS:
+            problems.append(
+                f"job {rec.job} task {rec.task} starts at "
+                f"{rec.start:.6f}, before the job arrived at "
+                f"{job.arrival:.6f}"
+            )
+        for parent in graph.predecessors(rec.task):
+            sources = copies.get((rec.job, parent), [])
+            if not sources:
+                problems.append(
+                    f"job {rec.job} task {rec.task} ran with no copy of "
+                    f"parent {parent}"
+                )
+                continue
+            comm = graph.comm_cost(parent, rec.task)
+            arrival = min(
+                fin + (0.0 if cproc == rec.proc else comm)
+                for cproc, fin in sources
+            )
+            if rec.start < arrival - _tol(arrival):
+                problems.append(
+                    f"job {rec.job} task {rec.task} starts at "
+                    f"{rec.start:.6f} on CPU {rec.proc}, before parent "
+                    f"{parent}'s data arrives at {arrival:.6f}"
+                )
+    return problems
+
+
+@register_stream_invariant(
+    "stream_utilization",
+    "per-CPU occupied time never exceeds the horizon (utilization <= 1)",
+)
+def _stream_utilization(instance, result) -> List[str]:
+    problems: List[str] = []
+    if result.horizon <= 0.0:
+        return problems
+    busy = result.busy_times()
+    for proc in range(result.n_procs):
+        util = busy[proc] / result.horizon
+        if util > 1.0 + FEASIBILITY_EPS:
+            problems.append(
+                f"CPU {proc} utilization {util:.9f} > 1 "
+                f"(busy {busy[proc]:.6f} over horizon "
+                f"{result.horizon:.6f})"
+            )
+    return problems
+
+
+def run_stream_invariants(
+    instance,
+    result,
+    names: Optional[Iterable[str]] = None,
+) -> InvariantReport:
+    """Run the stream registry against one realized stream.
+
+    Same contract as :func:`run_invariants`: checks run independently,
+    counters ``qa/stream_invariant_checks`` /
+    ``qa/stream_invariant_violations`` are emitted, and each failing
+    invariant raises a ``qa.invariant_violation`` bus event.
+    """
+    selected = (
+        list(names) if names is not None else list(STREAM_INVARIANTS)
+    )
+    unknown = [n for n in selected if n not in STREAM_INVARIANTS]
+    if unknown:
+        known = ", ".join(STREAM_INVARIANTS)
+        raise KeyError(f"unknown stream invariants {unknown}; known: {known}")
+    violations: Dict[str, List[str]] = {}
+    bus = obs.get_bus()
+    for name in selected:
+        problems = STREAM_INVARIANTS[name].check(instance, result)
+        if problems:
+            violations[name] = problems
+            if bus.active:
+                bus.emit(
+                    "qa.invariant_violation",
+                    invariant=name,
+                    n_problems=len(problems),
+                    first=problems[0],
+                )
+    obs.count("qa/stream_invariant_checks", len(selected))
+    if violations:
+        obs.count(
+            "qa/stream_invariant_violations",
             sum(len(p) for p in violations.values()),
         )
     return InvariantReport(checked=tuple(selected), violations=violations)

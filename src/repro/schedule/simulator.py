@@ -39,6 +39,11 @@ class SimulationResult:
     start_times: Dict[int, float]
     proc_of: Dict[int, int]
     order: List[Tuple[int, int]] = field(default_factory=list)  # (task, proc)
+    #: every committed copy in commit order, duplicates included with
+    #: their own realized interval: (task, proc, start, finish, duplicate)
+    copies: List[Tuple[int, int, float, float, bool]] = field(
+        default_factory=list
+    )
 
     def finish_of(self, task: int) -> float:
         """Realized finish time of ``task``."""
@@ -155,6 +160,7 @@ class ScheduleSimulator:
         finish_times: Dict[int, float] = {}
         proc_of: Dict[int, int] = {}
         order: List[Tuple[int, int]] = []
+        copies: List[Tuple[int, int, float, float, bool]] = []
 
         heads = [0] * n_procs
         clocks = [release_time] * n_procs
@@ -227,6 +233,7 @@ class ScheduleSimulator:
                 finish_times[task] = finish
                 proc_of[task] = proc
             order.append((task, proc))
+            copies.append((task, proc, best_start, finish, is_dup))
             heads[proc] += 1
             done += 1
 
@@ -235,4 +242,6 @@ class ScheduleSimulator:
         if missing:
             raise ValueError(f"tasks never executed: {missing[:10]}")
         makespan = max(finish_times.values(), default=0.0)
-        return SimulationResult(makespan, finish_times, start_times, proc_of, order)
+        return SimulationResult(
+            makespan, finish_times, start_times, proc_of, order, copies
+        )

@@ -1,0 +1,104 @@
+"""Arrival processes for the job-stream arena.
+
+An :class:`ArrivalSpec` is *data* -- the name of a stochastic arrival
+process plus its parameters -- mirroring how
+:class:`~repro.experiments.graphspec.GraphSpec` turns graph factories
+into serializable values.  Specs pickle, ship to any worker start
+method, round-trip through JSON manifests, and draw bit-identical
+arrival sequences from a given RNG stream anywhere.
+
+Two processes cover the injection-rate experiments:
+
+* ``poisson`` -- independent exponential inter-arrival gaps with mean
+  ``1/rate`` (the classic open-loop injection model; the first job
+  arrives after the first gap);
+* ``deterministic`` -- fixed ``interval`` between arrivals, with the
+  first job arriving at time zero.  ``interval=0`` is a burst (every
+  job arrives at once); a huge interval is the rate -> 0 limit the
+  differential tests anchor on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["ArrivalSpec", "ARRIVAL_KINDS"]
+
+ARRIVAL_KINDS = ("poisson", "deterministic")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """One arrival process as data: kind + parameters."""
+
+    kind: str
+    #: poisson: expected arrivals per unit time (> 0)
+    rate: Optional[float] = None
+    #: deterministic: gap between consecutive arrivals (>= 0)
+    interval: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"arrival kind must be one of {ARRIVAL_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.kind == "poisson":
+            if self.rate is None or self.rate <= 0:
+                raise ValueError(
+                    f"poisson arrivals need rate > 0, got {self.rate!r}"
+                )
+        else:
+            if self.interval is None or self.interval < 0:
+                raise ValueError(
+                    "deterministic arrivals need interval >= 0, "
+                    f"got {self.interval!r}"
+                )
+
+    def with_x(self, axis: str, x) -> "ArrivalSpec":
+        """The spec with the swept ``axis`` knob driven by ``x``."""
+        if axis == "rate":
+            if self.kind != "poisson":
+                raise ValueError(
+                    "axis 'rate' requires poisson arrivals, "
+                    f"got kind={self.kind!r}"
+                )
+            return replace(self, rate=float(x))
+        if axis == "interval":
+            if self.kind != "deterministic":
+                raise ValueError(
+                    "axis 'interval' requires deterministic arrivals, "
+                    f"got kind={self.kind!r}"
+                )
+            return replace(self, interval=float(x))
+        raise ValueError(f"unknown arrival axis {axis!r}")
+
+    def times(self, n_jobs: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw the first ``n_jobs`` arrival instants, non-decreasing."""
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        if self.kind == "poisson":
+            gaps = rng.exponential(1.0 / self.rate, size=n_jobs)
+            return np.cumsum(gaps)
+        return np.arange(n_jobs, dtype=float) * self.interval
+
+    def to_dict(self) -> Dict[str, object]:
+        """Manifest form; unset parameters are omitted."""
+        data: Dict[str, object] = {"kind": self.kind}
+        if self.rate is not None:
+            data["rate"] = self.rate
+        if self.interval is not None:
+            data["interval"] = self.interval
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ArrivalSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=str(data["kind"]),
+            rate=data.get("rate"),
+            interval=data.get("interval"),
+        )

@@ -1,0 +1,208 @@
+"""Per-job and fleet metrics over a :class:`StreamResult`.
+
+Mirrors the scheduler-metric registries elsewhere in the repo: every
+metric is a named ``fn(StreamResult) -> float`` registered in
+``STREAM_METRICS``, so :class:`~repro.experiments.harness.SweepDefinition`
+can validate metric names up front and the sweep machinery can
+accumulate values without knowing anything stream-specific.
+
+Definitions (all on the realized execution):
+
+* ``sojourn`` family -- completion minus arrival of each *finished* job
+  (waiting + service); ``p50``/``p95``/``p99`` are tail quantiles via
+  ``numpy.percentile`` (linear interpolation).
+* ``job_makespan`` -- completion minus first dispatch (execution span,
+  the per-job analogue of the paper's makespan).
+* ``throughput`` -- finished jobs per unit time over the horizon.
+* ``utilization`` -- mean fraction of the horizon each CPU spends busy
+  (union of realized intervals, so always <= 1).
+* ``queue_depth`` -- maximum number of jobs simultaneously in the
+  system (arrived, not yet finished/lost).
+* ``energy_per_job`` -- fleet energy (two-state busy/idle model of
+  :mod:`repro.energy.model`) divided by finished jobs.
+* ``lost_jobs`` -- count of jobs that did not finish.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.energy.model import EnergyModel, EnergyReport
+from repro.stream.arena import StreamResult
+
+__all__ = [
+    "STREAM_HIGHER_IS_BETTER",
+    "STREAM_METRICS",
+    "fleet_energy",
+    "per_job_busy_energy",
+    "queue_depth_series",
+    "register_stream_metric",
+]
+
+StreamMetric = Callable[[StreamResult], float]
+
+STREAM_METRICS: Dict[str, StreamMetric] = {}
+
+#: stream metrics where larger means better (everything else --
+#: sojourns, queue depth, energy, losses -- is lower-is-better);
+#: sweep reports use this to pick the per-point winner
+STREAM_HIGHER_IS_BETTER = frozenset({"throughput", "utilization"})
+
+
+def register_stream_metric(name: str):
+    """Class/function decorator adding a metric to the registry."""
+
+    def wrap(fn: StreamMetric) -> StreamMetric:
+        if name in STREAM_METRICS:
+            raise ValueError(f"duplicate stream metric {name!r}")
+        STREAM_METRICS[name] = fn
+        return fn
+
+    return wrap
+
+
+def _sojourns(result: StreamResult) -> np.ndarray:
+    finished = result.finished_jobs()
+    if not finished:
+        raise ValueError(
+            f"no finished jobs under {result.policy}; "
+            "sojourn metrics are undefined"
+        )
+    return np.array([job.sojourn for job in finished])
+
+
+@register_stream_metric("sojourn")
+def _mean_sojourn(result: StreamResult) -> float:
+    return float(np.mean(_sojourns(result)))
+
+
+@register_stream_metric("p50_sojourn")
+def _p50_sojourn(result: StreamResult) -> float:
+    return float(np.percentile(_sojourns(result), 50))
+
+
+@register_stream_metric("p95_sojourn")
+def _p95_sojourn(result: StreamResult) -> float:
+    return float(np.percentile(_sojourns(result), 95))
+
+
+@register_stream_metric("p99_sojourn")
+def _p99_sojourn(result: StreamResult) -> float:
+    return float(np.percentile(_sojourns(result), 99))
+
+
+@register_stream_metric("job_makespan")
+def _mean_job_makespan(result: StreamResult) -> float:
+    finished = result.finished_jobs()
+    if not finished:
+        raise ValueError(
+            f"no finished jobs under {result.policy}; "
+            "job_makespan is undefined"
+        )
+    return float(np.mean([job.makespan for job in finished]))
+
+
+@register_stream_metric("throughput")
+def _throughput(result: StreamResult) -> float:
+    if result.horizon <= 0.0:
+        return 0.0
+    return len(result.finished_jobs()) / result.horizon
+
+
+@register_stream_metric("utilization")
+def _utilization(result: StreamResult) -> float:
+    return result.utilization()
+
+
+@register_stream_metric("queue_depth")
+def _max_queue_depth(result: StreamResult) -> float:
+    series = queue_depth_series(result)
+    return float(max((depth for _, depth in series), default=0))
+
+
+@register_stream_metric("energy_per_job")
+def _energy_per_job(result: StreamResult) -> float:
+    n_finished = len(result.finished_jobs())
+    if n_finished == 0:
+        raise ValueError(
+            f"no finished jobs under {result.policy}; "
+            "energy_per_job is undefined"
+        )
+    return fleet_energy(result).total / n_finished
+
+
+@register_stream_metric("lost_jobs")
+def _lost_jobs(result: StreamResult) -> float:
+    return float(len(result.lost_jobs()))
+
+
+# ----------------------------------------------------------------------
+def queue_depth_series(result: StreamResult) -> List[Tuple[float, int]]:
+    """Jobs in the system over time as ``(t, depth)`` steps.
+
+    A job enters at its arrival and leaves at its finish; lost jobs
+    leave at the horizon (they occupied the system until the end of the
+    observation window).  Simultaneous departures are processed before
+    arrivals at the same instant.
+    """
+    events: List[Tuple[float, int]] = []
+    for job in result.jobs:
+        events.append((job.arrival, 1))
+        leave = job.finish if job.finished else result.horizon
+        events.append((leave, -1))
+    events.sort(key=lambda ev: (ev[0], ev[1]))
+    series: List[Tuple[float, int]] = []
+    depth = 0
+    for t, delta in events:
+        depth += delta
+        if series and series[-1][0] == t:
+            series[-1] = (t, depth)
+        else:
+            series.append((t, depth))
+    return series
+
+
+def _model(result: StreamResult) -> EnergyModel:
+    busy = result.busy_power if result.busy_power else 10.0
+    idle = result.idle_power if result.idle_power else 1.0
+    return EnergyModel(result.n_procs, busy, idle)
+
+
+def fleet_energy(result: StreamResult) -> EnergyReport:
+    """Two-state energy of the whole stream over the horizon.
+
+    Busy energy integrates every realized interval (lost dispatches
+    burned real power too); idle energy covers the remaining horizon
+    per CPU using the *union* occupancy, so overlapping duplicate
+    intervals are not double-subtracted.
+    """
+    model = _model(result)
+    busy = 0.0
+    dup = 0.0
+    for rec in result.records:
+        duration = rec.finish - rec.start
+        busy += duration * model.busy_power[rec.proc]
+        if rec.duplicate:
+            dup += duration * model.busy_power[rec.proc]
+    occupied = result.busy_times()
+    idle = float(
+        np.sum((result.horizon - occupied) * model.idle_power)
+    )
+    return EnergyReport(
+        busy_energy=busy,
+        idle_energy=idle,
+        duplication_energy=dup,
+        makespan=result.horizon,
+    )
+
+
+def per_job_busy_energy(result: StreamResult) -> Dict[int, float]:
+    """Busy energy attributable to each job's dispatches."""
+    model = _model(result)
+    energy: Dict[int, float] = {job.job: 0.0 for job in result.jobs}
+    for rec in result.records:
+        duration = rec.finish - rec.start
+        energy[rec.job] += duration * model.busy_power[rec.proc]
+    return energy

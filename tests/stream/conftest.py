@@ -1,0 +1,62 @@
+"""Shared builders for the job-stream arena tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.graphspec import GraphSpec
+from repro.stream import ArrivalSpec, StreamInstance, StreamJob, StreamSpec
+
+#: the three policies every differential/property test exercises
+ALL_POLICIES = ("OnlineHDLTS", "Static/HDLTS", "Static/HEFT")
+
+
+def small_spec(
+    *,
+    n_jobs: int = 6,
+    v: int = 10,
+    n_procs: int = 3,
+    ccr: float = 1.0,
+    sigma: float = 0.0,
+    kind: str = "poisson",
+    rate: float = 0.02,
+    interval: float = 50.0,
+    axis: str = "rate",
+) -> StreamSpec:
+    """A small random-DAG stream spec (fast enough for unit tests)."""
+    if kind == "poisson":
+        arrival = ArrivalSpec("poisson", rate=rate)
+    else:
+        arrival = ArrivalSpec("deterministic", interval=interval)
+    noise = {"kind": "gaussian", "sigma": sigma} if sigma else None
+    return StreamSpec(
+        job=GraphSpec("random", {"axis": "v", "n_procs": n_procs, "ccr": ccr}),
+        arrival=arrival,
+        n_jobs=n_jobs,
+        axis=axis,
+        job_x=v,
+        noise=noise,
+    )
+
+
+def build_workload(seed: int, x: float = 0.02, **spec_kwargs) -> StreamInstance:
+    """One materialized workload under the sweep RNG-key protocol."""
+    spec = small_spec(**spec_kwargs)
+    return spec.build(x, np.random.default_rng([seed, 0, 0]))
+
+
+def lone_job_instance(
+    seed: int, *, v: int = 12, n_procs: int = 3, ccr: float = 1.0,
+    sigma: float = 0.0, arrival: float = 0.0,
+) -> StreamInstance:
+    """A single-job workload (the rate->0 limit) arriving at ``arrival``."""
+    instance = build_workload(
+        seed, n_jobs=1, v=v, n_procs=n_procs, ccr=ccr, sigma=sigma
+    )
+    job = instance.jobs[0]
+    return StreamInstance(
+        jobs=(StreamJob(0, arrival, job.graph, job.durations),),
+        n_procs=instance.n_procs,
+        busy_power=instance.busy_power,
+        idle_power=instance.idle_power,
+    )

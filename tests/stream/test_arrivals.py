@@ -1,0 +1,78 @@
+"""Unit tests for the arrival-process specs."""
+
+import numpy as np
+import pytest
+
+from repro.stream import ArrivalSpec
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="arrival kind"):
+            ArrivalSpec("uniform", rate=1.0)
+
+    def test_poisson_needs_positive_rate(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec("poisson")
+        with pytest.raises(ValueError):
+            ArrivalSpec("poisson", rate=0.0)
+        with pytest.raises(ValueError):
+            ArrivalSpec("poisson", rate=-1.0)
+
+    def test_deterministic_needs_nonnegative_interval(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec("deterministic")
+        with pytest.raises(ValueError):
+            ArrivalSpec("deterministic", interval=-0.5)
+        # a zero interval (burst arrival) is legal
+        ArrivalSpec("deterministic", interval=0.0)
+
+
+class TestTimes:
+    def test_poisson_times_are_strictly_positive_and_sorted(self):
+        spec = ArrivalSpec("poisson", rate=0.1)
+        times = spec.times(50, np.random.default_rng(0))
+        assert times.shape == (50,)
+        assert times[0] > 0.0
+        assert np.all(np.diff(times) >= 0.0)
+
+    def test_poisson_mean_gap_tracks_rate(self):
+        spec = ArrivalSpec("poisson", rate=0.25)
+        times = spec.times(4000, np.random.default_rng(1))
+        gaps = np.diff(times)
+        assert np.mean(gaps) == pytest.approx(4.0, rel=0.1)
+
+    def test_deterministic_times_are_a_grid_from_zero(self):
+        spec = ArrivalSpec("deterministic", interval=7.5)
+        times = spec.times(4, np.random.default_rng(0))
+        assert list(times) == [0.0, 7.5, 15.0, 22.5]
+
+    def test_deterministic_consumes_no_rng(self):
+        rng = np.random.default_rng(3)
+        before = rng.bit_generator.state
+        ArrivalSpec("deterministic", interval=2.0).times(10, rng)
+        assert rng.bit_generator.state == before
+
+
+class TestWithX:
+    def test_rate_axis_on_poisson(self):
+        spec = ArrivalSpec("poisson", rate=0.1).with_x("rate", 0.5)
+        assert spec.kind == "poisson" and spec.rate == 0.5
+
+    def test_interval_axis_on_deterministic(self):
+        spec = ArrivalSpec("deterministic", interval=1.0).with_x("interval", 9.0)
+        assert spec.kind == "deterministic" and spec.interval == 9.0
+
+    def test_axis_kind_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec("poisson", rate=0.1).with_x("interval", 9.0)
+        with pytest.raises(ValueError):
+            ArrivalSpec("deterministic", interval=1.0).with_x("rate", 0.5)
+
+
+def test_dict_round_trip():
+    for spec in (
+        ArrivalSpec("poisson", rate=0.07),
+        ArrivalSpec("deterministic", interval=12.0),
+    ):
+        assert ArrivalSpec.from_dict(spec.to_dict()) == spec

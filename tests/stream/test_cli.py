@@ -1,0 +1,137 @@
+"""CLI smoke tests for the ``repro stream`` verbs."""
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_stream_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream"])
+
+    def test_stream_run_args(self):
+        args = build_parser().parse_args(
+            ["stream", "run", "--jobs", "5", "--rate", "0.05",
+             "--policy", "Static/HEFT", "--seed", "3"]
+        )
+        assert args.stream_command == "run"
+        assert args.jobs == 5 and args.rate == 0.05
+        assert args.policy == "Static/HEFT"
+
+    def test_stream_sweep_axis_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["stream", "sweep", "--axis", "bogus"]
+            )
+
+    def test_fuzz_stream_flag(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--stream", "--policies", "OnlineHDLTS"]
+        )
+        assert args.stream and args.policies == "OnlineHDLTS"
+
+
+class TestStreamRun:
+    def test_run_prints_per_job_and_fleet_tables(self, capsys):
+        assert main(
+            ["stream", "run", "--jobs", "4", "--v", "8", "--procs", "3",
+             "--sigma", "0.2", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "finished 4/4 jobs" in out
+        assert "sojourn mean" in out
+        assert "utilization mean" in out
+        assert "energy: busy" in out
+
+    def test_run_static_policy(self, capsys):
+        assert main(
+            ["stream", "run", "--jobs", "3", "--v", "8",
+             "--policy", "Static/HEFT", "--interval", "40"]
+        ) == 0
+        assert "Static/HEFT" in capsys.readouterr().out
+
+    def test_run_writes_per_job_csv(self, tmp_path, capsys):
+        path = tmp_path / "jobs.csv"
+        assert main(
+            ["stream", "run", "--jobs", "3", "--v", "8",
+             "--jobs-csv", str(path)]
+        ) == 0
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 3
+        assert rows[0]["status"] == "finished"
+        assert float(rows[0]["sojourn"]) > 0.0
+
+    def test_run_events_are_stream_events(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        assert main(
+            ["stream", "run", "--jobs", "3", "--v", "8",
+             "--events", str(path)]
+        ) == 0
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = {e["event"] for e in events}
+        assert "stream.arrival" in kinds
+        assert "stream.dispatch" in kinds
+        assert "stream.job_finish" in kinds
+
+    def test_conflicting_arrival_flags_exit_2(self, capsys):
+        assert main(
+            ["stream", "run", "--rate", "0.1", "--interval", "5"]
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_unknown_policy_exits_2(self, capsys):
+        assert main(
+            ["stream", "run", "--jobs", "2", "--policy", "Static/Nope"]
+        ) == 2
+
+
+class TestStreamSweep:
+    def test_sweep_prints_table_and_csv(self, tmp_path, capsys):
+        path = tmp_path / "sweep.csv"
+        assert main(
+            ["stream", "sweep", "--axis", "rate", "--x", "0.01,0.05",
+             "--jobs", "3", "--v", "8", "--reps", "2", "--seed", "2",
+             "--csv", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Arrival rate" in out and "best" in out
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert {r["Arrival rate"] for r in rows} == {"0.01", "0.05"}
+
+    def test_sweep_interval_axis(self, capsys):
+        assert main(
+            ["stream", "sweep", "--axis", "interval", "--x", "20,60",
+             "--jobs", "3", "--v", "8", "--reps", "2",
+             "--metric", "throughput"]
+        ) == 0
+        assert "Arrival interval" in capsys.readouterr().out
+
+    def test_sweep_axis_arrival_mismatch_exits_2(self, capsys):
+        assert main(
+            ["stream", "sweep", "--axis", "rate", "--interval", "9",
+             "--reps", "1"]
+        ) == 2
+
+    def test_sweep_parallel_matches_serial(self, capsys):
+        argv = ["stream", "sweep", "--axis", "rate", "--x", "0.02",
+                "--jobs", "3", "--v", "8", "--reps", "2", "--seed", "4"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--workers", "2", "--chunk-size", "1"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+
+class TestFuzzStream:
+    def test_fuzz_stream_smoke(self, capsys):
+        assert main(
+            ["fuzz", "--stream", "--instances", "2", "--seed", "4",
+             "--quiet"]
+        ) == 0
+        assert "0 violations" in capsys.readouterr().out

@@ -1,0 +1,158 @@
+"""The rate->0 differential: a lone job must replay the offline paths.
+
+A stream holding exactly one job arriving at time zero is an offline
+problem wearing arena clothes.  ``OnlineHDLTS`` through the arena must
+reproduce :class:`repro.dynamic.online.OnlineHDLTS` bit for bit --
+every dispatch record, the makespan, the counters -- and every
+``Static/<Name>`` policy must reproduce ``replay_static`` of that
+scheduler's offline schedule.  These are the anchor tests that make the
+multi-job arena trustworthy: everything it adds (admission, hold-back,
+cross-job interleaving) must vanish exactly at rate -> 0.
+"""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.baselines.registry import make_scheduler
+from repro.dynamic.failures import FailStop
+from repro.dynamic.noise import exact_durations
+from repro.dynamic.online import OnlineHDLTS, OnlineRecord, replay_static
+from repro.stream import run_stream
+from tests.stream.conftest import lone_job_instance
+
+SEEDS = range(12)
+
+
+def _as_online_records(result):
+    return [
+        OnlineRecord(r.task, r.proc, r.start, r.finish, r.duplicate, r.lost)
+        for r in result.records
+    ]
+
+
+def _assert_identical(stream_result, online_result):
+    assert _as_online_records(stream_result) == online_result.records
+    job = stream_result.jobs[0]
+    assert job.finished
+    assert job.finish == online_result.makespan
+    assert job.finish_times == online_result.finish_times
+    assert job.proc_of == online_result.proc_of
+
+
+class TestOnlineDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_exact_durations_bit_identical(self, seed):
+        instance = lone_job_instance(seed)
+        graph = instance.jobs[0].graph
+        offline = OnlineHDLTS().execute(graph, exact_durations(graph))
+        result = run_stream(instance, "OnlineHDLTS")
+        _assert_identical(result, offline)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_noisy_durations_bit_identical(self, seed):
+        instance = lone_job_instance(seed, sigma=0.3)
+        job = instance.jobs[0]
+        offline = OnlineHDLTS().execute(job.graph, job.duration_fn())
+        result = run_stream(instance, "OnlineHDLTS")
+        _assert_identical(result, offline)
+
+    @pytest.mark.parametrize("seed", (0, 3, 7))
+    def test_failures_bit_identical(self, seed):
+        failures = [FailStop(0, 15.0), FailStop(1, 40.0)]
+        instance = lone_job_instance(seed, sigma=0.2)
+        job = instance.jobs[0]
+        offline = OnlineHDLTS().execute(job.graph, job.duration_fn(), failures)
+        result = run_stream(instance, "OnlineHDLTS", failures=failures)
+        assert _as_online_records(result) == offline.records
+        assert result.n_lost_dispatches == offline.n_lost
+        assert result.dead_procs == offline.dead_procs
+        assert result.jobs[0].finish - 0.0 == offline.makespan
+
+    def test_counters_match_offline(self):
+        instance = lone_job_instance(5)
+        graph = instance.jobs[0].graph
+        with obs.session(metrics=True) as offline_sess:
+            OnlineHDLTS().execute(graph, exact_durations(graph))
+        with obs.session(metrics=True) as stream_sess:
+            run_stream(instance, "OnlineHDLTS")
+        offline_counters = offline_sess.snapshot["counters"]
+        stream_counters = stream_sess.snapshot["counters"]
+        assert (
+            stream_counters["stream/dispatches"]
+            == offline_counters["online/dispatches"]
+        )
+        assert stream_counters["stream/jobs"] == 1
+        assert stream_counters["stream/job_finishes"] == 1
+        assert "stream/lost" not in stream_counters
+
+    def test_nonzero_arrival_is_a_pure_time_shift(self):
+        """Arrival at t>0 shifts the whole schedule rigidly (exact case)."""
+        base = run_stream(lone_job_instance(2), "OnlineHDLTS")
+        shifted = run_stream(
+            lone_job_instance(2, arrival=100.0), "OnlineHDLTS"
+        )
+        assert len(base.records) == len(shifted.records)
+        for a, b in zip(base.records, shifted.records):
+            assert (a.task, a.proc, a.duplicate) == (b.task, b.proc, b.duplicate)
+            assert b.start == pytest.approx(a.start + 100.0)
+            assert b.finish == pytest.approx(a.finish + 100.0)
+        assert shifted.jobs[0].sojourn == pytest.approx(base.jobs[0].sojourn)
+
+
+class TestStaticDifferential:
+    @pytest.mark.parametrize("name", ("HDLTS", "HEFT", "PETS"))
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_exact_matches_replay_static(self, name, seed):
+        instance = lone_job_instance(seed, ccr=5.0)
+        job = instance.jobs[0]
+        schedule = make_scheduler(name).run(job.graph).schedule
+        reference = replay_static(job.graph, schedule, job.duration_fn())
+        result = run_stream(instance, f"Static/{name}")
+        _assert_identical(result, reference)
+
+    @pytest.mark.parametrize("name", ("HDLTS", "HEFT"))
+    @pytest.mark.parametrize("seed", (1, 4, 9))
+    def test_noisy_matches_replay_static(self, name, seed):
+        instance = lone_job_instance(seed, sigma=0.3, ccr=2.0)
+        job = instance.jobs[0]
+        schedule = make_scheduler(name).run(job.graph).schedule
+        reference = replay_static(job.graph, schedule, job.duration_fn())
+        result = run_stream(instance, f"Static/{name}")
+        _assert_identical(result, reference)
+
+    def test_duplicate_records_carry_their_own_interval(self):
+        """Regression: replay_static used to report a duplicated entry
+        twice with the primary's times and no flag; the arena compares
+        per-copy records, which is what flushed the bug out."""
+        import numpy as np
+
+        from repro.generator import GeneratorConfig, generate_random_graph
+        from repro.stream import StreamInstance, StreamJob
+
+        graph = generate_random_graph(
+            GeneratorConfig(v=10, n_procs=3, ccr=5.0, beta=2.0),
+            np.random.default_rng(46),
+        )
+        if len(graph.entry_tasks()) != 1 or len(graph.exit_tasks()) != 1:
+            graph = graph.normalized()
+        schedule = make_scheduler("HDLTS").run(graph).schedule
+        assert schedule.duplicates(), "seed 46 must produce an entry duplicate"
+        instance = StreamInstance(
+            jobs=(StreamJob(0, 0.0, graph),), n_procs=3
+        )
+        result = run_stream(instance, "Static/HDLTS")
+        reference = replay_static(graph, schedule)
+        assert _as_online_records(result) == reference.records
+        dups = [r for r in reference.records if r.duplicate]
+        assert len(dups) == 1
+        # the duplicate's realized interval is its own, not the primary's
+        entry = dups[0].task
+        primary = [
+            r for r in reference.records if r.task == entry and not r.duplicate
+        ]
+        assert len(primary) == 1
+        assert not math.isclose(dups[0].finish, primary[0].finish) or (
+            dups[0].proc != primary[0].proc
+        )

@@ -1,0 +1,77 @@
+"""The ``repro fuzz --stream`` campaign mode and its corpus pinning."""
+
+import pytest
+
+from repro.qa.corpus import read_corpus, replay_entry
+from repro.qa.fuzz import FuzzConfig, run_campaign
+
+
+class TestStreamCampaign:
+    def test_small_campaign_is_green(self):
+        report = run_campaign(FuzzConfig(instances=6, seed=3, stream=True))
+        assert report.ok, report.format()
+        assert report.instances == 6
+        # every instance ran every default policy + its differential
+        assert report.builds == 18
+        assert report.exact_checks == 18
+
+    def test_policy_subset(self):
+        report = run_campaign(
+            FuzzConfig(
+                instances=3, seed=1, stream=True,
+                stream_policies=["OnlineHDLTS"],
+            )
+        )
+        assert report.ok
+        assert report.builds == 3
+
+    def test_invariant_subset_respected(self):
+        report = run_campaign(
+            FuzzConfig(
+                instances=2, seed=0, stream=True,
+                invariants=["stream_conservation"],
+            )
+        )
+        assert report.ok
+
+    def test_campaign_is_deterministic(self):
+        a = run_campaign(FuzzConfig(instances=4, seed=7, stream=True))
+        b = run_campaign(FuzzConfig(instances=4, seed=7, stream=True))
+        assert a.builds == b.builds
+        assert len(a.violations) == len(b.violations)
+
+    def test_inject_incompatible_with_stream(self):
+        with pytest.raises(ValueError, match="inject"):
+            run_campaign(
+                FuzzConfig(instances=1, stream=True, inject="wrong-duration")
+            )
+
+    def test_golden_incompatible_with_stream(self, tmp_path):
+        with pytest.raises(ValueError, match="golden"):
+            run_campaign(
+                FuzzConfig(
+                    instances=1, stream=True,
+                    golden_path=str(tmp_path / "g.jsonl"),
+                )
+            )
+
+    def test_violations_pinned_as_replayable_stream_entries(self, tmp_path):
+        """A broken policy's failures land in the corpus as kind=stream."""
+        corpus = tmp_path / "stream-corpus.jsonl"
+        # a crash is the easiest guaranteed violation: unknown policy
+        report = run_campaign(
+            FuzzConfig(
+                instances=2, seed=5, stream=True,
+                stream_policies=["Static/NoSuchScheduler"],
+                corpus_path=str(corpus),
+            )
+        )
+        assert not report.ok
+        entries = read_corpus(corpus)
+        assert entries, "violations must be pinned"
+        for entry in entries:
+            assert entry.kind == "stream"
+            assert entry.expected["stream"]["jobs"]
+            assert entry.id.startswith("stream-s5-i")
+            # the pinned entry replays to the same present-day failure
+            assert replay_entry(entry)

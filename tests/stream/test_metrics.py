@@ -1,0 +1,138 @@
+"""Per-job and fleet metrics over stream executions."""
+
+import numpy as np
+import pytest
+
+from repro.stream import run_stream
+from repro.stream.metrics import (
+    STREAM_HIGHER_IS_BETTER,
+    STREAM_METRICS,
+    fleet_energy,
+    per_job_busy_energy,
+    queue_depth_series,
+    register_stream_metric,
+)
+from tests.stream.conftest import ALL_POLICIES, build_workload
+
+
+@pytest.fixture(scope="module")
+def executed():
+    instance = build_workload(6, n_jobs=5, sigma=0.2)
+    return instance, run_stream(instance, "OnlineHDLTS")
+
+
+class TestRegistry:
+    def test_expected_metrics_registered(self):
+        for name in (
+            "sojourn", "p50_sojourn", "p95_sojourn", "p99_sojourn",
+            "job_makespan", "throughput", "utilization", "queue_depth",
+            "energy_per_job", "lost_jobs",
+        ):
+            assert name in STREAM_METRICS
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            register_stream_metric("sojourn")(lambda result: 0.0)
+
+    def test_orientation_sets_are_consistent(self):
+        assert STREAM_HIGHER_IS_BETTER <= set(STREAM_METRICS)
+
+    def test_every_metric_evaluates_finite(self, executed):
+        _, result = executed
+        for name, fn in STREAM_METRICS.items():
+            value = fn(result)
+            assert np.isfinite(value), name
+
+
+class TestSojourns:
+    def test_percentiles_are_ordered(self, executed):
+        _, result = executed
+        p50 = STREAM_METRICS["p50_sojourn"](result)
+        p95 = STREAM_METRICS["p95_sojourn"](result)
+        p99 = STREAM_METRICS["p99_sojourn"](result)
+        assert p50 <= p95 <= p99
+
+    def test_sojourn_bounds_job_makespan(self, executed):
+        """Sojourn = wait + execution span, so it dominates makespan."""
+        _, result = executed
+        for job in result.finished_jobs():
+            assert job.sojourn >= job.makespan - 1e-9
+            assert job.wait == pytest.approx(job.sojourn - job.makespan)
+
+
+class TestQueueDepth:
+    def test_series_starts_and_ends_empty(self, executed):
+        _, result = executed
+        series = queue_depth_series(result)
+        assert series[-1][1] == 0
+        assert max(depth for _, depth in series) >= 1
+
+    def test_depth_counts_arrived_unfinished_jobs(self, executed):
+        _, result = executed
+        series = queue_depth_series(result)
+        # probe halfway between two events: depth there must equal the
+        # direct count of jobs with arrival <= t < finish
+        for (t0, depth), (t1, _) in zip(series, series[1:]):
+            t = (t0 + t1) / 2.0
+            direct = sum(
+                1
+                for job in result.jobs
+                if job.arrival <= t
+                and (job.finish if job.finished else result.horizon) > t
+            )
+            assert depth == direct
+
+    def test_departures_processed_before_arrivals(self):
+        """A job finishing exactly when another arrives frees its slot."""
+        from repro.stream.arena import (
+            JobResult,
+            StreamResult,
+        )
+
+        jobs = [
+            JobResult(0, 0.0, 1, True, False, finish=5.0, first_start=0.0),
+            JobResult(1, 5.0, 1, True, False, finish=9.0, first_start=5.0),
+        ]
+        result = StreamResult(
+            policy="OnlineHDLTS", n_procs=1, jobs=jobs, records=[],
+            horizon=9.0, dead_procs=(), n_lost_dispatches=0, exact=True,
+            busy_power=(), idle_power=(),
+        )
+        assert max(d for _, d in queue_depth_series(result)) == 1
+
+
+class TestEnergy:
+    def test_fleet_energy_accounting(self, executed):
+        _, result = executed
+        report = fleet_energy(result)
+        assert report.total == pytest.approx(
+            report.busy_energy + report.idle_energy
+        )
+        assert report.busy_energy > 0.0
+        assert report.idle_energy >= 0.0
+        assert report.makespan == result.horizon
+
+    def test_per_job_energy_sums_to_fleet_busy(self, executed):
+        _, result = executed
+        per_job = per_job_busy_energy(result)
+        assert set(per_job) == {job.job for job in result.jobs}
+        assert sum(per_job.values()) == pytest.approx(
+            fleet_energy(result).busy_energy
+        )
+
+    def test_busy_energy_bounded_by_full_occupancy(self, executed):
+        instance, result = executed
+        report = fleet_energy(result)
+        ceiling = sum(
+            result.horizon * p for p in instance.busy_power
+        )
+        assert report.busy_energy <= ceiling * (1.0 + 1e-9)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_energy_per_job_metric_matches_report(self, policy):
+        instance = build_workload(2, n_jobs=4)
+        result = run_stream(instance, policy)
+        expected = fleet_energy(result).total / len(result.finished_jobs())
+        assert STREAM_METRICS["energy_per_job"](result) == pytest.approx(
+            expected
+        )
