@@ -1,0 +1,130 @@
+"""Service-store overhead on a paired fig2 workload.
+
+The scheduling service routes every chunk through SQLite -- claim a
+lease, execute, commit the values -- where ``run_sweep_parallel``
+dispatches the same chunks straight to a process pool.  That
+bookkeeping must stay in the noise: this bench runs the *same* fig2
+workload both ways (two spawn-start workers each, same chunk plan,
+same RNG streams), interleaving the arms so thermal and cache drift
+hit both alike, and enforces the <10% overhead acceptance bar of the
+service work.
+
+Correctness first: the service's merged result must be bit-identical
+to the direct parallel run -- the same Welford accumulator fields to
+the last ulp.
+"""
+
+import time
+
+from conftest import bench_reps, emit
+from repro.experiments.figures import get_figure
+from repro.experiments.parallel import run_sweep_parallel
+from repro.experiments.report import format_table
+from repro.runtime.context import DEFAULT_CONTEXT
+from repro.service import api
+from repro.service.worker import serve
+
+#: acceptance bar: the store path may cost at most this fraction extra
+OVERHEAD_CEILING = 0.10
+
+#: interleaved direct/service rounds; best-of per arm is the measure
+ROUNDS = 3
+
+#: reps floor: the chunks must be compute-bound, or the ratio measures
+#: scheduler noise instead of store bookkeeping
+MIN_REPS = 16
+
+WORKERS = 2
+CHUNK = 4
+SEED = 0
+
+
+def _direct(definition, reps):
+    """The incumbent: chunks straight into a spawn pool."""
+    started = time.perf_counter()
+    result = run_sweep_parallel(
+        definition,
+        reps=reps,
+        seed=SEED,
+        workers=WORKERS,
+        chunk_size=CHUNK,
+        start_method="spawn",
+    )
+    return time.perf_counter() - started, result
+
+
+def _service(definition, reps, path):
+    """The same chunks through submit -> lease -> commit -> merge."""
+    context = DEFAULT_CONTEXT.with_(
+        seed=SEED, chunk_size=CHUNK, start_method="spawn"
+    )
+    started = time.perf_counter()
+    job = api.submit(path, [definition], reps, context)
+    serve(path, workers=WORKERS, drain=True, poll_s=0.01)
+    results = api.result(path, job.ticket)
+    return time.perf_counter() - started, results[definition.key]
+
+
+def _assert_bit_identical(a_result, b_result, definition):
+    for x in definition.x_values:
+        for name in definition.schedulers:
+            a, b = a_result.stats[x][name], b_result.stats[x][name]
+            assert (a.n, a._mean, a._m2, a._min, a._max) == (
+                b.n, b._mean, b._m2, b._min, b._max
+            ), (x, name)
+
+
+def test_store_overhead(benchmark, tmp_path):
+    definition = get_figure("fig2")
+    reps = max(bench_reps(), MIN_REPS)
+
+    # warm both arms outside the timing: spawn interpreter start and
+    # module imports dominate a cold first round on either side
+    _direct(definition, 1)
+    _service(definition, 1, tmp_path / "warm")
+
+    best = {"direct": float("inf"), "service": float("inf")}
+    rows = []
+    service_result = direct_result = None
+    for i in range(ROUNDS):
+        t_direct, direct_result = _direct(definition, reps)
+        t_service, service_result = _service(
+            definition, reps, tmp_path / f"svc-{i}"
+        )
+        best["direct"] = min(best["direct"], t_direct)
+        best["service"] = min(best["service"], t_service)
+        rows.append(
+            [f"round {i}", f"{t_direct:.2f}", f"{t_service:.2f}",
+             f"{t_service / t_direct:.3f}x"]
+        )
+
+    # correctness first: the store path merges bit-identically
+    _assert_bit_identical(service_result, direct_result, definition)
+
+    overhead = best["service"] / best["direct"] - 1.0
+    rows.append(
+        [f"best of {ROUNDS}", f"{best['direct']:.2f}",
+         f"{best['service']:.2f}", f"{overhead * 100:+.1f}%"]
+    )
+    emit(
+        "store_overhead",
+        f"service store overhead on fig2 ({reps} reps, {WORKERS} spawn "
+        f"workers, chunk {CHUNK}, bit-identical results):\n"
+        + format_table(
+            ["", "direct (s)", "service (s)", "overhead"], rows
+        ),
+    )
+
+    assert overhead < OVERHEAD_CEILING, (
+        f"the service store costs {overhead * 100:.1f}% over "
+        f"run_sweep_parallel; the bar is {OVERHEAD_CEILING * 100:.0f}%"
+    )
+
+    # the pytest-benchmark series times the store bookkeeping alone:
+    # one submit + status round trip per iteration
+    def submit_status(counter=iter(range(10 ** 9))):
+        path = tmp_path / f"bench-{next(counter)}"
+        job = api.submit(path, [definition], reps, DEFAULT_CONTEXT)
+        api.job_status(path, job.ticket)
+
+    benchmark(submit_status)

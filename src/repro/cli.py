@@ -11,6 +11,11 @@ top DIR       live terminal view of a run or campaign directory
 status DIR    one-shot progress report over a run or campaign directory
 campaign      sharded parameter campaigns: init / tasks / run-shard /
               merge / status (columnar shard stores, streaming merge)
+submit DIR    enqueue a sweep job into a service directory, get a ticket
+serve DIR     run daemon workers draining the service queue
+ps DIR        list a service directory's jobs and workers
+watch DIR T   follow ticket T; print its merged tables when done
+cancel DIR T  cancel a queued or running ticket
 schedule      schedule one workflow instance and show the Gantt chart
 generate      draw a random task graph and print its shape statistics
 dynamic       online-HDLTS vs static-schedule comparison under noise/failures
@@ -100,8 +105,14 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_stream_workload_args(parser: argparse.ArgumentParser) -> None:
-    """The job-stream workload knobs shared by stream run/sweep."""
+def _add_stream_workload_args(
+    parser: argparse.ArgumentParser, seed: bool = True
+) -> None:
+    """The job-stream workload knobs shared by stream run/sweep.
+
+    ``seed=False`` skips ``--seed`` for parsers that define their own
+    (``repro submit`` shares one seed across figure and stream sweeps).
+    """
     parser.add_argument("--jobs", type=int, default=10, help="jobs per stream")
     parser.add_argument("--v", type=int, default=20, help="tasks per job DAG")
     parser.add_argument("--procs", type=int, default=4)
@@ -119,7 +130,8 @@ def _add_stream_workload_args(parser: argparse.ArgumentParser) -> None:
         "--interval", type=float, default=None,
         help="deterministic inter-arrival interval (excludes --rate)",
     )
-    parser.add_argument("--seed", type=int, default=0)
+    if seed:
+        parser.add_argument("--seed", type=int, default=0)
 
 
 def _add_run_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -294,6 +306,116 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="json_out",
         help="emit the machine-readable repro.campaign-status/1 document",
     )
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="enqueue a sweep job into a service directory, print the ticket",
+    )
+    p_submit.add_argument(
+        "dir", metavar="DIR",
+        help="service directory (created, with its store, on first use)",
+    )
+    p_submit.add_argument(
+        "--figures", default=None, metavar="KEY,KEY,...",
+        help="comma-separated figure keys to sweep (fig2 .. fig14)",
+    )
+    p_submit.add_argument(
+        "--grid", type=int, default=None, metavar="N",
+        help="also sweep N sampled Table II configurations",
+    )
+    p_submit.add_argument(
+        "--full", action="store_true", help="fig3: include 5000/10000 tasks"
+    )
+    p_submit.add_argument(
+        "--stream", default=None, metavar="AXIS", dest="stream",
+        choices=["rate", "interval", "n_jobs"],
+        help="also submit a job-stream sweep over AXIS "
+        "(workload knobs below apply)",
+    )
+    _add_stream_workload_args(p_submit, seed=False)
+    p_submit.add_argument(
+        "--x", default=None, metavar="X1,X2,...",
+        help="x values for the swept stream axis (defaults per axis)",
+    )
+    p_submit.add_argument(
+        "--metric", default="sojourn",
+        help="stream metric per replication (sojourn, p95_sojourn, ...)",
+    )
+    p_submit.add_argument(
+        "--policies", default=None, metavar="A,B,...",
+        help="stream policies (default: OnlineHDLTS + static baselines)",
+    )
+    p_submit.add_argument("--reps", type=int, default=30,
+                          help="replications per point")
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument(
+        "--chunk-size", type=int, default=5, dest="chunk_size",
+        help="replications per task (the unit of lease/reclaim granularity)",
+    )
+    p_submit.add_argument("--validate", action="store_true",
+                          help="feasibility-check every schedule")
+    p_submit.add_argument("--batch", default="auto", choices=["auto", "off"])
+    p_submit.add_argument("--title", default="", help="free-form job label")
+    p_submit.add_argument(
+        "--json", action="store_true", dest="json_out",
+        help="emit the machine-readable repro.submit/1 document",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="run daemon workers draining a service directory"
+    )
+    p_serve.add_argument("dir", metavar="DIR", help="service directory")
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="daemon worker count (>1 spawns one OS process each)",
+    )
+    p_serve.add_argument(
+        "--lease", type=float, default=60.0, dest="lease_s",
+        help="task lease duration in seconds (crash-reclaim horizon)",
+    )
+    p_serve.add_argument(
+        "--poll", type=float, default=0.5, dest="poll_s",
+        help="idle sleep between claim attempts, seconds",
+    )
+    p_serve.add_argument(
+        "--drain", action="store_true",
+        help="exit once nothing is claimable or leased, instead of idling",
+    )
+    p_serve.add_argument(
+        "--max-tasks", type=int, default=None, dest="max_tasks",
+        help="stop each worker after N committed tasks (testing)",
+    )
+
+    p_ps = sub.add_parser(
+        "ps", help="list a service directory's jobs and workers"
+    )
+    p_ps.add_argument("dir", metavar="DIR", help="service directory")
+    p_ps.add_argument(
+        "--json", action="store_true", dest="json_out",
+        help="emit the machine-readable repro.ps/1 document",
+    )
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="follow one ticket; print its merged sweep tables when done",
+    )
+    p_watch.add_argument("dir", metavar="DIR", help="service directory")
+    p_watch.add_argument("ticket", metavar="TICKET",
+                         help="ticket printed by 'repro submit'")
+    p_watch.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between status polls",
+    )
+    p_watch.add_argument(
+        "--csv", default=None, metavar="FILE",
+        help="also write tidy CSV to FILE (single-sweep jobs)",
+    )
+
+    p_cancel = sub.add_parser(
+        "cancel", help="cancel a queued or running ticket"
+    )
+    p_cancel.add_argument("dir", metavar="DIR", help="service directory")
+    p_cancel.add_argument("ticket", metavar="TICKET")
 
     p_sched = sub.add_parser("schedule", help="schedule one workflow instance")
     _add_workflow_args(p_sched)
@@ -966,6 +1088,142 @@ def _cmd_campaign(args) -> int:
     )  # pragma: no cover
 
 
+def _submit_definitions(args):
+    """Resolve the sweep definitions one ``submit`` invocation asks for."""
+    definitions = []
+    if args.figures or args.grid is not None:
+        definitions.extend(_campaign_definitions(args))
+    if args.stream:
+        args.axis = args.stream
+        definitions.append(_stream_sweep_definition_from_args(args))
+    if not definitions:
+        raise ValueError(
+            "submit needs at least one sweep: --figures KEY,..., "
+            "--grid N and/or --stream AXIS"
+        )
+    return definitions
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.runtime.context import current_context
+    from repro.service import api
+
+    definitions = _submit_definitions(args)
+    job = api.submit(
+        args.dir, definitions, args.reps, current_context(), title=args.title
+    )
+    doc = api.job_status(args.dir, job.ticket)
+    if args.json_out:
+        print(json.dumps(doc, indent=2))
+        return 0
+    print(
+        f"submitted {job.ticket}: {len(definitions)} sweep(s), "
+        f"{doc['tasks_total']} tasks x {args.reps} replications total"
+    )
+    print(
+        f"drain it with:  repro serve {args.dir} --drain\n"
+        f"follow it with: repro watch {args.dir} {job.ticket}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.worker import serve
+
+    mode = "drain the queue" if args.drain else "serve until interrupted"
+    print(
+        f"repro serve {args.dir}: {args.workers} worker(s), "
+        f"lease {args.lease_s:g}s, {mode}",
+        file=sys.stderr,
+    )
+    reports = serve(
+        args.dir,
+        workers=args.workers,
+        lease_s=args.lease_s,
+        poll_s=args.poll_s,
+        drain=args.drain,
+        max_tasks=args.max_tasks,
+    )
+    for report in reports:
+        extra = (
+            f", {report.replayed_discards} discarded (lease reclaimed)"
+            if report.replayed_discards else ""
+        )
+        print(
+            f"worker {report.worker}: {report.executed} executed, "
+            f"{report.failed} failed{extra}"
+        )
+    return 0
+
+
+def _cmd_ps(args) -> int:
+    import json
+
+    from repro.service import api
+
+    doc = api.ps_document(args.dir)
+    if args.json_out:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(api.format_ps(doc))
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    import time
+
+    from repro.experiments import format_sweep
+    from repro.service import api
+
+    last = None
+    while True:
+        doc = api.job_status(args.dir, args.ticket)
+        line = (
+            f"{doc['ticket']}: {doc['state']}, "
+            f"{doc['tasks_done']}/{doc['tasks_total']} tasks"
+        )
+        if line != last:
+            print(line, file=sys.stderr)
+            last = line
+        if doc["state"] in ("done", "failed", "cancelled"):
+            break
+        time.sleep(args.interval)
+    if doc["state"] != "done":
+        detail = f": {doc['error']}" if doc.get("error") else ""
+        print(f"job {args.ticket} {doc['state']}{detail}", file=sys.stderr)
+        return 1
+    results = api.result(args.dir, args.ticket)
+    print("\n\n".join(format_sweep(results[key]) for key in doc["sweeps"]))
+    if args.csv:
+        if len(results) != 1:
+            raise ValueError(
+                f"--csv supports single-sweep jobs; this one has "
+                f"{len(results)} sweeps"
+            )
+        from repro.experiments.export import sweep_to_csv
+
+        sweep_to_csv(next(iter(results.values())), args.csv)
+        print(f"(csv written to {args.csv})", file=sys.stderr)
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    from repro.service import api
+
+    if api.cancel(args.dir, args.ticket):
+        print(f"cancelled {args.ticket}")
+        return 0
+    state = api.job_status(args.dir, args.ticket)["state"]
+    print(
+        f"job {args.ticket} is already {state}; nothing to cancel",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def _make_workflow(args) -> "object":
     from repro.generator import GeneratorConfig, generate_random_graph
     from repro.workflows import (
@@ -1297,8 +1555,13 @@ _STREAM_SWEEP_X = {
 }
 
 
-def _cmd_stream_sweep(args) -> int:
-    from repro.stream import ArrivalSpec
+def _stream_sweep_definition_from_args(args):
+    """One stream-sweep :class:`SweepDefinition` from the shared flags.
+
+    Used by ``stream sweep`` (runs it in-process) and ``submit``
+    (ships it to the service) -- the same flags yield the same
+    definition, so both paths produce bit-identical sweeps.
+    """
     from repro.stream.spec import DEFAULT_POLICIES, stream_sweep_definition
 
     # the swept axis dictates the arrival kind; the fixed flag (if any)
@@ -1326,13 +1589,17 @@ def _cmd_stream_sweep(args) -> int:
         if args.policies
         else DEFAULT_POLICIES
     )
-    definition = stream_sweep_definition(
+    return stream_sweep_definition(
         f"stream-{args.axis}",
         spec,
         x_values,
         metric=args.metric,
         policies=policies,
     )
+
+
+def _cmd_stream_sweep(args) -> int:
+    definition = _stream_sweep_definition_from_args(args)
     return _cmd_figure(
         definition.key,
         args.reps,
@@ -1455,6 +1722,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"with: repro campaign run-shard {args.dir} {args.shard}",
                 file=sys.stderr,
             )
+        elif args.command == "serve":
+            print(
+                f"\ninterrupted; leases expire and committed tasks are "
+                f"durable -- restart with: repro serve {args.dir}",
+                file=sys.stderr,
+            )
+        elif args.command == "watch":
+            print(
+                f"\ninterrupted; the job keeps running -- follow again "
+                f"with: repro watch {args.dir} {args.ticket}",
+                file=sys.stderr,
+            )
         else:
             print("\ninterrupted", file=sys.stderr)
         return 130
@@ -1533,6 +1812,16 @@ def _dispatch(args) -> int:
         return _cmd_status(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "ps":
+        return _cmd_ps(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
+    if args.command == "cancel":
+        return _cmd_cancel(args)
     if args.command == "schedule":
         return _run_observed(args, lambda: _cmd_schedule(args))
     if args.command == "generate":

@@ -52,20 +52,17 @@ from repro.experiments.harness import (
     SweepResult,
     run_replications,
 )
-from repro.experiments.parallel import chunk_plan
-from repro.io.columnar import (
-    ColumnarWriter,
-    Frame,
-    read_frame_payload,
-    record_dtype,
-    records_as_matrix,
-    scan_frames,
-    write_table,
-)
+from repro.io.columnar import write_table
 from repro.metrics.stats import RunningStats
 from repro.runtime.context import RunContext, activate
 from repro.runtime.session import read_manifest, write_manifest
 from repro.runtime.telemetry import HeartbeatWriter, telemetry_dir
+from repro.service.store import (
+    ColumnarStore,
+    TaskSpec,
+    enumerate_tasks,
+    task_id,
+)
 
 __all__ = [
     "CAMPAIGN_SCHEMA",
@@ -90,36 +87,11 @@ CAMPAIGN_STATUS_SCHEMA = "repro.campaign-status/1"
 _STRAGGLER_FLOOR_S = 10.0
 
 
-def task_id(sweep: str, x_index: int, rep_lo: int, rep_hi: int) -> str:
-    """The stable identity of one campaign task.
-
-    Ids are derived purely from the spec (sweep key, x index,
-    replication range), so re-enumerating the same campaign -- on any
-    machine, any number of times -- names every unit of work
-    identically.  This is what lets a shard store be resumed and merged
-    without any coordination.
-    """
-    return f"{sweep}:x{x_index:03d}:r{rep_lo:08d}-{rep_hi:08d}"
-
-
-@dataclass(frozen=True)
-class CampaignTask:
-    """One independently runnable unit: a chunk of one sweep's x point."""
-
-    index: int
-    sweep: str
-    x_index: int
-    x: object
-    rep_lo: int
-    rep_hi: int
-
-    @property
-    def task_id(self) -> str:
-        return task_id(self.sweep, self.x_index, self.rep_lo, self.rep_hi)
-
-    @property
-    def reps(self) -> int:
-        return self.rep_hi - self.rep_lo
+#: campaign tasks *are* the service layer's task decomposition --
+#: :func:`repro.service.store.task_id` names them and
+#: :class:`repro.service.store.TaskSpec` carries them; the old names
+#: stay importable from here.
+CampaignTask = TaskSpec
 
 
 class Campaign:
@@ -224,23 +196,16 @@ class Campaign:
         """Every task of the campaign, in deterministic (spec) order.
 
         The decomposition is exactly :func:`~repro.experiments.parallel
-        .chunk_plan` -- the same chunks ``repro run`` executes -- so
-        campaign results line up replication-for-replication with a
-        checkpointed or serial run of the same definitions.
+        .chunk_plan` -- the same chunks ``repro run`` executes,
+        enumerated through the shared service-layer
+        :func:`~repro.service.store.enumerate_tasks` -- so campaign
+        results line up replication-for-replication with a checkpointed
+        or serial run of the same definitions.
         """
-        out: List[CampaignTask] = []
-        for definition in self.definitions:
-            for _key, i, x, lo, hi, _seed, _validate in chunk_plan(
-                definition, self.reps, self.context.seed,
-                self.context.validate, self.context.chunk_size,
-            ):
-                out.append(
-                    CampaignTask(
-                        index=len(out), sweep=definition.key, x_index=i,
-                        x=x, rep_lo=lo, rep_hi=hi,
-                    )
-                )
-        return out
+        return enumerate_tasks(
+            self.definitions, self.reps, self.context.seed,
+            self.context.validate, self.context.chunk_size,
+        )
 
     def shard_of(self, task: CampaignTask) -> int:
         """Which shard owns ``task`` (round-robin by task index)."""
@@ -286,19 +251,6 @@ class ShardReport:
         return self.executed + self.replayed >= self.total
 
 
-def _task_records(
-    definition: SweepDefinition, values: List[Dict[str, float]]
-) -> np.ndarray:
-    """Pack one task's per-replication metric dicts as a record batch."""
-    cols = list(definition.schedulers)
-    records = np.empty(len(values), dtype=record_dtype(cols))
-    matrix = records_as_matrix(records)
-    for row, rep_values in enumerate(values):
-        for col, name in enumerate(cols):
-            matrix[row, col] = rep_values[name]
-    return records
-
-
 def run_shard(
     campaign: Campaign,
     shard: int,
@@ -321,15 +273,15 @@ def run_shard(
     )
     executed = replayed = 0
     with activate(context):
-        writer, done_frames = ColumnarWriter.append(
-            campaign.shard_path(shard), campaign.groups()
+        store = ColumnarStore(
+            campaign.shard_path(shard), campaign.groups(), mode="a"
         )
-        done_ids = {frame.meta.get("task") for frame in done_frames}
+        done_ids = store.completed_ids()
         heartbeat = HeartbeatWriter(
             context.telemetry, role="shard", extra={"shard": shard}
         )
         heartbeat.beat(force=True)
-        with writer, obs.span(
+        with store, obs.span(
             "campaign.shard", shard=shard, tasks=len(tasks)
         ):
             for task in tasks:
@@ -346,15 +298,9 @@ def run_shard(
                         definition, task.x, task.x_index, task.rep_lo,
                         task.rep_hi, context.seed, context.validate,
                     )
-                writer.write_batch(
-                    {
-                        "group": task.sweep,
-                        "task": task.task_id,
-                        "x_index": task.x_index,
-                        "rep_lo": task.rep_lo,
-                        "rep_hi": task.rep_hi,
-                    },
-                    _task_records(definition, values),
+                store.append_chunk(
+                    task.sweep, task.x_index, task.x, task.rep_lo,
+                    task.rep_hi, values,
                 )
                 executed += 1
                 heartbeat.bump(last_event_ts=time.time())
@@ -369,30 +315,32 @@ def run_shard(
 # ----------------------------------------------------------------------
 # streaming merge
 # ----------------------------------------------------------------------
-def _frame_index(
+def _store_index(
     campaign: Campaign,
-) -> Dict[str, Tuple[pathlib.Path, Frame]]:
-    """Scan every shard store once: ``task_id -> (path, frame)``.
+) -> Tuple[Dict[str, ColumnarStore], List[ColumnarStore]]:
+    """Open every shard store once: ``task_id -> store`` plus the open
+    stores (caller closes them).
 
     Tolerates missing shard files and torn tails (both just mean fewer
     completed tasks); a duplicate task across shards is an error -- it
     would mean the deterministic partition was violated.
     """
-    index: Dict[str, Tuple[pathlib.Path, Frame]] = {}
+    index: Dict[str, ColumnarStore] = {}
+    stores: List[ColumnarStore] = []
     for shard in range(campaign.n_shards):
         path = campaign.shard_path(shard)
         if not path.exists():
             continue
-        _header, frames, _end = scan_frames(path)
-        for frame in frames:
-            tid = str(frame.meta.get("task"))
+        store = ColumnarStore(path, campaign.groups(), mode="r")
+        stores.append(store)
+        for tid in sorted(store.completed_ids()):
             if tid in index:
                 raise ValueError(
-                    f"task {tid} appears in both {index[tid][0].name} "
+                    f"task {tid} appears in both {index[tid].path.name} "
                     f"and {path.name}; the shard partition was violated"
                 )
-            index[tid] = (path, frame)
-    return index
+            index[tid] = store
+    return index, stores
 
 
 class _ExactWelford:
@@ -442,33 +390,10 @@ class _ExactWelford:
         return acc
 
 
-def _read_task_matrix(
-    handles: Dict[pathlib.Path, object],
-    location: Tuple[pathlib.Path, Frame],
-    dtype: np.dtype,
-    expect_rows: int,
-    tid: str,
-) -> np.ndarray:
-    path, frame = location
-    fh = handles.get(path)
-    if fh is None:
-        fh = handles[path] = open(path, "rb")
-    records = read_frame_payload(fh, frame, dtype)
-    if len(records) != expect_rows:
-        raise ValueError(
-            f"task {tid}: expected {expect_rows} rows, found {len(records)}"
-        )
-    matrix = records_as_matrix(records)
-    if not np.isfinite(matrix).all():
-        raise ValueError(f"task {tid}: non-finite metric values")
-    return matrix
-
-
 def _merge_sweep(
     campaign: Campaign,
     definition: SweepDefinition,
-    index: Dict[str, Tuple[pathlib.Path, Frame]],
-    handles: Dict[pathlib.Path, object],
+    index: Dict[str, ColumnarStore],
 ) -> SweepResult:
     """Fold one sweep's record batches into per-point stats, exactly.
 
@@ -479,7 +404,6 @@ def _merge_sweep(
     order -- the serial harness's order.
     """
     cols = list(definition.schedulers)
-    dtype = record_dtype(cols)
     xs = list(definition.x_values)
     n_x, k = len(xs), len(cols)
     reps, chunk = campaign.reps, campaign.context.chunk_size
@@ -490,9 +414,7 @@ def _merge_sweep(
         rows = rep_hi - rep_lo
         for xi in range(n_x):
             tid = task_id(definition.key, xi, rep_lo, rep_hi)
-            block[:rows, xi, :] = _read_task_matrix(
-                handles, index[tid], dtype, rows, tid
-            )
+            block[:rows, xi, :] = index[tid].read_matrix(tid, cols, rows)
         welford.add_rows(block[:rows])
     result = SweepResult(
         definition=definition, reps=reps, seed=campaign.context.seed
@@ -507,8 +429,7 @@ def _merge_sweep(
 def _merge_sweep_partial(
     campaign: Campaign,
     definition: SweepDefinition,
-    index: Dict[str, Tuple[pathlib.Path, Frame]],
-    handles: Dict[pathlib.Path, object],
+    index: Dict[str, ColumnarStore],
 ) -> SweepResult:
     """Preview merge over whatever tasks exist (per-x fold, gaps skipped).
 
@@ -517,7 +438,6 @@ def _merge_sweep_partial(
     watching a live campaign converge, not for final figures.
     """
     cols = list(definition.schedulers)
-    dtype = record_dtype(cols)
     reps, chunk = campaign.reps, campaign.context.chunk_size
     result = SweepResult(
         definition=definition, reps=reps, seed=campaign.context.seed
@@ -527,14 +447,10 @@ def _merge_sweep_partial(
         for rep_lo in range(0, reps, chunk):
             rep_hi = min(rep_lo + chunk, reps)
             tid = task_id(definition.key, xi, rep_lo, rep_hi)
-            location = index.get(tid)
-            if location is None:
+            store = index.get(tid)
+            if store is None:
                 continue
-            welford.add_rows(
-                _read_task_matrix(
-                    handles, location, dtype, rep_hi - rep_lo, tid
-                )
-            )
+            welford.add_rows(store.read_matrix(tid, cols, rep_hi - rep_lo))
         result.stats[x] = {
             name: welford.stats_at((ci,)) for ci, name in enumerate(cols)
         }
@@ -553,16 +469,17 @@ def merge(
     (a live preview); by default a missing task raises, naming how much
     of the campaign is still outstanding.
     """
-    index = _frame_index(campaign)
+    index, stores = _store_index(campaign)
     tasks = campaign.tasks()
     missing = [t for t in tasks if t.task_id not in index]
     if missing and strict:
+        for store in stores:
+            store.close()
         raise ValueError(
             f"{len(missing)} of {len(tasks)} tasks have no results yet "
             f"(first missing: {missing[0].task_id}); run the remaining "
             "shards, or merge(strict=False) for a partial preview"
         )
-    handles: Dict[pathlib.Path, object] = {}
     fold = _merge_sweep if not missing else _merge_sweep_partial
     try:
         with obs.span(
@@ -570,12 +487,12 @@ def merge(
             partial=bool(missing),
         ):
             return {
-                d.key: fold(campaign, d, index, handles)
+                d.key: fold(campaign, d, index)
                 for d in campaign.definitions
             }
     finally:
-        for fh in handles.values():
-            fh.close()
+        for store in stores:
+            store.close()
 
 
 def merged_table(results: Dict[str, SweepResult]) -> Dict[str, np.ndarray]:
@@ -669,7 +586,8 @@ def campaign_status(
         size = None
         age = None
         if store.exists():
-            _header, frames, _end = scan_frames(store)
+            with ColumnarStore(store, campaign.groups()) as cstore:
+                frames = cstore.frames
             done = len(frames)
             for frame in frames:
                 done_ids.add(str(frame.meta.get("task")))

@@ -79,6 +79,14 @@ def use_compiled(enabled: bool) -> Iterator[None]:
     dict-based parent walks) -- the oracle the differential suite and
     ``benchmarks/bench_compile_cache.py`` compare against.
     """
+    from repro.runtime.deprecation import warn_once
+
+    warn_once(
+        "model.compiled.use_compiled",
+        "use_compiled() is deprecated; activate a RunContext with "
+        "compiled=... instead (activate(current_context()"
+        ".with_(compiled=...)))",
+    )
     with activate(current_context().with_(compiled=bool(enabled))):
         yield
 

@@ -27,10 +27,14 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["Event", "EventBus", "JsonlSink", "get_bus"]
+
+#: how many recent delivery failures a bus remembers (for diagnostics)
+_ERROR_KEEP = 16
 
 Subscriber = Callable[["Event"], None]
 
@@ -63,19 +67,62 @@ class EventBus:
     Subscribers are plain callables; :meth:`subscribe` returns an
     unsubscribe closure so scoped listeners (trace recorders, JSONL
     sinks) can detach without knowing about each other.
+
+    Delivery is *isolated*: a subscriber (or backend) that raises does
+    not corrupt the publishing run or wedge the other subscribers --
+    the exception is recorded on :attr:`errors`, a ``RuntimeWarning``
+    fires once per offender per process, and delivery continues.
+
+    Besides subscribers the bus can carry one pluggable **backend**
+    (:meth:`set_backend`): a durable delivery target -- e.g. a
+    :class:`~repro.service.worker.StoreEventSink` persisting events
+    into the service store so workers in other processes can publish
+    progress home.  A backend receives every *published* event
+    (optionally topic-filtered) but does **not** flip :attr:`active`:
+    ``active`` is the hot-path gate, and service/progress events are
+    emitted unconditionally by their producers, while per-decision
+    instrumentation stays quiet unless a subscriber asks for it.
     """
 
     def __init__(self) -> None:
         self._subscribers: List[Tuple[Subscriber, Optional[Tuple[str, ...]]]] = []
+        self._backend: Optional[Tuple[Subscriber, Optional[Tuple[str, ...]]]] = None
+        self._warned: set = set()
+        #: recent delivery failures: (subscriber repr, exception)
+        self.errors: List[Tuple[str, BaseException]] = []
 
     @property
     def active(self) -> bool:
         """True when at least one subscriber is attached.
 
         Hot paths check this before building an event payload so an
-        idle bus adds no allocations to the instrumented code.
+        idle bus adds no allocations to the instrumented code.  A
+        backend alone does not count: it receives the unconditionally
+        emitted (cold-path) events without dragging per-decision
+        payload construction into every run.
         """
         return bool(self._subscribers)
+
+    def set_backend(
+        self,
+        backend: Optional[Subscriber],
+        topics: Optional[Sequence[str]] = None,
+    ) -> Optional[Subscriber]:
+        """Install (or, with ``None``, remove) the bus backend.
+
+        Returns the previous backend so scoped installers can restore
+        it.  Unlike subscribers the backend survives :meth:`clear` --
+        it represents where this process durably publishes, not a
+        transient listener.
+        """
+        previous = self._backend[0] if self._backend is not None else None
+        if backend is None:
+            self._backend = None
+        else:
+            self._backend = (
+                backend, tuple(topics) if topics is not None else None
+            )
+        return previous
 
     def subscribe(
         self,
@@ -100,25 +147,60 @@ class EventBus:
         return unsubscribe
 
     def emit(self, name: str, /, **payload: object) -> None:
-        """Deliver one event to every matching subscriber.
+        """Deliver one event to every matching subscriber and the backend.
 
-        A no-op (no Event allocation, no clock read) when nobody is
-        subscribed.
+        A no-op (no Event allocation, no clock read) when nobody --
+        subscriber or backend -- would receive it.
         """
-        if not self._subscribers:
+        if not self._subscribers and self._backend is None:
             return
         event = Event(name=name, payload=payload, ts=time.time())
         self.publish(event)
 
     def publish(self, event: Event) -> None:
-        """Deliver an already-constructed :class:`Event`."""
+        """Deliver an already-constructed :class:`Event`.
+
+        The backend receives the event first (progress must outlive a
+        crashing listener), then every matching subscriber.  A raising
+        target is quarantined for this delivery only: the error lands
+        on :attr:`errors`, a ``RuntimeWarning`` fires the first time
+        that target misbehaves, and the remaining targets still get
+        the event.
+        """
+        if self._backend is not None:
+            backend, topics = self._backend
+            if topics is None or any(
+                _topic_matches(t, event.name) for t in topics
+            ):
+                self._deliver(backend, event)
         for subscriber, topics in list(self._subscribers):
             if topics is None or any(_topic_matches(t, event.name) for t in topics):
-                subscriber(event)
+                self._deliver(subscriber, event)
+
+    def _deliver(self, target: Subscriber, event: Event) -> None:
+        try:
+            target(event)
+        except Exception as exc:
+            self.errors.append((repr(target), exc))
+            del self.errors[:-_ERROR_KEEP]
+            key = id(target)
+            if key not in self._warned:
+                self._warned.add(key)
+                warnings.warn(
+                    f"event bus subscriber {target!r} raised "
+                    f"{type(exc).__name__} on {event.name!r}; further "
+                    "errors from it will be recorded silently",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
 
     def clear(self) -> None:
-        """Detach every subscriber (test isolation helper)."""
+        """Detach every subscriber and forget recorded delivery errors
+        (test isolation helper).  The backend, if any, stays installed:
+        remove it explicitly with ``set_backend(None)``."""
         self._subscribers.clear()
+        self.errors.clear()
+        self._warned.clear()
 
 
 def _json_default(obj: object) -> object:

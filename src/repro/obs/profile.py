@@ -56,6 +56,13 @@ def enable() -> None:
         with ``metrics=True``; this shim sets a process-global override
         that wins over any context.
     """
+    from repro.runtime.deprecation import warn_once
+
+    warn_once(
+        "obs.profile.enable",
+        "obs.enable() is deprecated; activate a RunContext with "
+        "metrics=True (or use obs.enabled_scope()) instead",
+    )
     global _override
     _override = True
 

@@ -1,0 +1,38 @@
+"""Warn-once deprecation helper.
+
+The compatibility shims (:func:`repro.model.compiled.use_compiled`,
+:func:`repro.obs.profile.enable`) sit on hot paths -- a sweep that
+calls one per replication would spray thousands of identical
+``DeprecationWarning`` lines.  :func:`warn_once` deduplicates by key:
+the first call per process warns, later calls are free (one set
+lookup), matching how ``warnings``' own registry behaves under
+``always``-style filters that would otherwise re-emit.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+__all__ = ["warn_once", "reset"]
+
+_WARNED: Set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> bool:
+    """Emit ``DeprecationWarning`` for ``key`` once per process.
+
+    Returns ``True`` when the warning actually fired.  ``stacklevel``
+    defaults to 3: the caller's caller, i.e. the user code invoking the
+    deprecated shim, not the shim itself.
+    """
+    if key in _WARNED:
+        return False
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    return True
+
+
+def reset() -> None:
+    """Forget every emitted key (test isolation helper)."""
+    _WARNED.clear()

@@ -30,16 +30,14 @@ import json
 import os
 import pathlib
 import time
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Union
 
 from repro.runtime.context import RunContext
+from repro.service.store import ChunkKey, LedgerStore
 
 __all__ = ["ExperimentSession", "read_manifest", "write_manifest"]
 
 PathLike = Union[str, pathlib.Path]
-
-#: ledger key: (x_index, rep_lo, rep_hi)
-ChunkKey = Tuple[int, int, int]
 
 
 def write_manifest(path: PathLike, doc: Dict) -> None:
@@ -91,7 +89,8 @@ class ExperimentSession:
         self.reps = reps
         self.definitions = list(definitions)
         self.created = created
-        self._ledger_fh = None
+        #: the durable chunk ledger, behind the shared RunStore interface
+        self.store = LedgerStore(self.path / self.LEDGER)
 
     # -- lifecycle -------------------------------------------------------
     @classmethod
@@ -166,11 +165,14 @@ class ExperimentSession:
             "sweeps": [d.to_dict() for d in self.definitions],
         }
 
+    @property
+    def _ledger_fh(self):
+        # back-compat peephole: the handle now lives on the store
+        return self.store._fh
+
     def close(self) -> None:
-        """Close the ledger file handle (safe to call repeatedly)."""
-        if self._ledger_fh is not None:
-            self._ledger_fh.close()
-            self._ledger_fh = None
+        """Close the ledger store (safe to call repeatedly)."""
+        self.store.close()
 
     def __enter__(self) -> "ExperimentSession":
         return self
@@ -192,34 +194,21 @@ class ExperimentSession:
     ) -> None:
         """Append one completed chunk to the ledger, durably.
 
-        The line is flushed and fsynced before returning: a chunk the
-        caller saw acknowledged survives any subsequent crash.  Each
-        row carries the wall-clock time it was recorded (``ts``), which
-        is what ``repro top`` derives chunk throughput and the ETA
-        from.  When the event bus has subscribers, the recorded chunk
-        is also announced as a ``sweep.chunk`` event (the quiet bus
-        costs one attribute read).
+        Delegates to the session's :class:`~repro.service.store
+        .LedgerStore`: the line is flushed and fsynced before
+        returning, so a chunk the caller saw acknowledged survives any
+        subsequent crash.  Each row carries the wall-clock time it was
+        recorded (``ts``), which is what ``repro top`` derives chunk
+        throughput and the ETA from.  When the event bus has
+        subscribers, the recorded chunk is also announced as a
+        ``sweep.chunk`` event (the quiet bus costs one attribute read).
         """
         from repro import obs
 
-        if self._ledger_fh is None:
-            self._ledger_fh = open(
-                self.path / self.LEDGER, "a", encoding="utf-8"
-            )
-        row = {
-            "sweep": key,
-            "x_index": x_index,
-            "x": x,
-            "rep_lo": rep_lo,
-            "rep_hi": rep_hi,
-            "values": values,
-            "metrics": metrics,
-            "wall": wall,
-            "ts": time.time(),
-        }
-        self._ledger_fh.write(json.dumps(row) + "\n")
-        self._ledger_fh.flush()
-        os.fsync(self._ledger_fh.fileno())
+        self.store.append_chunk(
+            key, x_index, x, rep_lo, rep_hi, values,
+            metrics=metrics, wall=wall,
+        )
         bus = obs.get_bus()
         if bus.active:
             bus.emit(
@@ -240,25 +229,4 @@ class ExperimentSession:
         not valid JSON (a crash mid-append), discarding it and anything
         after it -- every line before the tear was fsynced whole.
         """
-        ledger = self.path / self.LEDGER
-        completed: Dict[ChunkKey, Dict] = {}
-        if not ledger.exists():
-            return completed
-        with open(ledger, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    row = json.loads(line)
-                except json.JSONDecodeError:
-                    break
-                if row.get("sweep") != key:
-                    continue
-                chunk_key = (
-                    int(row["x_index"]),
-                    int(row["rep_lo"]),
-                    int(row["rep_hi"]),
-                )
-                completed[chunk_key] = row
-        return completed
+        return self.store.completed_chunks(key)

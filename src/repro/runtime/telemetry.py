@@ -260,14 +260,21 @@ def status_document(
     Dispatches on what the directory holds -- ``manifest.json`` gets
     :func:`run_status` (schema ``repro.status/1``), ``campaign.json``
     gets :func:`repro.experiments.campaign.campaign_status` (schema
-    ``repro.campaign-status/1``).  ``repro status`` / ``repro top``
-    call this, so both verbs work unchanged on sharded campaigns.
+    ``repro.campaign-status/1``), a ``store.sqlite`` gets
+    :func:`repro.service.api.service_status` (schema
+    ``repro.service-status/1``).  ``repro status`` / ``repro top``
+    call this, so both verbs work unchanged on sharded campaigns and
+    service directories.
     """
     path = pathlib.Path(run_dir)
     if (path / "campaign.json").exists():
         from repro.experiments.campaign import campaign_status
 
         return campaign_status(path, now=now)
+    from repro.service.api import is_service_dir, service_status
+
+    if is_service_dir(path):
+        return service_status(path, now=now)
     return run_status(run_dir, now=now)
 
 
@@ -410,6 +417,10 @@ def format_status(status: Dict[str, object]) -> str:
     """Render whatever :func:`status_document` produced, by schema."""
     if status.get("schema") == "repro.campaign-status/1":
         return format_campaign_top(status)
+    if status.get("schema") == "repro.service-status/1":
+        from repro.service.api import format_service_top
+
+        return format_service_top(status)
     return format_top(status)
 
 

@@ -1,0 +1,50 @@
+"""Scheduling-as-a-service: run store, work queue, workers, API.
+
+This package graduates the repo's ad-hoc persistence (run-dir ledgers,
+campaign shard stores) into a real service: a SQLite run store
+(:mod:`repro.service.store`), a lease-based work queue
+(:mod:`repro.service.queue`), daemon workers
+(:mod:`repro.service.worker`) and a submission API
+(:mod:`repro.service.api`), surfaced on the CLI as ``repro serve`` /
+``submit`` / ``ps`` / ``watch``.
+
+Only the store layer is imported eagerly -- it sits beneath
+:class:`~repro.runtime.session.ExperimentSession` and the campaign
+engine, so this ``__init__`` must stay free of imports that reach back
+into :mod:`repro.experiments` (queue/worker/api are imported on
+demand).
+"""
+
+from repro.service.store import (
+    JOB_STATES,
+    SERVICE_DB,
+    STORE_SCHEMA,
+    TASK_STATES,
+    WORKER_STATES,
+    ColumnarStore,
+    LedgerStore,
+    RunStore,
+    SqliteResultStore,
+    SqliteStore,
+    TaskSpec,
+    enumerate_tasks,
+    parse_task_id,
+    task_id,
+)
+
+__all__ = [
+    "JOB_STATES",
+    "SERVICE_DB",
+    "STORE_SCHEMA",
+    "TASK_STATES",
+    "WORKER_STATES",
+    "ColumnarStore",
+    "LedgerStore",
+    "RunStore",
+    "SqliteResultStore",
+    "SqliteStore",
+    "TaskSpec",
+    "enumerate_tasks",
+    "parse_task_id",
+    "task_id",
+]

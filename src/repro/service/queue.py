@@ -1,0 +1,257 @@
+"""The work queue: lease-based claims with at-most-once commit.
+
+The queue is a thin protocol over the ``tasks`` table of a
+:class:`~repro.service.store.SqliteStore`.  Its invariants:
+
+**Claim.**  One ``BEGIN IMMEDIATE`` transaction picks the first
+claimable task -- ``pending``, or ``leased`` with an expired lease --
+of the oldest non-terminal job, marks it ``leased`` for this worker
+with a fresh expiry, and bumps its attempt counter.  IMMEDIATE takes
+the write lock before the read, so two workers can never claim the
+same task.
+
+**Lease expiry.**  A worker that dies (even ``kill -9``) simply stops
+renewing; once ``lease_expires`` passes, the task is claimable again
+and another worker re-runs it.  Leases are renewed between tasks
+(:meth:`WorkQueue.extend` during long executions), so the lease span
+must exceed one task's wall time -- not the whole job's.
+
+**At-most-once commit.**  :meth:`WorkQueue.commit` updates the task
+row *conditionally*: ``state = 'leased' AND worker = ?``.  When a
+presumed-dead worker resurfaces after its task was reclaimed, the
+guard fails (the row now names the new owner) and the stale result is
+discarded -- exactly one result per task ever lands in the store.
+Re-running a task is safe in the first place because execution is
+deterministic: both owners compute bit-identical values from the
+``(seed, x_index, rep)`` RNG streams.
+
+**Job transitions.**  The first claim moves a job ``queued`` ->
+``running``; the commit that completes the last task moves it ->
+``done``.  A failed task marks the job ``failed`` (other tasks of the
+job stop being claimable).  Cancelled jobs are skipped by the claim
+query; an in-flight task of a cancelled job runs to completion and its
+commit is accepted, but the job stays ``cancelled``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.service.store import SqliteStore
+
+__all__ = ["DEFAULT_LEASE_S", "Lease", "WorkQueue"]
+
+#: default lease span; must exceed the wall time of one task, and CI's
+#: crash test shrinks it to make reclaim fast
+DEFAULT_LEASE_S = 60.0
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One claimed task: everything a worker needs to execute it."""
+
+    task_rowid: int
+    job_id: int
+    ticket: str
+    task: str
+    sweep: str
+    x_index: int
+    x: object
+    rep_lo: int
+    rep_hi: int
+    attempt: int
+    expires: float
+
+
+class WorkQueue:
+    """Lease protocol over one service store (see the module docstring)."""
+
+    def __init__(
+        self, store: SqliteStore, lease_s: float = DEFAULT_LEASE_S
+    ) -> None:
+        if lease_s <= 0:
+            raise ValueError("lease_s must be positive")
+        self.store = store
+        self.lease_s = lease_s
+
+    # -- claiming --------------------------------------------------------
+    def claim(
+        self, worker: str, now: Optional[float] = None
+    ) -> Optional[Lease]:
+        """Atomically claim the next task, or ``None`` when idle.
+
+        Claim order is deterministic: oldest job first, then task
+        enumeration order -- so a lone worker executes the exact serial
+        schedule.
+        """
+        now = time.time() if now is None else now
+        conn = self.store.conn
+        with self.store.transaction():
+            row = conn.execute(
+                "SELECT t.id AS rowid, t.job, j.ticket, t.task, t.sweep,"
+                " t.x_index, t.x, t.rep_lo, t.rep_hi, t.attempts"
+                " FROM tasks t JOIN jobs j ON t.job = j.id"
+                " WHERE j.state IN ('queued', 'running') AND"
+                " (t.state = 'pending' OR"
+                "  (t.state = 'leased' AND t.lease_expires < ?))"
+                " ORDER BY t.job, t.id LIMIT 1",
+                (now,),
+            ).fetchone()
+            if row is None:
+                return None
+            expires = now + self.lease_s
+            conn.execute(
+                "UPDATE tasks SET state = 'leased', worker = ?,"
+                " lease_expires = ?, attempts = attempts + 1 WHERE id = ?",
+                (worker, expires, row["rowid"]),
+            )
+            conn.execute(
+                "UPDATE jobs SET state = 'running', updated = ?"
+                " WHERE id = ? AND state = 'queued'",
+                (now, row["job"]),
+            )
+            return Lease(
+                task_rowid=int(row["rowid"]),
+                job_id=int(row["job"]),
+                ticket=str(row["ticket"]),
+                task=str(row["task"]),
+                sweep=str(row["sweep"]),
+                x_index=int(row["x_index"]),
+                x=json.loads(row["x"]),
+                rep_lo=int(row["rep_lo"]),
+                rep_hi=int(row["rep_hi"]),
+                attempt=int(row["attempts"]) + 1,
+                expires=expires,
+            )
+
+    def extend(
+        self, worker: str, lease: Lease, now: Optional[float] = None
+    ) -> bool:
+        """Renew a held lease; ``False`` means it was already reclaimed."""
+        now = time.time() if now is None else now
+        cur = self.store.conn.execute(
+            "UPDATE tasks SET lease_expires = ? WHERE id = ? AND"
+            " state = 'leased' AND worker = ?",
+            (now + self.lease_s, lease.task_rowid, worker),
+        )
+        return cur.rowcount > 0
+
+    # -- finishing -------------------------------------------------------
+    def commit(
+        self,
+        worker: str,
+        lease: Lease,
+        values: List[Dict[str, float]],
+        metrics: Optional[Dict] = None,
+        wall: float = 0.0,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Record a task's result, at most once.
+
+        Returns ``False`` when the lease was lost (the task was
+        reclaimed and now belongs to someone else, or the result is
+        already committed): the stale result is discarded without a
+        trace beyond the return value.  A ``True`` commit that finished
+        the job's last task also flips the job to ``done``.
+        """
+        now = time.time() if now is None else now
+        conn = self.store.conn
+        with self.store.transaction():
+            cur = conn.execute(
+                "UPDATE tasks SET state = 'done', result = ?, metrics = ?,"
+                " wall = ?, lease_expires = NULL WHERE id = ? AND"
+                " state = 'leased' AND worker = ?",
+                (
+                    json.dumps(values),
+                    json.dumps(metrics if metrics is not None else {}),
+                    wall,
+                    lease.task_rowid,
+                    worker,
+                ),
+            )
+            if cur.rowcount == 0:
+                return False
+            remaining = conn.execute(
+                "SELECT COUNT(*) AS n FROM tasks WHERE job = ? AND"
+                " state != 'done'",
+                (lease.job_id,),
+            ).fetchone()
+            if int(remaining["n"]) == 0:
+                conn.execute(
+                    "UPDATE jobs SET state = 'done', updated = ?"
+                    " WHERE id = ? AND state IN ('queued', 'running')",
+                    (now, lease.job_id),
+                )
+            return True
+
+    def release(self, worker: str, lease: Lease) -> bool:
+        """Hand a claimed task back (graceful shutdown mid-claim)."""
+        cur = self.store.conn.execute(
+            "UPDATE tasks SET state = 'pending', worker = NULL,"
+            " lease_expires = NULL WHERE id = ? AND state = 'leased'"
+            " AND worker = ?",
+            (lease.task_rowid, worker),
+        )
+        return cur.rowcount > 0
+
+    def fail(
+        self, worker: str, lease: Lease, error: str,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Mark a task (and its job) failed -- a deterministic error,
+        not a crash: crashes are handled by lease expiry instead."""
+        now = time.time() if now is None else now
+        conn = self.store.conn
+        with self.store.transaction():
+            cur = conn.execute(
+                "UPDATE tasks SET state = 'failed', error = ?,"
+                " lease_expires = NULL WHERE id = ? AND state = 'leased'"
+                " AND worker = ?",
+                (error, lease.task_rowid, worker),
+            )
+            if cur.rowcount == 0:
+                return False
+            conn.execute(
+                "UPDATE jobs SET state = 'failed', error = ?, updated = ?"
+                " WHERE id = ? AND state IN ('queued', 'running')",
+                (error, now, lease.job_id),
+            )
+            return True
+
+    # -- introspection ---------------------------------------------------
+    def outstanding(self, now: Optional[float] = None) -> Dict[str, int]:
+        """Queue-wide counts: claimable now, leased (live), done, failed.
+
+        Only tasks of non-terminal jobs count as ``claimable`` /
+        ``leased`` -- a cancelled job's pending tasks are dead weight,
+        not work.
+        """
+        now = time.time() if now is None else now
+        conn = self.store.conn
+        out = {"claimable": 0, "leased": 0, "done": 0, "failed": 0}
+        for row in conn.execute(
+            "SELECT t.state, t.lease_expires, j.state AS job_state,"
+            " COUNT(*) AS n FROM tasks t JOIN jobs j ON t.job = j.id"
+            " GROUP BY t.state, t.lease_expires, j.state"
+        ):
+            n = int(row["n"])
+            state = str(row["state"])
+            live_job = str(row["job_state"]) in ("queued", "running")
+            if state == "done":
+                out["done"] += n
+            elif state == "failed":
+                out["failed"] += n
+            elif not live_job:
+                continue
+            elif state == "pending":
+                out["claimable"] += n
+            elif state == "leased":
+                expires = row["lease_expires"]
+                if expires is not None and float(expires) < now:
+                    out["claimable"] += n
+                else:
+                    out["leased"] += n
+        return out

@@ -1,0 +1,141 @@
+"""Subscriber-exception isolation and the pluggable bus backend.
+
+A raising subscriber must not corrupt the publishing run or wedge the
+other subscribers: the event still reaches everyone else, the failure
+is recorded, and the offender warns exactly once per process.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.obs.events import EventBus
+
+
+@pytest.fixture
+def bus():
+    return EventBus()
+
+
+def _raiser(exc=ValueError("subscriber boom")):
+    def subscriber(event):
+        raise exc
+
+    return subscriber
+
+
+class TestSubscriberIsolation:
+    def test_raising_subscriber_does_not_stop_delivery(self, bus):
+        before, after = [], []
+        bus.subscribe(before.append)
+        bus.subscribe(_raiser())
+        bus.subscribe(after.append)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            bus.emit("sweep.chunk", figure="fig2")
+        assert len(before) == len(after) == 1
+
+    def test_raising_subscriber_does_not_corrupt_publisher(self, bus):
+        bus.subscribe(_raiser())
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            bus.emit("sweep.chunk", figure="fig2")  # must not raise
+
+    def test_error_recorded_with_offender(self, bus):
+        exc = ValueError("subscriber boom")
+        bus.subscribe(_raiser(exc))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            bus.emit("a", x=1)
+        ((who, err),) = bus.errors
+        assert err is exc
+
+    def test_warns_once_per_offender(self, bus):
+        bus.subscribe(_raiser())
+        with pytest.warns(RuntimeWarning, match="raised ValueError"):
+            bus.emit("a", x=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            bus.emit("a", x=2)
+        assert len(bus.errors) == 2
+
+    def test_distinct_offenders_each_warn(self, bus):
+        bus.subscribe(_raiser())
+        bus.subscribe(_raiser(TypeError("other")))
+        with pytest.warns(RuntimeWarning) as record:
+            bus.emit("a", x=1)
+        assert len(record) == 2
+
+    def test_error_log_is_bounded(self, bus):
+        bus.subscribe(_raiser())
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            for i in range(50):
+                bus.emit("a", i=i)
+        assert len(bus.errors) == 16
+
+    def test_clear_resets_errors_and_warn_state(self, bus):
+        bus.subscribe(_raiser())
+        with pytest.warns(RuntimeWarning):
+            bus.emit("a", x=1)
+        bus.clear()
+        assert bus.errors == []
+        offender = _raiser()
+        bus.subscribe(offender)
+        with pytest.warns(RuntimeWarning):
+            bus.emit("a", x=2)
+
+
+class TestBackend:
+    def test_backend_receives_without_flipping_active(self, bus):
+        seen = []
+        bus.set_backend(seen.append)
+        assert not bus.active  # hot-path gate stays off
+        bus.emit("service.claim", task="t")
+        assert [e.name for e in seen] == ["service.claim"]
+
+    def test_backend_topic_filter(self, bus):
+        seen = []
+        bus.set_backend(seen.append, topics=["service."])
+        bus.emit("service.claim", task="t")
+        bus.emit("sweep.chunk", figure="fig2")
+        assert [e.name for e in seen] == ["service.claim"]
+
+    def test_set_backend_returns_previous(self, bus):
+        first, second = [], []
+        sink_a, sink_b = first.append, second.append
+        assert bus.set_backend(sink_a) is None
+        assert bus.set_backend(sink_b) is sink_a
+        bus.emit("a", x=1)
+        assert not first and len(second) == 1
+        bus.set_backend(None)
+        bus.emit("a", x=2)
+        assert len(second) == 1
+
+    def test_backend_survives_clear(self, bus):
+        seen = []
+        bus.set_backend(seen.append)
+        bus.clear()
+        bus.emit("a", x=1)
+        assert len(seen) == 1
+
+    def test_raising_backend_does_not_block_subscribers(self, bus):
+        seen = []
+        bus.set_backend(_raiser())
+        bus.subscribe(seen.append)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            bus.emit("a", x=1)
+        assert len(seen) == 1
+        assert len(bus.errors) == 1
+
+    def test_raising_subscriber_does_not_block_backend(self, bus):
+        seen = []
+        bus.subscribe(_raiser())
+        bus.set_backend(seen.append)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            bus.emit("a", x=1)
+        assert len(seen) == 1

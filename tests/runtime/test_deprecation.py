@@ -1,0 +1,76 @@
+"""The warn-once deprecation helper and the shims that use it.
+
+``use_compiled()`` / ``obs.enable()`` sit on paths that sweeps may hit
+thousands of times; each must emit its ``DeprecationWarning`` exactly
+once per process.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.runtime import deprecation
+
+
+@pytest.fixture(autouse=True)
+def _rearm():
+    """Each test sees a fresh warn-once registry (and restores nothing:
+    the registry is an idempotent cache, not configuration)."""
+    deprecation.reset()
+    yield
+    deprecation.reset()
+
+
+class TestWarnOnce:
+    def test_first_call_warns(self):
+        with pytest.warns(DeprecationWarning, match="gone"):
+            assert deprecation.warn_once("k", "gone")
+
+    def test_second_call_is_silent(self):
+        with pytest.warns(DeprecationWarning):
+            deprecation.warn_once("k", "gone")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a repeat would raise
+            assert not deprecation.warn_once("k", "gone")
+
+    def test_keys_are_independent(self):
+        with pytest.warns(DeprecationWarning):
+            deprecation.warn_once("a", "gone")
+        with pytest.warns(DeprecationWarning):
+            deprecation.warn_once("b", "also gone")
+
+    def test_reset_rearms(self):
+        with pytest.warns(DeprecationWarning):
+            deprecation.warn_once("k", "gone")
+        deprecation.reset()
+        with pytest.warns(DeprecationWarning):
+            deprecation.warn_once("k", "gone")
+
+
+class TestShimsWarnOnce:
+    def test_use_compiled_warns_once_per_process(self):
+        from repro.model.compiled import use_compiled
+
+        with pytest.warns(DeprecationWarning, match="use_compiled"):
+            with use_compiled(True):
+                pass
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            for _ in range(3):  # the hot-loop scenario: no spam
+                with use_compiled(False):
+                    pass
+
+    def test_obs_enable_warns_once_per_process(self):
+        from repro import obs
+
+        try:
+            with pytest.warns(DeprecationWarning, match="obs.enable"):
+                obs.enable()
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DeprecationWarning)
+                for _ in range(3):
+                    obs.enable()
+        finally:
+            obs.disable()

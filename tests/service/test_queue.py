@@ -1,0 +1,144 @@
+"""Work-queue protocol tests: leases, expiry, at-most-once commit.
+
+Time is injected (``now=``) everywhere, so expiry and reclaim are
+exercised deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.context import RunContext
+from repro.service.queue import WorkQueue
+from repro.service.store import SqliteStore
+from tests.experiments.test_harness import tiny_sweep
+
+VALUES = [{"HDLTS": 1.0, "HEFT": 2.0}]
+
+
+@pytest.fixture
+def store(tmp_path):
+    with SqliteStore.open(tmp_path / "svc") as store:
+        yield store
+
+
+@pytest.fixture
+def job(store):
+    return store.add_job(
+        [tiny_sweep()], 4, RunContext(seed=3, chunk_size=2)
+    )
+
+
+def test_claim_follows_enumeration_order(store, job):
+    queue = WorkQueue(store, lease_s=60.0)
+    expected = [t.task for t in store.tasks_for(job.id)]
+    claimed = []
+    while True:
+        lease = queue.claim("w1", now=100.0)
+        if lease is None:
+            break
+        claimed.append(lease.task)
+    assert claimed == expected
+    assert store.job(job.ticket).state == "running"
+
+
+def test_claim_is_exclusive_until_expiry(store, job):
+    queue = WorkQueue(store, lease_s=10.0)
+    first = queue.claim("w1", now=100.0)
+    assert first is not None and first.attempt == 1
+    # the other worker sees the remaining tasks, not w1's lease
+    others = set()
+    while True:
+        lease = queue.claim("w2", now=100.0)
+        if lease is None:
+            break
+        others.add(lease.task)
+    assert first.task not in others
+    # ... until the lease expires: then the task is reclaimable
+    reclaimed = queue.claim("w2", now=111.0)
+    assert reclaimed is not None
+    assert reclaimed.task == first.task
+    assert reclaimed.attempt == 2
+
+
+def test_extend_renews_only_held_leases(store, job):
+    queue = WorkQueue(store, lease_s=10.0)
+    lease = queue.claim("w1", now=100.0)
+    assert queue.extend("w1", lease, now=105.0)
+    # renewed to 115: not claimable at 111
+    assert queue.claim("w2", now=111.0).task != lease.task
+    assert not queue.extend("w2", lease, now=105.0)
+
+
+def test_commit_is_at_most_once_after_reclaim(store, job):
+    queue = WorkQueue(store, lease_s=10.0)
+    stale = queue.claim("w1", now=100.0)
+    fresh = queue.claim("w2", now=120.0)  # reclaims the expired lease
+    assert fresh.task == stale.task
+    assert queue.commit("w2", fresh, VALUES, now=121.0)
+    # the presumed-dead worker resurfaces: its result is discarded
+    assert not queue.commit("w1", stale, VALUES, now=122.0)
+    counts = store.task_counts(job.id)
+    assert counts["done"] == 1
+
+
+def test_last_commit_completes_the_job(store, job):
+    queue = WorkQueue(store, lease_s=60.0)
+    while True:
+        lease = queue.claim("w1", now=100.0)
+        if lease is None:
+            break
+        assert store.job(job.ticket).state == "running"
+        assert queue.commit("w1", lease, VALUES, now=100.0)
+    assert store.job(job.ticket).state == "done"
+    counts = store.task_counts(job.id)
+    assert counts["pending"] == counts["leased"] == 0
+
+
+def test_release_returns_task_to_pending(store, job):
+    queue = WorkQueue(store, lease_s=60.0)
+    lease = queue.claim("w1", now=100.0)
+    assert queue.release("w1", lease)
+    assert store.task_counts(job.id)["pending"] == 4
+    # an unexpired re-claim picks it straight back up
+    assert queue.claim("w2", now=100.0).task == lease.task
+
+
+def test_fail_marks_job_failed_and_stops_claims(store, job):
+    queue = WorkQueue(store, lease_s=60.0)
+    lease = queue.claim("w1", now=100.0)
+    assert queue.fail("w1", lease, "ValueError: boom", now=100.0)
+    failed = store.job(job.ticket)
+    assert failed.state == "failed"
+    assert "boom" in failed.error
+    assert queue.claim("w1", now=100.0) is None
+
+
+def test_cancelled_job_is_not_claimable(store, job):
+    queue = WorkQueue(store, lease_s=60.0)
+    held = queue.claim("w1", now=100.0)
+    store.cancel(job.ticket)
+    assert queue.claim("w2", now=100.0) is None
+    # the in-flight task runs to completion; its commit is accepted
+    assert queue.commit("w1", held, VALUES, now=101.0)
+    assert store.job(job.ticket).state == "cancelled"
+
+
+def test_outstanding_counts(store, job):
+    queue = WorkQueue(store, lease_s=10.0)
+    assert queue.outstanding(now=100.0) == {
+        "claimable": 4, "leased": 0, "done": 0, "failed": 0
+    }
+    lease = queue.claim("w1", now=100.0)
+    assert queue.outstanding(now=100.0) == {
+        "claimable": 3, "leased": 1, "done": 0, "failed": 0
+    }
+    # an expired lease counts as claimable again
+    assert queue.outstanding(now=120.0)["claimable"] == 4
+    queue.commit("w1", lease, VALUES, now=105.0)
+    assert queue.outstanding(now=105.0)["done"] == 1
+
+
+def test_lease_must_be_positive(store):
+    with pytest.raises(ValueError, match="lease"):
+        WorkQueue(store, lease_s=0.0)
